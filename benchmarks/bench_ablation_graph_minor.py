@@ -1,0 +1,29 @@
+"""Ablation: template sharing with vs. without the graph-minor reduction.
+
+Without the Section 4.2 reduction, templates are isomorphism classes of the
+*full* join graphs, so far fewer queries share one and more conjunctive
+queries must be evaluated per document.
+"""
+
+import pytest
+
+from repro.core.processor import MMQJPJoinProcessor
+from repro.templates.registry import TemplateRegistry
+from benchmarks.workloads import complex_schema, make_queries
+from repro.workloads.synthetic import build_technical_benchmark_data
+
+
+@pytest.mark.parametrize("use_graph_minor", [True, False])
+def bench_ablation_graph_minor(benchmark, use_graph_minor):
+    schema = complex_schema()
+    queries = make_queries(schema, 2000, max_value_joins=4)
+    data = build_technical_benchmark_data(schema)
+    registry = TemplateRegistry(use_graph_minor=use_graph_minor)
+    for i, query in enumerate(queries):
+        registry.add_query(f"q{i}", query)
+    processor = MMQJPJoinProcessor(registry, state=data.fresh_state())
+    matches = benchmark.pedantic(lambda: processor.process(data.witness), rounds=2, iterations=1)
+    benchmark.extra_info["ablation"] = "graph_minor"
+    benchmark.extra_info["use_graph_minor"] = use_graph_minor
+    benchmark.extra_info["num_templates"] = registry.num_templates
+    benchmark.extra_info["num_matches"] = len(matches)

@@ -1,0 +1,26 @@
+"""Ablation: view-cache size sweep on the RSS stream (Section 5 / Algorithm 5).
+
+Caching ``RL`` slices keyed on string value avoids recomputing the
+previous-document side of the value join for every incoming document; the
+sweep quantifies the benefit as the cache grows from nothing to effectively
+unbounded.
+"""
+
+import pytest
+
+from repro.bench.harness import run_rss_throughput
+from repro.workloads.rss import RssStreamConfig, generate_rss_queries, generate_rss_stream
+
+
+@pytest.mark.parametrize("cache_size", [None, 16, 256, 4096])
+def bench_ablation_view_cache(benchmark, cache_size):
+    documents = list(generate_rss_stream(RssStreamConfig(num_items=150)))
+    queries = generate_rss_queries(300)
+
+    def run_once():
+        return run_rss_throughput(queries, documents, "mmqjp-vm", view_cache_size=cache_size)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["ablation"] = "view_cache"
+    benchmark.extra_info["cache_size"] = cache_size if cache_size is not None else 0
+    benchmark.extra_info["events_per_second"] = result.extra["events_per_second"]

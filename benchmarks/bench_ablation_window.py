@@ -1,0 +1,26 @@
+"""Ablation: window length (join-state size) vs. stream throughput.
+
+The paper's RSS experiment keeps an infinite window (nothing is ever pruned
+from the join state).  This ablation sweeps finite windows to show how
+state pruning trades recall horizon against sustained throughput.
+"""
+
+import pytest
+
+from repro.bench.harness import run_rss_throughput
+from repro.workloads.rss import RssStreamConfig, generate_rss_queries, generate_rss_stream
+
+
+@pytest.mark.parametrize("window", [5.0, 20.0, 80.0, float("inf")])
+def bench_ablation_window(benchmark, window):
+    documents = list(generate_rss_stream(RssStreamConfig(num_items=150)))
+    queries = generate_rss_queries(300, window=window)
+
+    def run_once():
+        return run_rss_throughput(queries, documents, "mmqjp")
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["ablation"] = "window"
+    benchmark.extra_info["window"] = window
+    benchmark.extra_info["events_per_second"] = result.extra["events_per_second"]
+    benchmark.extra_info["num_matches"] = result.num_matches

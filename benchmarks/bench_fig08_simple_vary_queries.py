@@ -1,0 +1,25 @@
+"""Figure 8: simple (two-level) schema, conjunctive-query time vs. #queries.
+
+Expected shape: MMQJP and Sequential are comparable at 10 queries; MMQJP is
+one to two orders of magnitude faster at the top of the sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import query_sweep
+from benchmarks.workloads import make_queries, prepare, simple_schema
+
+
+@pytest.mark.parametrize("num_queries", query_sweep())
+@pytest.mark.parametrize("approach", ["mmqjp", "sequential"])
+def bench_fig08(benchmark, approach, num_queries):
+    schema = simple_schema(6)
+    queries = make_queries(schema, num_queries)
+    workload = prepare(approach, schema, queries)
+    matches = benchmark.pedantic(workload.run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "fig08"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["num_queries"] = num_queries
+    benchmark.extra_info["num_matches"] = len(matches)
+    if workload.num_templates is not None:
+        benchmark.extra_info["num_templates"] = workload.num_templates

@@ -1,0 +1,22 @@
+"""Figure 9: simple schema, conjunctive-query time vs. #leaves in the schema.
+
+Expected shape: both approaches slow down as the schema grows (the paper
+reports roughly 6x from 4 to 12 leaves); MMQJP stays well below Sequential.
+"""
+
+import pytest
+
+from benchmarks.workloads import make_queries, prepare, simple_schema
+
+
+@pytest.mark.parametrize("num_leaves", [4, 6, 8, 10, 12])
+@pytest.mark.parametrize("approach", ["mmqjp", "sequential"])
+def bench_fig09(benchmark, approach, num_leaves):
+    schema = simple_schema(num_leaves)
+    queries = make_queries(schema, 1000)
+    workload = prepare(approach, schema, queries)
+    matches = benchmark.pedantic(workload.run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "fig09"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["num_leaves"] = num_leaves
+    benchmark.extra_info["num_matches"] = len(matches)

@@ -1,0 +1,22 @@
+"""Figure 10: simple schema, conjunctive-query time vs. the Zipf parameter.
+
+Expected shape: the Zipf parameter barely affects MMQJP (the template count
+is unchanged); Sequential speeds up roughly 2x as queries get simpler.
+"""
+
+import pytest
+
+from benchmarks.workloads import make_queries, prepare, simple_schema
+
+
+@pytest.mark.parametrize("zipf", [0.0, 0.4, 0.8, 1.2, 1.6])
+@pytest.mark.parametrize("approach", ["mmqjp", "sequential"])
+def bench_fig10(benchmark, approach, zipf):
+    schema = simple_schema(6)
+    queries = make_queries(schema, 1000, zipf=zipf)
+    workload = prepare(approach, schema, queries)
+    matches = benchmark.pedantic(workload.run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "fig10"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["zipf"] = zipf
+    benchmark.extra_info["num_matches"] = len(matches)

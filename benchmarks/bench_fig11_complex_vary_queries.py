@@ -1,0 +1,25 @@
+"""Figure 11: complex (three-level) schema, time vs. #queries.
+
+Expected shape: like Figure 8 but with more query templates; MMQJP still
+wins by orders of magnitude at the top of the sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import query_sweep
+from benchmarks.workloads import complex_schema, make_queries, prepare
+
+
+@pytest.mark.parametrize("num_queries", query_sweep())
+@pytest.mark.parametrize("approach", ["mmqjp", "sequential"])
+def bench_fig11(benchmark, approach, num_queries):
+    schema = complex_schema()
+    queries = make_queries(schema, num_queries, max_value_joins=4)
+    workload = prepare(approach, schema, queries)
+    matches = benchmark.pedantic(workload.run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "fig11"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["num_queries"] = num_queries
+    benchmark.extra_info["num_matches"] = len(matches)
+    if workload.num_templates is not None:
+        benchmark.extra_info["num_templates"] = workload.num_templates

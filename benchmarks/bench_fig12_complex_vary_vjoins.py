@@ -1,0 +1,25 @@
+"""Figure 12: complex schema, time vs. maximum number of value joins per query.
+
+Expected shape: MMQJP's cost grows faster with K than Sequential's because
+the number of query templates grows (paper: 2, 6, 20, 39 templates for
+K = 2, 3, 4, 5), while remaining far below Sequential in absolute terms.
+"""
+
+import pytest
+
+from benchmarks.workloads import complex_schema, make_queries, prepare
+
+
+@pytest.mark.parametrize("max_value_joins", [2, 3, 4, 5])
+@pytest.mark.parametrize("approach", ["mmqjp", "sequential"])
+def bench_fig12(benchmark, approach, max_value_joins):
+    schema = complex_schema()
+    queries = make_queries(schema, 1000, max_value_joins=max_value_joins)
+    workload = prepare(approach, schema, queries)
+    matches = benchmark.pedantic(workload.run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "fig12"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["max_value_joins"] = max_value_joins
+    benchmark.extra_info["num_matches"] = len(matches)
+    if workload.num_templates is not None:
+        benchmark.extra_info["num_templates"] = workload.num_templates

@@ -1,0 +1,22 @@
+"""Figure 13: complex schema, time vs. the Zipf parameter.
+
+Expected shape: as in Figure 10, Sequential benefits from higher skew
+(simpler queries) while MMQJP is largely insensitive.
+"""
+
+import pytest
+
+from benchmarks.workloads import complex_schema, make_queries, prepare
+
+
+@pytest.mark.parametrize("zipf", [0.0, 0.4, 0.8, 1.2, 1.6])
+@pytest.mark.parametrize("approach", ["mmqjp", "sequential"])
+def bench_fig13(benchmark, approach, zipf):
+    schema = complex_schema()
+    queries = make_queries(schema, 1000, zipf=zipf, max_value_joins=4)
+    workload = prepare(approach, schema, queries)
+    matches = benchmark.pedantic(workload.run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "fig13"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["zipf"] = zipf
+    benchmark.extra_info["num_matches"] = len(matches)

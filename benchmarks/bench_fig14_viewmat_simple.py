@@ -1,0 +1,25 @@
+"""Figure 14: view-materialization cost breakdown, simple schema.
+
+Two bars: MMQJP without and with the Section 5 view materialization.  The
+per-phase breakdown (computing Rvj / RL / RR vs. conjunctive-query time) is
+reported through ``extra_info``; expected shape: the materialized variant's
+total is lower, with a small share spent building the views.
+"""
+
+import pytest
+
+from benchmarks.conftest import breakdown_queries
+from benchmarks.workloads import make_queries, prepare, simple_schema
+
+
+@pytest.mark.parametrize("approach", ["mmqjp", "mmqjp-vm"])
+def bench_fig14(benchmark, approach):
+    schema = simple_schema(6)
+    queries = make_queries(schema, breakdown_queries())
+    workload = prepare(approach, schema, queries)
+    matches = benchmark.pedantic(workload.run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "fig14"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["num_queries"] = breakdown_queries()
+    benchmark.extra_info["num_matches"] = len(matches)
+    benchmark.extra_info["breakdown_ms"] = workload.processor.costs.as_milliseconds()

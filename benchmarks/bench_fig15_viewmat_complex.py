@@ -1,0 +1,23 @@
+"""Figure 15: view-materialization cost breakdown, complex schema.
+
+Expected shape: the benefit of materialization is larger than on the simple
+schema because many more query templates share the materialized RL/RR views.
+"""
+
+import pytest
+
+from benchmarks.conftest import breakdown_queries
+from benchmarks.workloads import complex_schema, make_queries, prepare
+
+
+@pytest.mark.parametrize("approach", ["mmqjp", "mmqjp-vm"])
+def bench_fig15(benchmark, approach):
+    schema = complex_schema()
+    queries = make_queries(schema, breakdown_queries(), max_value_joins=4)
+    workload = prepare(approach, schema, queries)
+    matches = benchmark.pedantic(workload.run, rounds=2, iterations=1)
+    benchmark.extra_info["figure"] = "fig15"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["num_queries"] = breakdown_queries()
+    benchmark.extra_info["num_matches"] = len(matches)
+    benchmark.extra_info["breakdown_ms"] = workload.processor.costs.as_milliseconds()

@@ -1,0 +1,35 @@
+"""Figure 16: join-processing throughput on the (simulated) RSS feed stream.
+
+Expected shape: MMQJP — and MMQJP with view materialization — sustain far
+higher event throughput than Sequential once the number of subscriptions is
+large; the MMQJP curves flatten as additional generated queries become
+duplicates of existing ones.
+"""
+
+import pytest
+
+from repro.bench.harness import run_rss_throughput
+from repro.workloads.rss import RssStreamConfig, generate_rss_queries, generate_rss_stream
+
+NUM_ITEMS = 200
+QUERY_SWEEP = (10, 100, 1000)
+
+
+@pytest.mark.parametrize("num_queries", QUERY_SWEEP)
+@pytest.mark.parametrize("approach", ["mmqjp-vm", "mmqjp", "sequential"])
+def bench_fig16(benchmark, approach, num_queries):
+    if approach == "sequential" and num_queries > 100:
+        pytest.skip("sequential baseline is run only at small query counts (it is the slow side)")
+    documents = list(generate_rss_stream(RssStreamConfig(num_items=NUM_ITEMS)))
+    queries = generate_rss_queries(num_queries)
+
+    def run_once():
+        return run_rss_throughput(queries, documents, approach)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "fig16"
+    benchmark.extra_info["approach"] = approach
+    benchmark.extra_info["num_queries"] = num_queries
+    benchmark.extra_info["num_events"] = NUM_ITEMS
+    benchmark.extra_info["events_per_second"] = result.extra["events_per_second"]
+    benchmark.extra_info["num_matches"] = result.num_matches

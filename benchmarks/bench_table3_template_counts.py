@@ -1,0 +1,30 @@
+"""Table 3: number of query templates vs. number of value joins.
+
+The measured quantity is the exhaustive enumeration itself; the benchmark's
+``extra_info`` records the counts so they can be compared against the
+paper's 1/1, 3/3, 6/16, 16/<230.
+"""
+
+import pytest
+
+from repro.templates.enumerate import count_templates
+
+
+@pytest.mark.parametrize("num_value_joins", [1, 2, 3])
+@pytest.mark.parametrize("schema_kind", ["flat", "complex"])
+def bench_template_enumeration(benchmark, num_value_joins, schema_kind):
+    count = benchmark.pedantic(
+        count_templates, args=(num_value_joins, schema_kind), rounds=1, iterations=1
+    )
+    benchmark.extra_info["num_value_joins"] = num_value_joins
+    benchmark.extra_info["schema"] = schema_kind
+    benchmark.extra_info["templates"] = count
+    expected = {("flat", 1): 1, ("flat", 2): 3, ("flat", 3): 6,
+                ("complex", 1): 1, ("complex", 2): 3, ("complex", 3): 16}
+    assert count == expected[(schema_kind, num_value_joins)]
+
+
+def bench_template_enumeration_four_value_joins_flat(benchmark):
+    count = benchmark.pedantic(count_templates, args=(4, "flat"), rounds=1, iterations=1)
+    benchmark.extra_info["templates"] = count
+    assert count == 16

@@ -1,0 +1,70 @@
+"""Workload construction helpers shared by the benchmark files.
+
+Each helper prepares everything *except* the measured call (registration,
+state loading, witness construction), so the timed quantity is exactly what
+the paper times: the join processing for one incoming document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import register_mmqjp, register_sequential
+from repro.core.materialize import ViewCache
+from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
+from repro.workloads.querygen import QueryWorkloadConfig, generate_queries
+from repro.workloads.synthetic import TechnicalBenchmarkData, build_technical_benchmark_data
+from repro.xmlmodel.schema import three_level_schema, two_level_schema
+
+
+@dataclass
+class PreparedWorkload:
+    """A fully registered workload ready for one timed ``process`` call."""
+
+    data: TechnicalBenchmarkData
+    processor: object
+    num_templates: int | None = None
+
+    def run(self):
+        """The measured call: join the current document against the state."""
+        return self.processor.process(self.data.witness)
+
+
+def simple_schema(num_leaves: int = 6):
+    """The two-level (simple) schema of Section 6.1."""
+    return two_level_schema(num_leaves)
+
+
+def complex_schema():
+    """The three-level (complex) schema of Section 6.1."""
+    return three_level_schema(branching=4)
+
+
+def make_queries(schema, num_queries: int, zipf: float = 0.8, max_value_joins=None, seed: int = 7):
+    """Figure 17 random queries over ``schema``."""
+    return generate_queries(
+        QueryWorkloadConfig(
+            schema=schema,
+            num_queries=num_queries,
+            zipf_theta=zipf,
+            max_value_joins=max_value_joins,
+            seed=seed,
+        )
+    )
+
+
+def prepare(approach: str, schema, queries, view_cache_size=None) -> PreparedWorkload:
+    """Register ``queries`` under ``approach`` and load the benchmark documents."""
+    data = build_technical_benchmark_data(schema)
+    if approach == "sequential":
+        processor = register_sequential(queries, state=data.fresh_state())
+        return PreparedWorkload(data=data, processor=processor)
+    registry = register_mmqjp(queries)
+    view_cache = ViewCache(max_entries=view_cache_size) if view_cache_size else None
+    processor = MMQJPJoinProcessor(
+        registry,
+        state=data.fresh_state(),
+        use_view_materialization=(approach == "mmqjp-vm"),
+        view_cache=view_cache,
+    )
+    return PreparedWorkload(data=data, processor=processor, num_templates=registry.num_templates)

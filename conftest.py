@@ -1,0 +1,12 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable without installation, so ``pytest`` works
+both before and after ``pip install -e .``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

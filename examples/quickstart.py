@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: register an inter-document query and publish two documents.
+
+This walks the paper's running example (Section 1, Figures 1-2, Table 2):
+query Q1 looks for a book announcement followed by a blog article written by
+one of the book's authors and carrying the same title.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Broker, to_xml
+
+
+def main() -> None:
+    broker = Broker(engine="mmqjp")
+
+    # Q1 from Table 2 of the paper.  Windows are in arbitrary time units;
+    # here the blog posting must appear within 100 time units of the book.
+    q1 = (
+        "S//book->x1[.//author->x2][.//title->x3] "
+        "FOLLOWED BY{x2=x5 AND x3=x6, 100} "
+        "S//blog->x4[.//author->x5][.//title->x6]"
+    )
+    subscription = broker.subscribe(
+        q1, callback=lambda result: print(f"-> match delivered for {result.subscription_id}")
+    )
+
+    # The book announcement of Figure 1 (as XML text).
+    book = """
+    <book>
+      <authors><author>Danny Ayers</author><author>Andrew Watt</author></authors>
+      <title>Beginning RSS and Atom Programming</title>
+      <category>Scripting &amp; Programming</category>
+      <publisher>Wrox</publisher>
+    </book>
+    """
+
+    # The blog article of Figure 2.
+    blog = """
+    <blog>
+      <url>http://dannyayers.com/topics/books/rss-book</url>
+      <author>Danny Ayers</author>
+      <title>Beginning RSS and Atom Programming</title>
+      <category>Book Announcement</category>
+      <description>Just heard ...</description>
+    </blog>
+    """
+
+    print("publishing the book announcement ...")
+    broker.publish(book, timestamp=1.0)
+
+    print("publishing the blog article ...")
+    deliveries = broker.publish(blog, timestamp=5.0)
+
+    print(f"\n{len(deliveries)} match(es); the constructed output document:\n")
+    print(to_xml(deliveries[0].output))
+
+    print("\nsubscription received", subscription.num_results, "result(s)")
+    print("broker stats:", broker.stats()["engine_stats"])
+
+
+if __name__ == "__main__":
+    main()

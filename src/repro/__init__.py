@@ -1,0 +1,51 @@
+"""repro — Massively Multi-Query Join Processing for XML publish/subscribe.
+
+A from-scratch reproduction of *"Massively Multi-Query Join Processing in
+Publish/Subscribe Systems"* (Hong, Demers, Gehrke, Koch, Riedewald, White;
+SIGMOD 2007).
+
+The package is organised around the paper's two-stage architecture:
+
+* Stage 1 — the **XPath Evaluator** (:mod:`repro.xpath`): shared evaluation
+  of the tree-pattern components of all registered queries, producing
+  relational *witnesses*.
+* Stage 2 — the **Join Processor** (:mod:`repro.core`): queries are
+  partitioned into *query templates* (:mod:`repro.templates`) and all
+  queries of a template are evaluated at once by a single relational
+  conjunctive query over the witness relations
+  (:mod:`repro.relational`), optionally accelerated by the Section 5 view
+  materialization.
+
+User-facing entry points:
+
+* :class:`repro.pubsub.Broker` — publish/subscribe API (subscribe with XSCL
+  text, publish XML documents, receive matches via callbacks).
+* :class:`repro.core.MMQJPEngine` / :class:`repro.core.SequentialEngine` —
+  the two engines compared throughout the paper's evaluation.
+* :mod:`repro.workloads` — the synthetic benchmark workloads of Section 6
+  and a simulated RSS feed stream.
+* :mod:`repro.bench` — the experiment harness regenerating every figure and
+  table of the evaluation section.
+"""
+
+from repro.core import MMQJPEngine, SequentialEngine, Match
+from repro.pubsub import Broker, Subscription
+from repro.xmlmodel import XmlDocument, element, parse_document, to_xml
+from repro.xscl import parse_query, XsclQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MMQJPEngine",
+    "SequentialEngine",
+    "Match",
+    "Broker",
+    "Subscription",
+    "XmlDocument",
+    "element",
+    "parse_document",
+    "to_xml",
+    "parse_query",
+    "XsclQuery",
+    "__version__",
+]

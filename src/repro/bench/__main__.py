@@ -1,0 +1,34 @@
+"""Run the full experiment suite and print every table.
+
+Usage::
+
+    python -m repro.bench                # every experiment, default scale
+    python -m repro.bench fig08 table3   # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.reporting import format_table
+
+
+def main(argv: list[str]) -> int:
+    names = argv if argv else list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        rows = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        print(format_table(rows, title=f"== {name} (ran in {elapsed:.1f}s) =="))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,60 @@
+"""Per-phase cost accounting.
+
+Figures 14 and 15 of the paper break the total join-processing time into the
+costs of computing ``Rvj``, ``RL``, ``RR`` and of evaluating the conjunctive
+queries.  :class:`CostBreakdown` accumulates wall-clock time per named phase
+so the benchmark harness can reproduce those stacked bars.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostBreakdown:
+    """Accumulated wall-clock seconds per named processing phase."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, elapsed: float) -> None:
+        """Add ``elapsed`` seconds to ``phase``."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
+
+    @contextmanager
+    def measure(self, phase: str):
+        """Context manager timing a block of code into ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(phase, time.perf_counter() - start)
+
+    def merge(self, other: "CostBreakdown") -> "CostBreakdown":
+        """Accumulate another breakdown into this one (returns self)."""
+        for phase, secs in other.seconds.items():
+            self.add(phase, secs)
+        return self
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all phases."""
+        return sum(self.seconds.values())
+
+    def get(self, phase: str) -> float:
+        """Seconds recorded for ``phase`` (0.0 when absent)."""
+        return self.seconds.get(phase, 0.0)
+
+    def reset(self) -> None:
+        """Clear all recorded costs."""
+        self.seconds.clear()
+
+    def as_milliseconds(self) -> dict[str, float]:
+        """The breakdown converted to milliseconds (rounded to 3 decimals)."""
+        return {phase: round(secs * 1000.0, 3) for phase, secs in self.seconds.items()}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v * 1000:.1f}ms" for k, v in sorted(self.seconds.items()))
+        return f"<CostBreakdown {parts}>"

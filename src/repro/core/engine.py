@@ -1,0 +1,337 @@
+"""Two-stage query-processing engines over XML documents.
+
+:class:`MMQJPEngine` wires together Stage 1 (the shared
+:class:`~repro.xpath.evaluator.XPathEvaluator`) and Stage 2 (the
+:class:`~repro.core.processor.MMQJPJoinProcessor`), maintains the join state
+and (optionally) the original documents so that output XML documents can be
+constructed.  :class:`SequentialEngine` offers the identical interface on
+top of the one-query-at-a-time baseline, so the two can be compared — and
+checked for result equivalence — on any workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from repro.core.costs import CostBreakdown
+from repro.core.materialize import ViewCache
+from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
+from repro.core.results import Match, build_output_document
+from repro.core.state import JoinState
+from repro.core.witnesses import WitnessRelations
+from repro.templates.registry import TemplateRegistry
+from repro.xmlmodel.document import XmlDocument
+from repro.xmlmodel.parser import parse_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xscl.ast import INFINITE_WINDOW, JoinOperator, JoinSpec, ValueJoinPredicate, XsclQuery
+from repro.xscl.normalize import VariableCatalog, canonicalize_query
+from repro.xscl.parser import parse_query
+from repro.templates.join_graph import Side
+
+#: Suffix used internally for the mirrored registration of symmetric JOIN queries.
+_SWAP_SUFFIX = "::swap"
+
+
+@dataclass
+class EngineStats:
+    """Summary statistics of an engine."""
+
+    num_queries: int
+    num_templates: Optional[int]
+    num_documents_processed: int
+    num_matches: int
+    state_documents: int
+    costs: dict[str, float]
+
+
+class _BaseEngine:
+    """Shared machinery of the MMQJP and Sequential engines."""
+
+    def __init__(self, store_documents: bool = True, auto_timestamp: bool = True):
+        self.evaluator = XPathEvaluator()
+        self.catalog = VariableCatalog()
+        self.store_documents = store_documents
+        self.auto_timestamp = auto_timestamp
+        self.documents: dict[str, XmlDocument] = {}
+        self._qid_counter = itertools.count(1)
+        self._clock = itertools.count(1)
+        self._registered: dict[str, XsclQuery] = {}
+        self._root_vars: dict[str, tuple[Optional[str], Optional[str]]] = {}
+        self._max_finite_window = 0.0
+        self._has_infinite_window = False
+        self.num_documents_processed = 0
+        self.num_matches = 0
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_query(
+        self,
+        query: Union[str, XsclQuery],
+        qid: Optional[str] = None,
+        window_symbols: Optional[dict[str, float]] = None,
+    ) -> str:
+        """Register an XSCL query (text or AST) and return its query id."""
+        if isinstance(query, str):
+            query = parse_query(query, window_symbols=window_symbols)
+        if not query.is_join_query:
+            raise ValueError(
+                "the join engines process inter-document (join) queries; "
+                "use repro.pubsub.Broker for single-block filter subscriptions"
+            )
+        qid = qid if qid is not None else f"q{next(self._qid_counter)}"
+        if qid in self._registered:
+            raise ValueError(f"query id {qid!r} is already registered")
+
+        canonical = canonicalize_query(query, self.catalog)
+        self._registered[qid] = canonical
+        self._root_vars[qid] = (
+            canonical.left.root_variable,
+            canonical.right.root_variable if canonical.right else None,
+        )
+
+        window = canonical.join.window
+        if window == INFINITE_WINDOW:
+            self._has_infinite_window = True
+        else:
+            self._max_finite_window = max(self._max_finite_window, window)
+
+        self._register_with_processor(qid, canonical)
+        if canonical.join.operator is JoinOperator.JOIN:
+            self._register_with_processor(qid + _SWAP_SUFFIX, _swap_query(canonical))
+        return qid
+
+    def register_queries(self, queries: Iterable[Union[str, XsclQuery]]) -> list[str]:
+        """Register many queries; returns their query ids."""
+        return [self.register_query(q) for q in queries]
+
+    def _register_with_processor(self, qid: str, query: XsclQuery) -> None:
+        raise NotImplementedError
+
+    def _register_stage1(self, query: XsclQuery, reduced) -> None:
+        """Register the reduced graph's variables and edges with the XPath Evaluator."""
+        patterns = {Side.LEFT: query.left.pattern, Side.RIGHT: query.right.pattern}
+        for side, var in reduced.nodes:
+            pattern = patterns[side]
+            self.evaluator.register_variable(var, pattern.stream, pattern.absolute_path_of(var))
+        for (p_side, p_var), (c_side, c_var) in reduced.structural_edges:
+            pattern = patterns[p_side]
+            self.evaluator.register_edge(
+                p_var, c_var, pattern.relative_path_between(p_var, c_var)
+            )
+
+    # ------------------------------------------------------------------ #
+    # document processing
+    # ------------------------------------------------------------------ #
+    def process_document(
+        self,
+        document: Union[str, XmlDocument],
+        timestamp: Optional[float] = None,
+    ) -> list[Match]:
+        """Run both stages on one incoming document and return its matches."""
+        if isinstance(document, str):
+            document = parse_document(document)
+        if timestamp is not None:
+            document.timestamp = float(timestamp)
+        elif self.auto_timestamp and document.timestamp == 0.0:
+            document.timestamp = float(next(self._clock))
+
+        witnesses = self.evaluator.evaluate(document)
+        relations = WitnessRelations.from_witnesses(witnesses)
+        raw_matches = self._processor().process(relations)
+        self._processor().maintain_state(relations)
+        self._after_state_maintenance(document)
+
+        if self.store_documents:
+            self.documents[document.docid] = document
+
+        matches = self._normalize_matches(raw_matches)
+        self.num_documents_processed += 1
+        self.num_matches += len(matches)
+        return matches
+
+    def process_stream(self, documents: Iterable[Union[str, XmlDocument]]) -> list[Match]:
+        """Process a sequence of documents; returns all matches in arrival order."""
+        out: list[Match] = []
+        for document in documents:
+            out.extend(self.process_document(document))
+        return out
+
+    def _processor(self):
+        raise NotImplementedError
+
+    def _after_state_maintenance(self, document: XmlDocument) -> None:
+        """Window-based pruning of state (only when every window is finite)."""
+        if self._has_infinite_window or self._max_finite_window <= 0:
+            return
+        horizon = document.timestamp - self._max_finite_window
+        removed = self._prune(horizon)
+        if removed and self.store_documents:
+            alive = {row[0] for row in self._processor().state.rdocts.rows}
+            self.documents = {d: doc for d, doc in self.documents.items() if d in alive}
+
+    def _prune(self, min_timestamp: float) -> int:
+        return self._processor().state.prune(min_timestamp)
+
+    def _normalize_matches(self, matches: list[Match]) -> list[Match]:
+        """Strip the internal swap suffix and de-duplicate symmetric JOIN matches."""
+        out: list[Match] = []
+        seen: set[tuple] = set()
+        for match in matches:
+            if match.qid.endswith(_SWAP_SUFFIX):
+                match = Match(
+                    qid=match.qid[: -len(_SWAP_SUFFIX)],
+                    lhs_docid=match.rhs_docid,
+                    rhs_docid=match.lhs_docid,
+                    lhs_timestamp=match.rhs_timestamp,
+                    rhs_timestamp=match.lhs_timestamp,
+                    lhs_bindings=match.rhs_bindings,
+                    rhs_bindings=match.lhs_bindings,
+                    window=match.window,
+                )
+            if match.key() not in seen:
+                seen.add(match.key())
+                out.append(match)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # results and stats
+    # ------------------------------------------------------------------ #
+    def output_document(self, match: Match) -> XmlDocument:
+        """Construct the output XML document of a match (default SELECT semantics).
+
+        Requires ``store_documents=True`` (the default).
+        """
+        if match.lhs_docid not in self.documents or match.rhs_docid not in self.documents:
+            raise KeyError(
+                "output construction needs the original documents; "
+                "the engine was created with store_documents=False or the "
+                "documents were pruned"
+            )
+        lhs_root, rhs_root = self._root_vars.get(match.qid, (None, None))
+        return build_output_document(
+            match,
+            self.documents[match.lhs_docid],
+            self.documents[match.rhs_docid],
+            lhs_root_variable=lhs_root,
+            rhs_root_variable=rhs_root,
+        )
+
+    @property
+    def registered_queries(self) -> dict[str, XsclQuery]:
+        """The registered (canonicalized) queries by query id."""
+        return dict(self._registered)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of registered queries."""
+        return len(self._registered)
+
+    @property
+    def costs(self) -> CostBreakdown:
+        """The processor's accumulated cost breakdown."""
+        return self._processor().costs
+
+    def stats(self) -> EngineStats:
+        """Summary statistics for dashboards, examples and tests."""
+        return EngineStats(
+            num_queries=self.num_queries,
+            num_templates=getattr(self, "num_templates", None),
+            num_documents_processed=self.num_documents_processed,
+            num_matches=self.num_matches,
+            state_documents=self._processor().state.num_documents,
+            costs=self.costs.as_milliseconds(),
+        )
+
+
+def _swap_query(query: XsclQuery) -> XsclQuery:
+    """Mirror a symmetric JOIN query (blocks and predicate orientation swapped)."""
+    swapped_predicates = tuple(
+        ValueJoinPredicate(p.right_var, p.left_var) for p in query.join.predicates
+    )
+    return XsclQuery(
+        left=query.right,
+        right=query.left,
+        join=JoinSpec(
+            operator=query.join.operator,
+            predicates=swapped_predicates,
+            window=query.join.window,
+        ),
+        select=query.select,
+        publish=query.publish,
+        name=query.name,
+        text=query.text,
+    )
+
+
+class MMQJPEngine(_BaseEngine):
+    """The paper's system: shared Stage 1 plus template-based Stage 2.
+
+    Parameters
+    ----------
+    use_view_materialization:
+        Evaluate the per-template conjunctive queries over the materialized
+        views ``RL`` / ``RR`` (Section 5) instead of the raw witness relations.
+    view_cache_size:
+        When view materialization is on, cache up to this many ``RL`` slices
+        keyed on string value (``None`` disables the cache; pass ``0`` is
+        invalid).  Implies ``use_view_materialization=True``.
+    store_documents:
+        Keep processed documents so output XML can be constructed.
+    auto_timestamp:
+        Assign monotonically increasing timestamps to documents that arrive
+        with timestamp 0.
+    """
+
+    def __init__(
+        self,
+        use_view_materialization: bool = False,
+        view_cache_size: Optional[int] = None,
+        store_documents: bool = True,
+        auto_timestamp: bool = True,
+    ):
+        super().__init__(store_documents=store_documents, auto_timestamp=auto_timestamp)
+        self.registry = TemplateRegistry()
+        view_cache = None
+        if view_cache_size is not None:
+            use_view_materialization = True
+            view_cache = ViewCache(max_entries=view_cache_size)
+        self.processor = MMQJPJoinProcessor(
+            registry=self.registry,
+            state=JoinState(),
+            use_view_materialization=use_view_materialization,
+            view_cache=view_cache,
+        )
+
+    def _processor(self) -> MMQJPJoinProcessor:
+        return self.processor
+
+    def _register_with_processor(self, qid: str, query: XsclQuery) -> None:
+        record = self.registry.add_query(qid, query)
+        self._register_stage1(query, record.reduced)
+
+    def _prune(self, min_timestamp: float) -> int:
+        return self.processor.prune_state(min_timestamp)
+
+    @property
+    def num_templates(self) -> int:
+        """Number of distinct query templates currently registered."""
+        return self.registry.num_templates
+
+
+class SequentialEngine(_BaseEngine):
+    """The baseline: per-query join evaluation behind the same interface."""
+
+    def __init__(self, store_documents: bool = True, auto_timestamp: bool = True):
+        super().__init__(store_documents=store_documents, auto_timestamp=auto_timestamp)
+        self.processor = SequentialJoinProcessor(state=JoinState())
+
+    def _processor(self) -> SequentialJoinProcessor:
+        return self.processor
+
+    def _register_with_processor(self, qid: str, query: XsclQuery) -> None:
+        self.processor.add_query(qid, query)
+        record = self.processor._queries[qid]
+        self._register_stage1(query, record[1])

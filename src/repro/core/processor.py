@@ -1,0 +1,292 @@
+"""Stage 2 join processors.
+
+:class:`MMQJPJoinProcessor` implements the paper's Massively Multi-Query
+Join Processing: one conjunctive query per *query template* evaluates all
+member queries at once (Algorithm 1), optionally over the materialized views
+of Section 5 (Algorithm 4).  :class:`SequentialJoinProcessor` is the paper's
+baseline: the FOLLOWED BY / JOIN operator of every query is evaluated
+separately, one query at a time.
+
+Both processors consume the same inputs — the join state (previous
+documents) and the current document's witness relations — and produce the
+same :class:`~repro.core.results.Match` records, which is what the
+equivalence tests in ``tests/`` check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.costs import CostBreakdown
+from repro.core.materialize import (
+    MaterializedViews,
+    ViewCache,
+    compute_materialized_views,
+    maintain_view_cache,
+)
+from repro.core.results import Match
+from repro.core.state import JoinState
+from repro.core.witnesses import WitnessRelations
+from repro.relational.conjunctive import ConjunctiveQuery, evaluate_conjunctive
+from repro.relational.relation import Relation
+from repro.relational.terms import Const, Var
+from repro.templates.join_graph import JoinGraph, Side
+from repro.templates.minor import ReducedJoinGraph, reduce_join_graph
+from repro.templates.registry import TemplateRegistry
+from repro.xscl.ast import JoinOperator, XsclQuery
+
+
+def window_satisfied(operator: JoinOperator, delta: float, window: float) -> bool:
+    """Algorithm 3's temporal check for one candidate match.
+
+    ``delta`` is ``rhs_timestamp - lhs_timestamp`` (the current document is
+    always the right-hand/following event).
+    """
+    if operator is JoinOperator.FOLLOWED_BY:
+        return 0 < delta <= window
+    return 0 <= delta <= window
+
+
+class MMQJPJoinProcessor:
+    """Template-based multi-query join processing (Algorithms 1, 2 and 4)."""
+
+    def __init__(
+        self,
+        registry: TemplateRegistry,
+        state: Optional[JoinState] = None,
+        use_view_materialization: bool = False,
+        view_cache: Optional[ViewCache] = None,
+    ):
+        self.registry = registry
+        self.state = state if state is not None else JoinState()
+        self.use_view_materialization = use_view_materialization
+        self.view_cache = view_cache
+        self.costs = CostBreakdown()
+        self._last_views: Optional[MaterializedViews] = None
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1 / Algorithm 4
+    # ------------------------------------------------------------------ #
+    def process(self, witnesses: WitnessRelations) -> list[Match]:
+        """Evaluate all registered queries against the current document's witnesses."""
+        env: dict[str, Relation] = {}
+        env.update(self.state.relations())
+        env.update(witnesses.relations())
+
+        if self.use_view_materialization:
+            views = compute_materialized_views(
+                self.state, witnesses, view_cache=self.view_cache, costs=self.costs
+            )
+            self._last_views = views
+            env.update(views.relations())
+
+        matches: list[Match] = []
+        seen: set[tuple] = set()
+        for template in self.registry.templates:
+            rt = self.registry.rt_relation(template)
+            if not rt.rows:
+                continue
+            env[template.rt_relation_name()] = rt
+            cq = self.registry.cqt(template, materialized=self.use_view_materialization)
+            with self.costs.measure("conjunctive_query"):
+                rout = evaluate_conjunctive(cq, env)
+            with self.costs.measure("window_check"):
+                for row in rout.rows:
+                    match = self._row_to_match(template, rout, row, witnesses)
+                    if match is not None and match.key() not in seen:
+                        seen.add(match.key())
+                        matches.append(match)
+        return matches
+
+    def _row_to_match(
+        self, template, rout: Relation, row: tuple, witnesses: WitnessRelations
+    ) -> Optional[Match]:
+        """Algorithm 3: window check plus conversion of a RoutT row to a Match."""
+        qid = rout.value(row, "qid")
+        lhs_docid = rout.value(row, "docid1")
+        window = rout.value(row, "wl")
+        record = self.registry.query(qid)
+        lhs_ts = self.state.timestamp_of(lhs_docid)
+        delta = witnesses.timestamp - lhs_ts
+        if not window_satisfied(record.query.join.operator, delta, window):
+            return None
+
+        lhs_bindings: dict[str, int] = {}
+        rhs_bindings: dict[str, int] = {}
+        for meta in template.meta_order:
+            node = rout.value(row, f"node_{meta}")
+            variable = record.assignment.assignment[meta]
+            if template.node_sides[meta] is Side.LEFT:
+                lhs_bindings[variable] = node
+            else:
+                rhs_bindings[variable] = node
+        return Match(
+            qid=qid,
+            lhs_docid=lhs_docid,
+            rhs_docid=witnesses.docid,
+            lhs_timestamp=lhs_ts,
+            rhs_timestamp=witnesses.timestamp,
+            lhs_bindings=lhs_bindings,
+            rhs_bindings=rhs_bindings,
+            window=window,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2 / Algorithm 5
+    # ------------------------------------------------------------------ #
+    def maintain_state(self, witnesses: WitnessRelations) -> None:
+        """Fold the current document into the join state (and the view cache)."""
+        with self.costs.measure("state_maintenance"):
+            self.state.merge(witnesses)
+            if self.view_cache is not None and self._last_views is not None:
+                maintain_view_cache(self.view_cache, self._last_views, witnesses.docid)
+            self._last_views = None
+
+    def prune_state(self, min_timestamp: float) -> int:
+        """Drop state older than ``min_timestamp`` (documents and cached slices)."""
+        stale = {
+            docid
+            for docid, ts in [(row[0], row[1]) for row in self.state.rdocts.rows]
+            if ts < min_timestamp
+        }
+        removed = self.state.prune(min_timestamp)
+        if self.view_cache is not None and stale:
+            self.view_cache.remove_documents(stale)
+        return removed
+
+
+# --------------------------------------------------------------------------- #
+# the Sequential baseline
+# --------------------------------------------------------------------------- #
+def build_per_query_cq(qid: str, query: XsclQuery, reduced: ReducedJoinGraph) -> ConjunctiveQuery:
+    """Build the stand-alone conjunctive query used by the Sequential baseline.
+
+    The query has the same shape as a template's ``CQT`` but all variable
+    names are constants and there is no ``RT`` relation — it evaluates
+    exactly one XSCL query.
+    """
+    def node_var(key) -> Var:
+        return Var(f"n_{key[0].value}_{key[1]}")
+
+    side_nodes = sorted(reduced.nodes, key=lambda k: (k[0].value, k[1]))
+    head_schema = ["qid", "docid1"] + [f"node_{k[0].value}_{k[1]}" for k in side_nodes] + ["wl"]
+    head_terms = [Const(qid), Var("docid")] + [node_var(k) for k in side_nodes] + [
+        Const(query.join.window)
+    ]
+    cq = ConjunctiveQuery(
+        head_name=f"Rout_query_{qid}",
+        head_schema=head_schema,
+        head_terms=head_terms,
+    )
+
+    for i, (left_key, right_key) in enumerate(reduced.value_edges):
+        s = Var(f"s_{i}")
+        cq.add_atom("Rdoc", [Var("docid"), node_var(left_key), s])
+        cq.add_atom("RdocW", [node_var(right_key), s])
+
+    for parent, child in reduced.structural_edges:
+        if parent[0] is Side.LEFT:
+            cq.add_atom(
+                "Rbin",
+                [Var("docid"), Const(parent[1]), Const(child[1]), node_var(parent), node_var(child)],
+            )
+        else:
+            cq.add_atom(
+                "RbinW", [Const(parent[1]), Const(child[1]), node_var(parent), node_var(child)]
+            )
+
+    for key in reduced.isolated_nodes():
+        if key[0] is Side.LEFT:
+            cq.add_atom("Rvar", [Var("docid"), Const(key[1]), node_var(key)])
+        else:
+            cq.add_atom("RvarW", [Const(key[1]), node_var(key)])
+    return cq
+
+
+class SequentialJoinProcessor:
+    """The paper's baseline: evaluate every query's join operator separately."""
+
+    def __init__(self, state: Optional[JoinState] = None):
+        self.state = state if state is not None else JoinState()
+        self.costs = CostBreakdown()
+        self._queries: dict[str, tuple[XsclQuery, ReducedJoinGraph, ConjunctiveQuery]] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add_query(self, qid: str, query: XsclQuery) -> None:
+        """Register one (canonicalized) join query."""
+        if qid in self._queries:
+            raise ValueError(f"query id {qid!r} is already registered")
+        reduced = reduce_join_graph(JoinGraph.from_query(query))
+        cq = build_per_query_cq(qid, query, reduced)
+        self._queries[qid] = (query, reduced, cq)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of registered queries."""
+        return len(self._queries)
+
+    # ------------------------------------------------------------------ #
+    # per-document evaluation (one query at a time)
+    # ------------------------------------------------------------------ #
+    def process(self, witnesses: WitnessRelations) -> list[Match]:
+        """Evaluate each registered query separately against the current witnesses."""
+        env: dict[str, Relation] = {}
+        env.update(self.state.relations())
+        env.update(witnesses.relations())
+
+        matches: list[Match] = []
+        seen: set[tuple] = set()
+        for qid, (query, reduced, cq) in self._queries.items():
+            with self.costs.measure("conjunctive_query"):
+                rout = evaluate_conjunctive(cq, env)
+            with self.costs.measure("window_check"):
+                for row in rout.rows:
+                    match = self._row_to_match(qid, query, reduced, rout, row, witnesses)
+                    if match is not None and match.key() not in seen:
+                        seen.add(match.key())
+                        matches.append(match)
+        return matches
+
+    def _row_to_match(
+        self,
+        qid: str,
+        query: XsclQuery,
+        reduced: ReducedJoinGraph,
+        rout: Relation,
+        row: tuple,
+        witnesses: WitnessRelations,
+    ) -> Optional[Match]:
+        lhs_docid = rout.value(row, "docid1")
+        window = query.join.window
+        lhs_ts = self.state.timestamp_of(lhs_docid)
+        delta = witnesses.timestamp - lhs_ts
+        if not window_satisfied(query.join.operator, delta, window):
+            return None
+        lhs_bindings: dict[str, int] = {}
+        rhs_bindings: dict[str, int] = {}
+        for key in reduced.nodes:
+            node = rout.value(row, f"node_{key[0].value}_{key[1]}")
+            if key[0] is Side.LEFT:
+                lhs_bindings[key[1]] = node
+            else:
+                rhs_bindings[key[1]] = node
+        return Match(
+            qid=qid,
+            lhs_docid=lhs_docid,
+            rhs_docid=witnesses.docid,
+            lhs_timestamp=lhs_ts,
+            rhs_timestamp=witnesses.timestamp,
+            lhs_bindings=lhs_bindings,
+            rhs_bindings=rhs_bindings,
+            window=window,
+        )
+
+    # ------------------------------------------------------------------ #
+    # state maintenance
+    # ------------------------------------------------------------------ #
+    def maintain_state(self, witnesses: WitnessRelations) -> None:
+        """Fold the current document into the join state."""
+        with self.costs.measure("state_maintenance"):
+            self.state.merge(witnesses)

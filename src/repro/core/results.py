@@ -1,0 +1,106 @@
+"""Query results: match records and output document construction (Algorithm 3).
+
+A :class:`Match` records which query fired, which pair of documents produced
+it and the node bindings of its variables.  When the engine keeps the
+original documents around, :func:`build_output_document` constructs the
+query's output XML document following the paper's default SELECT semantics:
+a new root whose two children are the root element nodes matched by the two
+query blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.xmlmodel.document import XmlDocument
+from repro.xmlmodel.node import XmlNode
+
+
+@dataclass(frozen=True)
+class Match:
+    """One query match (an output event of an inter-document query).
+
+    Attributes
+    ----------
+    qid:
+        Id of the matching query.
+    lhs_docid / rhs_docid:
+        The previous document (left block) and the current document (right
+        block) forming the match.
+    lhs_timestamp / rhs_timestamp:
+        Their timestamps (the window constraint has already been checked).
+    lhs_bindings / rhs_bindings:
+        Variable → node-id bindings for the variables retained by the
+        query's template.
+    window:
+        The query's window length.
+    """
+
+    qid: str
+    lhs_docid: str
+    rhs_docid: str
+    lhs_timestamp: float
+    rhs_timestamp: float
+    lhs_bindings: dict[str, int] = field(default_factory=dict, hash=False, compare=False)
+    rhs_bindings: dict[str, int] = field(default_factory=dict, hash=False, compare=False)
+    window: float = float("inf")
+
+    def key(self) -> tuple:
+        """A hashable identity used for de-duplicating matches."""
+        return (
+            self.qid,
+            self.lhs_docid,
+            self.rhs_docid,
+            tuple(sorted(self.lhs_bindings.items())),
+            tuple(sorted(self.rhs_bindings.items())),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Match {self.qid}: {self.lhs_docid}@{self.lhs_timestamp} -> "
+            f"{self.rhs_docid}@{self.rhs_timestamp}>"
+        )
+
+
+def copy_subtree(node: XmlNode) -> XmlNode:
+    """Deep-copy an element subtree (ids are reassigned by the new document)."""
+    clone = XmlNode(node.tag, text=node.text, attributes=dict(node.attributes))
+    for child in node.children:
+        clone.append(copy_subtree(child))
+    return clone
+
+
+def build_output_document(
+    match: Match,
+    lhs_document: XmlDocument,
+    rhs_document: XmlDocument,
+    lhs_root_variable: Optional[str] = None,
+    rhs_root_variable: Optional[str] = None,
+    root_tag: str = "result",
+) -> XmlDocument:
+    """Construct the default-SELECT output document for ``match``.
+
+    The output has a new root element with two subtrees: the subtree rooted
+    at the node matched by the left block and the one matched by the right
+    block.  When a block's root variable was spliced out of the query
+    template (so its binding is unknown), the corresponding document root is
+    used instead.
+    """
+    def block_root(document: XmlDocument, bindings: dict[str, int], var: Optional[str]) -> XmlNode:
+        if var is not None and var in bindings:
+            return document.node(bindings[var])
+        return document.root
+
+    lhs_node = block_root(lhs_document, match.lhs_bindings, lhs_root_variable)
+    rhs_node = block_root(rhs_document, match.rhs_bindings, rhs_root_variable)
+
+    root = XmlNode(root_tag, attributes={"qid": match.qid})
+    root.append(copy_subtree(lhs_node))
+    root.append(copy_subtree(rhs_node))
+    return XmlDocument(
+        root,
+        docid=f"out:{match.qid}:{match.lhs_docid}:{match.rhs_docid}",
+        timestamp=match.rhs_timestamp,
+        stream="output",
+    )

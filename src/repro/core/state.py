@@ -1,0 +1,116 @@
+"""The join state: witnesses of previously processed documents.
+
+The state consists of the relations ``Rbin``, ``Rdoc``, ``Rvar`` and
+``RdocTS`` (Section 3.1); Algorithm 2 of the paper maintains them by merging
+in the current document's witnesses after it has been processed.  The state
+additionally supports window-based pruning: documents older than the largest
+registered window can never contribute to a future match and may be dropped.
+"""
+
+from __future__ import annotations
+
+from repro.core.witnesses import WitnessRelations
+from repro.relational.relation import Relation
+from repro.templates.cqt import RELATION_SCHEMAS
+
+
+class JoinState:
+    """Witness relations of all previously processed documents."""
+
+    def __init__(self) -> None:
+        self.rbin = Relation(RELATION_SCHEMAS["Rbin"], name="Rbin")
+        self.rdoc = Relation(RELATION_SCHEMAS["Rdoc"], name="Rdoc")
+        self.rvar = Relation(RELATION_SCHEMAS["Rvar"], name="Rvar")
+        self.rdocts = Relation(RELATION_SCHEMAS["RdocTS"], name="RdocTS")
+        self._timestamps: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2: maintain the join state
+    # ------------------------------------------------------------------ #
+    def merge(self, witnesses: WitnessRelations) -> None:
+        """Merge the current document's witnesses into the state (Algorithm 2)."""
+        docid = witnesses.docid
+        for var1, var2, node1, node2 in witnesses.rbinw.rows:
+            self.rbin.insert((docid, var1, var2, node1, node2))
+        for node, value in witnesses.rdocw.rows:
+            self.rdoc.insert((docid, node, value))
+        for var, node in witnesses.rvarw.rows:
+            self.rvar.insert((docid, var, node))
+        for row in witnesses.rdoctsw.rows:
+            self.rdocts.insert(row)
+            self._timestamps[row[0]] = row[1]
+
+    def insert_document_rows(
+        self,
+        docid: str,
+        timestamp: float,
+        rbin_rows: list[tuple],
+        rdoc_rows: list[tuple],
+        rvar_rows: list[tuple] | None = None,
+    ) -> None:
+        """Load one previous document's witnesses directly (technical benchmark path).
+
+        Row tuples exclude the ``docid`` column; it is added here.
+        """
+        for row in rbin_rows:
+            self.rbin.insert((docid,) + tuple(row))
+        for row in rdoc_rows:
+            self.rdoc.insert((docid,) + tuple(row))
+        for row in rvar_rows or []:
+            self.rvar.insert((docid,) + tuple(row))
+        self.rdocts.insert((docid, timestamp))
+        self._timestamps[docid] = timestamp
+
+    # ------------------------------------------------------------------ #
+    # pruning
+    # ------------------------------------------------------------------ #
+    def prune(self, min_timestamp: float) -> int:
+        """Drop every document with ``timestamp < min_timestamp``.
+
+        Returns the number of documents removed.  With a finite maximum
+        window ``W`` the engine calls this with ``current_ts - W``.
+        """
+        stale = {d for d, ts in self._timestamps.items() if ts < min_timestamp}
+        if not stale:
+            return 0
+        for relation in (self.rbin, self.rdoc, self.rvar, self.rdocts):
+            docid_idx = relation.schema.index_of("docid")
+            relation.rows = [row for row in relation.rows if row[docid_idx] not in stale]
+        for docid in stale:
+            del self._timestamps[docid]
+        return len(stale)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def timestamp_of(self, docid: str) -> float:
+        """Timestamp of a previously processed document."""
+        return self._timestamps[docid]
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents currently held in the state."""
+        return len(self._timestamps)
+
+    def relations(self) -> dict[str, Relation]:
+        """The state relations keyed by their canonical names."""
+        return {
+            "Rbin": self.rbin,
+            "Rdoc": self.rdoc,
+            "Rvar": self.rvar,
+            "RdocTS": self.rdocts,
+        }
+
+    def clear(self) -> None:
+        """Remove all state (used between benchmark runs)."""
+        self.rbin.clear()
+        self.rdoc.clear()
+        self.rvar.clear()
+        self.rdocts.clear()
+        self._timestamps.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<JoinState docs={self.num_documents} |Rbin|={len(self.rbin)} "
+            f"|Rdoc|={len(self.rdoc)} |Rvar|={len(self.rvar)}>"
+        )

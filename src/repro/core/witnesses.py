@@ -1,0 +1,110 @@
+"""Relational encoding of the current document's witnesses (Section 3.1).
+
+``WitnessRelations`` holds the four relations produced for the document that
+is currently being processed:
+
+* ``RbinW (var1, var2, node1, node2)`` — structural-edge bindings,
+* ``RdocW (node, strVal)`` — string values of bound nodes,
+* ``RvarW (var, node)`` — unary variable bindings,
+* ``RdocTSW (docid, timestamp)`` — the document's id and timestamp
+  (a singleton relation).
+
+They can be built from Stage 1 output
+(:meth:`WitnessRelations.from_witnesses`) or constructed directly by the
+technical benchmark, which bypasses the XPath Evaluator exactly as the paper
+does in Section 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.relation import Relation
+from repro.templates.cqt import RELATION_SCHEMAS
+from repro.xpath.evaluator import DocumentWitnesses
+
+
+@dataclass
+class WitnessRelations:
+    """The witness relations of the document currently being processed."""
+
+    docid: str
+    timestamp: float
+    rbinw: Relation
+    rdocw: Relation
+    rvarw: Relation
+    rdoctsw: Relation
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, docid: str, timestamp: float) -> "WitnessRelations":
+        """Empty witness relations for a document that matched nothing."""
+        rbinw = Relation(RELATION_SCHEMAS["RbinW"], name="RbinW")
+        rdocw = Relation(RELATION_SCHEMAS["RdocW"], name="RdocW")
+        rvarw = Relation(RELATION_SCHEMAS["RvarW"], name="RvarW")
+        rdoctsw = Relation(RELATION_SCHEMAS["RdocTSW"], name="RdocTSW")
+        rdoctsw.insert((docid, timestamp))
+        return cls(
+            docid=docid,
+            timestamp=timestamp,
+            rbinw=rbinw,
+            rdocw=rdocw,
+            rvarw=rvarw,
+            rdoctsw=rdoctsw,
+        )
+
+    @classmethod
+    def from_witnesses(cls, witnesses: DocumentWitnesses) -> "WitnessRelations":
+        """Encode Stage 1 output as relations."""
+        out = cls.empty(witnesses.docid, witnesses.timestamp)
+        for (var1, var2), pairs in sorted(witnesses.edge_pairs.items()):
+            for node1, node2 in sorted(pairs):
+                out.rbinw.insert((var1, var2, node1, node2))
+        for node_id, value in sorted(witnesses.node_values.items()):
+            out.rdocw.insert((node_id, value))
+        for var, nodes in sorted(witnesses.var_nodes.items()):
+            for node_id in sorted(nodes):
+                out.rvarw.insert((var, node_id))
+        return out
+
+    @classmethod
+    def from_rows(
+        cls,
+        docid: str,
+        timestamp: float,
+        rbinw_rows: list[tuple],
+        rdocw_rows: list[tuple],
+        rvarw_rows: list[tuple] | None = None,
+    ) -> "WitnessRelations":
+        """Build witness relations directly from rows (technical benchmark path)."""
+        out = cls.empty(docid, timestamp)
+        out.rbinw.insert_many(rbinw_rows)
+        out.rdocw.insert_many(rdocw_rows)
+        if rvarw_rows:
+            out.rvarw.insert_many(rvarw_rows)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def relations(self) -> dict[str, Relation]:
+        """The relations keyed by their canonical names."""
+        return {
+            "RbinW": self.rbinw,
+            "RdocW": self.rdocw,
+            "RvarW": self.rvarw,
+            "RdocTSW": self.rdoctsw,
+        }
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no variable matched the current document."""
+        return not (self.rbinw.rows or self.rdocw.rows or self.rvarw.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WitnessRelations doc={self.docid} ts={self.timestamp} "
+            f"|RbinW|={len(self.rbinw)} |RdocW|={len(self.rdocw)} |RvarW|={len(self.rvarw)}>"
+        )

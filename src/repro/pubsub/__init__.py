@@ -1,0 +1,20 @@
+"""The publish/subscribe layer: streams, subscriptions, and the broker.
+
+This is the user-facing face of the system: publishers push XML documents
+into named streams, subscribers register XSCL queries (simple single-block
+filters or inter-document join queries) and receive matches through
+callbacks.  Internally the broker delegates join queries to one of the Stage
+2 engines (:class:`~repro.core.engine.MMQJPEngine` by default).
+"""
+
+from repro.pubsub.subscription import Subscription, SubscriptionResult
+from repro.pubsub.stream import Stream, StreamRegistry
+from repro.pubsub.broker import Broker
+
+__all__ = [
+    "Subscription",
+    "SubscriptionResult",
+    "Stream",
+    "StreamRegistry",
+    "Broker",
+]

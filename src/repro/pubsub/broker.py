@@ -1,0 +1,200 @@
+"""The XML publish/subscribe broker.
+
+The broker is the message-broker front end the paper's introduction
+motivates: it accepts subscriptions (XSCL queries) and incoming XML
+documents, and delivers matches to subscribers.
+
+* Join (inter-document) subscriptions are delegated to one of the Stage 2
+  engines — MMQJP by default, MMQJP with view materialization, or the
+  sequential baseline — selected with the ``engine`` parameter.
+* Simple single-block subscriptions (``SELECT * FROM blog`` or a lone query
+  block) are evaluated directly by the shared Stage 1 evaluator, like a
+  classic XPath pub/sub system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Union
+
+from repro.core.engine import MMQJPEngine, SequentialEngine, _BaseEngine
+from repro.pubsub.stream import StreamRegistry
+from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
+from repro.xmlmodel.document import XmlDocument
+from repro.xmlmodel.parser import parse_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xscl.ast import XsclQuery
+from repro.xscl.parser import parse_query
+
+#: Engine selection keywords accepted by :class:`Broker`.
+ENGINES = ("mmqjp", "mmqjp-vm", "sequential")
+
+
+def _make_engine(engine: str, view_cache_size: Optional[int]) -> _BaseEngine:
+    if engine == "mmqjp":
+        return MMQJPEngine()
+    if engine == "mmqjp-vm":
+        return MMQJPEngine(
+            use_view_materialization=True,
+            view_cache_size=view_cache_size,
+        )
+    if engine == "sequential":
+        return SequentialEngine()
+    raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+
+
+class Broker:
+    """An XML publish/subscribe broker supporting inter-document join queries.
+
+    Parameters
+    ----------
+    engine:
+        ``"mmqjp"`` (default), ``"mmqjp-vm"`` (with Section 5 view
+        materialization) or ``"sequential"`` (the baseline).
+    view_cache_size:
+        Size of the ``RL``-slice view cache for ``"mmqjp-vm"``; ``None``
+        recomputes the views per document without caching.
+    construct_outputs:
+        Build the output XML document for every join match (slower; disable
+        for throughput measurements).
+    stream_history:
+        How many recent documents each stream keeps for inspection.
+    """
+
+    def __init__(
+        self,
+        engine: str = "mmqjp",
+        view_cache_size: Optional[int] = None,
+        construct_outputs: bool = True,
+        stream_history: int = 0,
+    ):
+        self.engine_name = engine
+        self.engine = _make_engine(engine, view_cache_size)
+        self.construct_outputs = construct_outputs
+        self.streams = StreamRegistry(history_size=stream_history)
+        self._subscriptions: dict[str, Subscription] = {}
+        self._filter_evaluator = XPathEvaluator()
+        self._filter_subscriptions: dict[str, Subscription] = {}
+        self._sub_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # subscriptions
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        query: Union[str, XsclQuery],
+        callback: Optional[Callback] = None,
+        window_symbols: Optional[dict[str, float]] = None,
+        subscription_id: Optional[str] = None,
+    ) -> Subscription:
+        """Register a subscription and return its :class:`Subscription` handle."""
+        if isinstance(query, str):
+            query = parse_query(query, window_symbols=window_symbols)
+        sid = subscription_id if subscription_id is not None else f"sub{next(self._sub_counter)}"
+        if sid in self._subscriptions:
+            raise ValueError(f"subscription id {sid!r} already exists")
+        subscription = Subscription(subscription_id=sid, query=query, callback=callback)
+
+        if query.is_join_query:
+            self.engine.register_query(query, qid=sid)
+        else:
+            # Single-block filter subscription: register its pattern with the
+            # broker's own Stage 1 evaluator.
+            self._filter_evaluator.register_pattern(query.left.pattern)
+            self._filter_subscriptions[sid] = subscription
+        self._subscriptions[sid] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        """Deactivate a subscription (its query stays registered but is muted)."""
+        subscription = self._subscriptions.get(subscription_id)
+        if subscription is not None:
+            subscription.active = False
+
+    def subscription(self, subscription_id: str) -> Subscription:
+        """Return a subscription handle by id."""
+        return self._subscriptions[subscription_id]
+
+    @property
+    def subscriptions(self) -> list[Subscription]:
+        """All subscriptions, in registration order."""
+        return list(self._subscriptions.values())
+
+    # ------------------------------------------------------------------ #
+    # publishing
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        document: Union[str, XmlDocument],
+        timestamp: Optional[float] = None,
+        stream: Optional[str] = None,
+    ) -> list[SubscriptionResult]:
+        """Publish one document and deliver all resulting matches.
+
+        Returns the deliveries made for this document (also pushed to the
+        subscriber callbacks).
+        """
+        if isinstance(document, str):
+            document = parse_document(document)
+        if stream is not None:
+            document.stream = stream
+        if timestamp is not None:
+            document.timestamp = float(timestamp)
+        self.streams.get_or_create(document.stream).record(document)
+
+        deliveries: list[SubscriptionResult] = []
+        deliveries.extend(self._deliver_filters(document))
+
+        matches = self.engine.process_document(document)
+        for match in matches:
+            subscription = self._subscriptions.get(match.qid)
+            if subscription is None or not subscription.active:
+                continue
+            output = None
+            if self.construct_outputs:
+                output = self.engine.output_document(match)
+            result = SubscriptionResult(
+                subscription_id=match.qid, match=match, output=output
+            )
+            subscription.deliver(result)
+            deliveries.append(result)
+        return deliveries
+
+    def publish_stream(
+        self, documents: Iterable[Union[str, XmlDocument]]
+    ) -> list[SubscriptionResult]:
+        """Publish a sequence of documents; returns all deliveries."""
+        out: list[SubscriptionResult] = []
+        for document in documents:
+            out.extend(self.publish(document))
+        return out
+
+    def _deliver_filters(self, document: XmlDocument) -> list[SubscriptionResult]:
+        if not self._filter_subscriptions:
+            return []
+        witnesses = self._filter_evaluator.evaluate(document)
+        deliveries: list[SubscriptionResult] = []
+        for sid, subscription in self._filter_subscriptions.items():
+            if not subscription.active:
+                continue
+            root_var = subscription.query.left.root_variable
+            block_vars = subscription.query.left.variables()
+            matched_var = root_var if root_var is not None else (block_vars[0] if block_vars else None)
+            if matched_var is not None and witnesses.var_nodes.get(matched_var):
+                result = SubscriptionResult(subscription_id=sid, document=document)
+                subscription.deliver(result)
+                deliveries.append(result)
+        return deliveries
+
+    # ------------------------------------------------------------------ #
+    # stats
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Broker-level statistics (streams, subscriptions, engine stats)."""
+        return {
+            "engine": self.engine_name,
+            "streams": self.streams.stats(),
+            "num_subscriptions": len(self._subscriptions),
+            "num_filter_subscriptions": len(self._filter_subscriptions),
+            "engine_stats": self.engine.stats().__dict__,
+        }

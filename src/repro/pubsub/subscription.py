@@ -1,0 +1,73 @@
+"""Subscriptions: a registered query plus its delivery callback."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.results import Match
+from repro.xmlmodel.document import XmlDocument
+from repro.xscl.ast import XsclQuery
+
+
+@dataclass
+class SubscriptionResult:
+    """One delivery to a subscriber.
+
+    For join queries ``match`` carries the document pair and bindings and
+    ``output`` the constructed output document (when available).  For simple
+    filter subscriptions ``document`` is the matching input document.
+    """
+
+    subscription_id: str
+    document: Optional[XmlDocument] = None
+    match: Optional[Match] = None
+    output: Optional[XmlDocument] = None
+
+
+#: Type of subscriber callbacks.
+Callback = Callable[[SubscriptionResult], None]
+
+
+@dataclass
+class Subscription:
+    """A registered subscription.
+
+    Attributes
+    ----------
+    subscription_id:
+        The broker-assigned id (also the engine query id for join queries).
+    query:
+        The parsed XSCL query.
+    callback:
+        Called once per match; ``None`` means results are only collected in
+        :attr:`results`.
+    active:
+        Inactive subscriptions are kept registered but receive no deliveries.
+    results:
+        All deliveries made so far (also kept when a callback is set).
+    """
+
+    subscription_id: str
+    query: XsclQuery
+    callback: Optional[Callback] = None
+    active: bool = True
+    results: list[SubscriptionResult] = field(default_factory=list)
+
+    @property
+    def is_join_subscription(self) -> bool:
+        """True when the subscription is an inter-document (join) query."""
+        return self.query.is_join_query
+
+    def deliver(self, result: SubscriptionResult) -> None:
+        """Record a result and invoke the callback (if any and if active)."""
+        if not self.active:
+            return
+        self.results.append(result)
+        if self.callback is not None:
+            self.callback(result)
+
+    @property
+    def num_results(self) -> int:
+        """Number of deliveries made so far."""
+        return len(self.results)

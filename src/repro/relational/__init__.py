@@ -1,0 +1,47 @@
+"""In-memory relational engine substrate.
+
+The MMQJP Join Processor (paper Section 4) maps multi-query join processing
+into a relational framework.  The original system used Microsoft SQL Server
+2005 as the back end; this package provides a from-scratch, in-memory
+replacement with exactly the pieces the paper needs:
+
+* :class:`~repro.relational.schema.RelationSchema` and
+  :class:`~repro.relational.relation.Relation` — named, typed-by-convention
+  relations over Python tuples.
+* :mod:`~repro.relational.operators` — selection, projection, natural and
+  equi hash joins, semi/anti joins, set operations.
+* :class:`~repro.relational.index.HashIndex` — hash indexes on attribute
+  subsets, used for witness lookup and the view cache.
+* :class:`~repro.relational.database.Database` — a tiny catalog of named
+  relations (the join state lives here).
+* :mod:`~repro.relational.conjunctive` — Datalog-style conjunctive queries
+  and their evaluator; the per-template queries ``CQT`` of Section 4.4 are
+  instances of :class:`~repro.relational.conjunctive.ConjunctiveQuery`.
+* :mod:`~repro.relational.sql` — renders conjunctive queries as SQL text,
+  mirroring the paper's "XSCL translator" that emitted SQL Server queries.
+"""
+
+from repro.relational.schema import RelationSchema, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.index import HashIndex
+from repro.relational.database import Database
+from repro.relational.terms import Var, Const, term
+from repro.relational.conjunctive import Atom, ConjunctiveQuery, evaluate_conjunctive
+from repro.relational import operators
+from repro.relational.sql import render_sql
+
+__all__ = [
+    "RelationSchema",
+    "SchemaError",
+    "Relation",
+    "HashIndex",
+    "Database",
+    "Var",
+    "Const",
+    "term",
+    "Atom",
+    "ConjunctiveQuery",
+    "evaluate_conjunctive",
+    "operators",
+    "render_sql",
+]

@@ -1,0 +1,301 @@
+"""Conjunctive (Datalog-style) queries and their evaluator.
+
+The paper expresses the per-template multi-query join ``CQT`` (Section 4.4)
+as a Datalog rule over the witness relations and the template relation
+``RT``.  This module provides:
+
+* :class:`Atom` — a positional atom ``R(t1, ..., tn)`` whose terms are
+  :class:`~repro.relational.terms.Var` or
+  :class:`~repro.relational.terms.Const`.
+* :class:`ConjunctiveQuery` — a head atom plus a body (a list of atoms).
+* :func:`evaluate_conjunctive` — a hash-join based evaluator with a simple
+  size-driven greedy join order (or the caller-provided order).
+
+The evaluator treats repeated variables within and across atoms as equality
+constraints, exactly like Datalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, SchemaError
+from repro.relational.terms import Const, Var, term
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A positional atom ``relation(term_1, ..., term_n)``.
+
+    ``terms`` correspond positionally to the relation's schema attributes.
+    """
+
+    relation: str
+    terms: tuple
+
+    def __init__(self, relation: str, terms: Sequence):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(term(t) for t in terms))
+
+    @property
+    def variables(self) -> list[Var]:
+        """The variables occurring in this atom (with repetitions)."""
+        return [t for t in self.terms if isinstance(t, Var)]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+@dataclass
+class ConjunctiveQuery:
+    """A conjunctive query ``head :- body``.
+
+    ``head_schema`` names the output attributes; ``head_terms`` say what to
+    put in each output column (a body variable or a constant).
+    """
+
+    head_name: str
+    head_schema: Sequence[str]
+    head_terms: Sequence
+    body: list[Atom] = field(default_factory=list)
+    distinct: bool = True
+
+    def __post_init__(self) -> None:
+        self.head_schema = tuple(self.head_schema)
+        self.head_terms = tuple(term(t) for t in self.head_terms)
+        if len(self.head_schema) != len(self.head_terms):
+            raise SchemaError("head schema and head terms must have the same arity")
+
+    def add_atom(self, relation: str, terms: Sequence) -> Atom:
+        """Append an atom to the body and return it."""
+        atom = Atom(relation, terms)
+        self.body.append(atom)
+        return atom
+
+    @property
+    def variables(self) -> set[str]:
+        """Names of all variables used in the body."""
+        out: set[str] = set()
+        for atom in self.body:
+            out.update(v.name for v in atom.variables)
+        return out
+
+    def __repr__(self) -> str:
+        head = f"{self.head_name}({', '.join(self.head_schema)})"
+        body = ", ".join(repr(a) for a in self.body)
+        return f"{head} :- {body}"
+
+
+# --------------------------------------------------------------------------- #
+# evaluation
+# --------------------------------------------------------------------------- #
+def _atom_matches(atom: Atom, relation: Relation) -> None:
+    if len(atom.terms) != len(relation.schema):
+        raise SchemaError(
+            f"atom {atom!r} has arity {len(atom.terms)} but relation "
+            f"{relation.name or atom.relation!r} has arity {len(relation.schema)}"
+        )
+
+
+def _estimate_fanout(atom: Atom, relation: Relation, bound: set[str]) -> float:
+    """Estimate how many rows of ``relation`` match one partial solution.
+
+    The estimate is ``|R| / prod(ndv(column))`` over the columns that are
+    already constrained (by a constant or an already-bound variable) —  the
+    textbook independence/uniformity assumption.  It only needs per-column
+    distinct counts, so the join order can be chosen before any evaluation.
+    """
+    rows = len(relation)
+    if rows == 0:
+        return 0.0
+    denominator = 1.0
+    for column, term in enumerate(atom.terms):
+        constrained = isinstance(term, Const) or (
+            isinstance(term, Var) and term.name in bound
+        )
+        if constrained:
+            denominator *= max(1, relation.distinct_count(column))
+    return rows / denominator
+
+
+def _choose_order(
+    body: Sequence[Atom], relations: Mapping[str, Relation]
+) -> list[Atom]:
+    """Greedy join order by minimum estimated fan-out.
+
+    At each step the atom expected to multiply the intermediate result the
+    least is chosen (ties broken by relation size, then body position).
+    This keeps the per-template conjunctive queries from exploding on
+    workloads where the value join alone is unselective: the template
+    relation ``RT`` is pulled in as soon as enough of its columns are bound
+    to make it selective, which then constrains the remaining witness atoms.
+    """
+    remaining = list(body)
+    if not remaining:
+        return []
+    ordered: list[Atom] = []
+    bound: set[str] = set()
+
+    while remaining:
+        def cost(atom: Atom) -> tuple:
+            relation = relations[atom.relation]
+            return (
+                _estimate_fanout(atom, relation, bound),
+                len(relation),
+                body.index(atom),
+            )
+
+        nxt = min(remaining, key=cost)
+        ordered.append(nxt)
+        remaining.remove(nxt)
+        bound.update(v.name for v in nxt.variables)
+    return ordered
+
+
+def _join_atom(
+    solutions: list[tuple],
+    var_order: list[str],
+    atom: Atom,
+    relation: Relation,
+) -> tuple[list[tuple], list[str]]:
+    """Join the current solution set with one atom (hash join)."""
+    var_pos = {v: i for i, v in enumerate(var_order)}
+
+    const_checks: list[tuple[int, object]] = []
+    join_cols: list[tuple[int, int]] = []      # (column in row, position in solution)
+    new_vars: list[tuple[int, str]] = []       # (column in row, new variable name)
+    within_atom_eq: list[tuple[int, int]] = [] # equal columns for repeated new vars
+    seen_new: dict[str, int] = {}
+
+    for col, t in enumerate(atom.terms):
+        if isinstance(t, Const):
+            const_checks.append((col, t.value))
+        else:
+            name = t.name
+            if name in var_pos:
+                join_cols.append((col, var_pos[name]))
+            elif name in seen_new:
+                within_atom_eq.append((col, seen_new[name]))
+            else:
+                seen_new[name] = col
+                new_vars.append((col, name))
+
+    # Hash the relation rows by the join-key columns.
+    buckets: dict[tuple, list[tuple]] = {}
+    for row in relation.rows:
+        ok = all(row[c] == v for c, v in const_checks)
+        if ok:
+            ok = all(row[c] == row[c2] for c, c2 in within_atom_eq)
+        if not ok:
+            continue
+        key = tuple(row[c] for c, _ in join_cols)
+        buckets.setdefault(key, []).append(row)
+
+    new_var_order = var_order + [name for _, name in new_vars]
+    new_solutions: list[tuple] = []
+    if not var_order and not join_cols:
+        # First atom (or a cartesian step against an empty binding set).
+        base = solutions if solutions else [()]
+        for sol in base:
+            for rows in buckets.values():
+                for row in rows:
+                    new_solutions.append(sol + tuple(row[c] for c, _ in new_vars))
+        return new_solutions, new_var_order
+
+    for sol in solutions:
+        key = tuple(sol[pos] for _, pos in join_cols)
+        for row in buckets.get(key, ()):
+            new_solutions.append(sol + tuple(row[c] for c, _ in new_vars))
+    return new_solutions, new_var_order
+
+
+def evaluate_conjunctive(
+    query: ConjunctiveQuery,
+    relations: Mapping[str, Relation],
+    order: str | Sequence[Atom] = "greedy",
+) -> Relation:
+    """Evaluate ``query`` against ``relations`` and return the head relation.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query to evaluate.
+    relations:
+        A mapping (or :class:`~repro.relational.database.Database`) from
+        relation name to :class:`Relation`.
+    order:
+        ``"greedy"`` (default) for the built-in size-driven greedy join
+        order, ``"given"`` to join atoms in the order they appear in the
+        body, or an explicit sequence of the body's atoms.
+    """
+    lookup = relations.get if hasattr(relations, "get") else relations.__getitem__
+
+    def rel_of(atom: Atom) -> Relation:
+        rel = lookup(atom.relation) if hasattr(relations, "get") else lookup(atom.relation)
+        if rel is None:
+            raise SchemaError(f"unknown relation {atom.relation!r} in conjunctive query")
+        _atom_matches(atom, rel)
+        return rel
+
+    rel_map = {atom.relation: rel_of(atom) for atom in query.body}
+
+    if isinstance(order, str):
+        if order == "greedy":
+            ordered = _choose_order(query.body, rel_map)
+        elif order == "given":
+            ordered = list(query.body)
+        else:
+            raise ValueError(f"unknown join order strategy {order!r}")
+    else:
+        ordered = list(order)
+        if sorted(map(id, ordered)) != sorted(map(id, query.body)):
+            raise ValueError("explicit order must be a permutation of the query body")
+
+    solutions: list[tuple] = []
+    var_order: list[str] = []
+    first = True
+    for atom in ordered:
+        relation = rel_map[atom.relation]
+        if first:
+            solutions, var_order = _join_atom([], [], atom, relation)
+            first = False
+        else:
+            solutions, var_order = _join_atom(solutions, var_order, atom, relation)
+        if not solutions:
+            break
+
+    # Project the head.
+    var_pos = {v: i for i, v in enumerate(var_order)}
+    out = Relation(RelationSchema(query.head_schema), name=query.head_name)
+    if first:
+        # Empty body: the head is a single row of constants (if all terms are consts).
+        if all(isinstance(t, Const) for t in query.head_terms):
+            out.rows.append(tuple(t.value for t in query.head_terms))
+        return out
+    if not solutions:
+        # Some atom had no matching rows; the result is empty regardless of
+        # which head variables happened to be bound before the evaluation
+        # short-circuited.
+        return out
+
+    head_cols: list = []
+    for t in query.head_terms:
+        if isinstance(t, Const):
+            head_cols.append(("const", t.value))
+        else:
+            if t.name not in var_pos:
+                raise SchemaError(f"head variable {t.name!r} is not bound by the body")
+            head_cols.append(("var", var_pos[t.name]))
+
+    seen: set[tuple] = set()
+    for sol in solutions:
+        row = tuple(v if kind == "const" else sol[v] for kind, v in head_cols)
+        if query.distinct:
+            if row in seen:
+                continue
+            seen.add(row)
+        out.rows.append(row)
+    return out

@@ -1,0 +1,59 @@
+"""A minimal catalog of named relations.
+
+The MMQJP join state (``Rbin``, ``Rdoc``, ``RdocTS``) and the per-template
+relations (``RT``) live in a :class:`Database`, mirroring how the paper keeps
+them as SQL Server tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, SchemaError
+
+
+class Database:
+    """A named collection of relations."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+
+    def create(self, name: str, schema: RelationSchema | Sequence[str]) -> Relation:
+        """Create an empty relation called ``name``; error if it already exists."""
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists")
+        rel = Relation(schema, name=name)
+        self._relations[name] = rel
+        return rel
+
+    def create_or_replace(self, name: str, relation: Relation) -> Relation:
+        """Register ``relation`` under ``name``, replacing any existing one."""
+        relation.name = name
+        self._relations[name] = relation
+        return relation
+
+    def get(self, name: str) -> Relation:
+        """Return the relation called ``name`` (KeyError-style SchemaError if missing)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        """Remove the relation called ``name`` if present."""
+        self._relations.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def names(self) -> list[str]:
+        """All registered relation names."""
+        return list(self._relations)
+
+    def total_rows(self) -> int:
+        """Total number of stored rows across all relations (for stats/tests)."""
+        return sum(len(r) for r in self._relations.values())

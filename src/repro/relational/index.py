@@ -1,0 +1,68 @@
+"""Hash indexes over relations.
+
+The view cache of Section 5 (slices of ``RL`` keyed on string value) and the
+witness lookup paths both need fast equality lookup on one or more
+attributes; :class:`HashIndex` provides that.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.relational.relation import Relation
+
+
+class HashIndex:
+    """A hash index mapping key-attribute values to the rows containing them.
+
+    The index is a snapshot: it indexes the rows present in the relation when
+    it is built (or when :meth:`add_row` is called).  It does not observe
+    later mutations of the underlying relation.
+
+    Parameters
+    ----------
+    relation:
+        The relation to index.
+    attributes:
+        The key attributes (order matters for composite keys).
+    """
+
+    __slots__ = ("schema", "attributes", "_key_idx", "_buckets")
+
+    def __init__(self, relation: Relation, attributes: Sequence[str]):
+        self.schema = relation.schema
+        self.attributes = tuple(attributes)
+        self._key_idx = relation.schema.indexes_of(attributes)
+        self._buckets: dict[tuple, list[tuple]] = defaultdict(list)
+        for row in relation.rows:
+            self._buckets[self._key(row)].append(row)
+
+    def _key(self, row: Sequence) -> tuple:
+        return tuple(row[i] for i in self._key_idx)
+
+    def add_row(self, row: Sequence) -> None:
+        """Index an additional row (the caller keeps relation/index in sync)."""
+        self._buckets[self._key(tuple(row))].append(tuple(row))
+
+    def lookup(self, *key_values) -> list[tuple]:
+        """Return the rows whose key attributes equal ``key_values``."""
+        return self._buckets.get(tuple(key_values), [])
+
+    def lookup_relation(self, *key_values, name: str = "") -> Relation:
+        """Like :meth:`lookup`, but wrap the result in a :class:`Relation`."""
+        out = Relation(self.schema, name=name)
+        out.rows = list(self.lookup(*key_values))
+        return out
+
+    def keys(self) -> Iterable[tuple]:
+        """All distinct key values present in the index."""
+        return self._buckets.keys()
+
+    def __contains__(self, key: tuple) -> bool:
+        if not isinstance(key, tuple):
+            key = (key,)
+        return key in self._buckets
+
+    def __len__(self) -> int:
+        return len(self._buckets)

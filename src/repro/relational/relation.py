@@ -1,0 +1,182 @@
+"""Relations: a schema plus a bag of tuples.
+
+Relations are deliberately simple — a list of plain Python tuples — because
+the join state of the MMQJP engine (``Rbin``, ``Rdoc``, ``RdocTS`` and the
+per-document witness relations) is rebuilt and scanned constantly; plain
+tuples keep that cheap and keep hashing (for joins and distinct) trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.relational.schema import RelationSchema, SchemaError
+
+
+class Relation:
+    """A named relation: a :class:`RelationSchema` and a bag of tuples.
+
+    Tuples are stored in insertion order.  Duplicate tuples are allowed
+    (bag semantics); use :meth:`distinct` for set semantics.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema, or a sequence of attribute names.
+    rows:
+        Optional initial rows.  Each row must have the schema's arity.
+    name:
+        Optional relation name used in error messages and SQL rendering.
+    """
+
+    __slots__ = ("schema", "rows", "name", "_ndv_cache")
+
+    def __init__(
+        self,
+        schema: RelationSchema | Sequence[str],
+        rows: Iterable[Sequence] = (),
+        name: str = "",
+    ):
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        self.schema = schema
+        self.name = name
+        self.rows: list[tuple] = []
+        self._ndv_cache: dict[int, tuple[int, int]] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Two relations are equal when schema and the *set* of rows agree."""
+        if isinstance(other, Relation):
+            return self.schema == other.schema and sorted(
+                map(repr, self.rows)
+            ) == sorted(map(repr, other.rows))
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - relations are mutable
+        raise TypeError("Relation objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        label = self.name or "Relation"
+        return f"<{label}{list(self.schema.attributes)} with {len(self.rows)} rows>"
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, row: Sequence) -> None:
+        """Append a single row (validated against the schema arity)."""
+        t = tuple(row)
+        if len(t) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(t)} does not match schema arity {len(self.schema)} "
+                f"for relation {self.name or '<anonymous>'}"
+            )
+        self.rows.append(t)
+
+    def insert_many(self, rows: Iterable[Sequence]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    def insert_dict(self, values: dict[str, object]) -> None:
+        """Append a row given as an attribute-name → value mapping."""
+        try:
+            row = tuple(values[a] for a in self.schema.attributes)
+        except KeyError as exc:
+            raise SchemaError(f"missing attribute {exc.args[0]!r} in row values") from None
+        self.rows.append(row)
+
+    def clear(self) -> None:
+        """Remove all rows."""
+        self.rows.clear()
+
+    def extend(self, other: "Relation") -> None:
+        """Append all rows of ``other`` (schemas must match exactly)."""
+        if other.schema != self.schema:
+            raise SchemaError(
+                f"cannot extend relation with schema {self.schema} "
+                f"from relation with schema {other.schema}"
+            )
+        self.rows.extend(other.rows)
+
+    # ------------------------------------------------------------------ #
+    # row access helpers
+    # ------------------------------------------------------------------ #
+    def column(self, attribute: str) -> list:
+        """Return the values of one column, in row order."""
+        i = self.schema.index_of(attribute)
+        return [row[i] for row in self.rows]
+
+    def row_dicts(self) -> Iterator[dict[str, object]]:
+        """Iterate rows as attribute-name → value dictionaries."""
+        attrs = self.schema.attributes
+        for row in self.rows:
+            yield dict(zip(attrs, row))
+
+    def value(self, row: Sequence, attribute: str):
+        """Return the value of ``attribute`` within ``row``."""
+        return row[self.schema.index_of(attribute)]
+
+    def distinct_count(self, column_index: int) -> int:
+        """Number of distinct values in one column (cached per row count).
+
+        Used by the conjunctive-query optimizer to estimate join fan-out.
+        The cache entry is invalidated whenever the row count changes, which
+        is sufficient for the append-only relations the engine maintains.
+        """
+        cached = self._ndv_cache.get(column_index)
+        if cached is not None and cached[0] == len(self.rows):
+            return cached[1]
+        count = len({row[column_index] for row in self.rows})
+        self._ndv_cache[column_index] = (len(self.rows), count)
+        return count
+
+    # ------------------------------------------------------------------ #
+    # derived relations (non-mutating)
+    # ------------------------------------------------------------------ #
+    def copy(self, name: str | None = None) -> "Relation":
+        """Return a shallow copy (rows are immutable tuples, so this is safe)."""
+        out = Relation(self.schema, name=name if name is not None else self.name)
+        out.rows = list(self.rows)
+        return out
+
+    def distinct(self, name: str | None = None) -> "Relation":
+        """Return a copy with duplicate rows removed (first occurrence kept)."""
+        seen: set[tuple] = set()
+        out = Relation(self.schema, name=name if name is not None else self.name)
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                out.rows.append(row)
+        return out
+
+    def where(self, predicate: Callable[[dict[str, object]], bool]) -> "Relation":
+        """Return the rows for which ``predicate`` (on a row dict) is true."""
+        attrs = self.schema.attributes
+        out = Relation(self.schema, name=self.name)
+        for row in self.rows:
+            if predicate(dict(zip(attrs, row))):
+                out.rows.append(row)
+        return out
+
+    def sorted_rows(self) -> list[tuple]:
+        """Return the rows sorted by their repr (stable, type-agnostic order)."""
+        return sorted(self.rows, key=repr)
+
+    @classmethod
+    def empty_like(cls, other: "Relation", name: str | None = None) -> "Relation":
+        """Return an empty relation with the same schema as ``other``."""
+        return cls(other.schema, name=name if name is not None else other.name)

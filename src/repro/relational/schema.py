@@ -1,0 +1,110 @@
+"""Relation schemas: ordered, named attributes.
+
+A :class:`RelationSchema` is an immutable, ordered sequence of attribute
+names.  Attribute order matters because tuples are stored as plain Python
+tuples; the schema provides the mapping from attribute name to position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or schema mismatches between relations."""
+
+
+class RelationSchema:
+    """An ordered list of attribute names describing a relation's columns.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, in column order.  Names must be non-empty strings
+        and unique within the schema.
+
+    Examples
+    --------
+    >>> s = RelationSchema(["docid", "node", "strVal"])
+    >>> s.index_of("node")
+    1
+    >>> len(s)
+    3
+    """
+
+    __slots__ = ("_attributes", "_positions")
+
+    def __init__(self, attributes: Sequence[str]):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a relation schema needs at least one attribute")
+        positions: dict[str, int] = {}
+        for i, name in enumerate(attrs):
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"attribute name must be a non-empty string, got {name!r}")
+            if name in positions:
+                raise SchemaError(f"duplicate attribute name {name!r}")
+            positions[name] = i
+        self._attributes = attrs
+        self._positions = positions
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names, in column order."""
+        return self._attributes
+
+    def index_of(self, attribute: str) -> int:
+        """Return the column position of ``attribute``.
+
+        Raises :class:`SchemaError` if the attribute is not part of the schema.
+        """
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema {self._attributes}"
+            ) from None
+
+    def indexes_of(self, attributes: Iterable[str]) -> tuple[int, ...]:
+        """Return the column positions of several attributes, in the given order."""
+        return tuple(self.index_of(a) for a in attributes)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RelationSchema):
+            return self._attributes == other._attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({list(self._attributes)!r})"
+
+    def project(self, attributes: Sequence[str]) -> "RelationSchema":
+        """Return a new schema containing only ``attributes`` (in that order)."""
+        for a in attributes:
+            self.index_of(a)
+        return RelationSchema(attributes)
+
+    def rename(self, mapping: dict[str, str]) -> "RelationSchema":
+        """Return a new schema with attributes renamed according to ``mapping``.
+
+        Attributes not present in ``mapping`` keep their names.
+        """
+        return RelationSchema([mapping.get(a, a) for a in self._attributes])
+
+    def concat(self, other: "RelationSchema") -> "RelationSchema":
+        """Return the schema of the concatenation (e.g. a cartesian product).
+
+        Raises :class:`SchemaError` on attribute name collisions.
+        """
+        return RelationSchema(self._attributes + other.attributes)

@@ -1,0 +1,84 @@
+"""Render conjunctive queries as SQL text.
+
+The paper's prototype translated XSCL queries into SQL and shipped them to
+SQL Server.  We evaluate conjunctive queries in-process instead, but this
+module preserves the translator so a user can inspect (or export) the SQL
+that corresponds to each query template.
+"""
+
+from __future__ import annotations
+
+from repro.relational.conjunctive import Atom, ConjunctiveQuery
+from repro.relational.terms import Const, Var
+
+
+def _sql_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        if value == float("inf"):
+            return "'infinity'"
+        return str(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def render_sql(
+    query: ConjunctiveQuery,
+    schemas: dict[str, list[str]] | None = None,
+) -> str:
+    """Render ``query`` as a SQL ``SELECT`` statement.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query to render.
+    schemas:
+        Optional mapping from relation name to its attribute names.  When
+        omitted, positional pseudo-columns ``c0, c1, ...`` are used.
+
+    Returns
+    -------
+    str
+        A SQL statement of the form ``SELECT ... FROM R AS t0, ... WHERE ...``.
+    """
+    aliases: list[tuple[str, Atom]] = []
+    for i, atom in enumerate(query.body):
+        aliases.append((f"t{i}", atom))
+
+    def column(alias: str, atom: Atom, position: int) -> str:
+        if schemas and atom.relation in schemas:
+            return f"{alias}.{schemas[atom.relation][position]}"
+        return f"{alias}.c{position}"
+
+    # Where clauses: variable co-occurrence + constants.
+    first_occurrence: dict[str, str] = {}
+    conditions: list[str] = []
+    for alias, atom in aliases:
+        for pos, t in enumerate(atom.terms):
+            col = column(alias, atom, pos)
+            if isinstance(t, Const):
+                conditions.append(f"{col} = {_sql_literal(t.value)}")
+            elif isinstance(t, Var):
+                if t.name in first_occurrence:
+                    conditions.append(f"{col} = {first_occurrence[t.name]}")
+                else:
+                    first_occurrence[t.name] = col
+
+    select_items: list[str] = []
+    for out_name, t in zip(query.head_schema, query.head_terms):
+        if isinstance(t, Const):
+            select_items.append(f"{_sql_literal(t.value)} AS {out_name}")
+        else:
+            if t.name not in first_occurrence:
+                raise ValueError(f"head variable {t.name!r} is not bound in the body")
+            select_items.append(f"{first_occurrence[t.name]} AS {out_name}")
+
+    distinct = "DISTINCT " if query.distinct else ""
+    from_clause = ", ".join(f"{atom.relation} AS {alias}" for alias, atom in aliases)
+    sql = f"SELECT {distinct}{', '.join(select_items)}\nFROM {from_clause}"
+    if conditions:
+        sql += "\nWHERE " + "\n  AND ".join(conditions)
+    return sql

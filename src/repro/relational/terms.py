@@ -1,0 +1,39 @@
+"""Terms used in conjunctive-query atoms: variables and constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logical variable in a conjunctive query (identified by name)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant value in a conjunctive query."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+def term(value) -> Var | Const:
+    """Coerce a value into a term.
+
+    Strings starting with ``"?"`` become variables named by the remainder;
+    existing :class:`Var`/:class:`Const` instances pass through; everything
+    else becomes a constant.
+    """
+    if isinstance(value, (Var, Const)):
+        return value
+    if isinstance(value, str) and value.startswith("?") and len(value) > 1:
+        return Var(value[1:])
+    return Const(value)

@@ -1,0 +1,45 @@
+"""Query templates — the key to sharing join work across queries (Sections 4.1–4.2).
+
+An XSCL query's *join graph* combines the variable tree patterns of its two
+blocks (structural edges) with its equality predicates (value-join edges).
+Its *query template* is the isomorphism class of the graph-minor reduction
+of that join graph.  All queries belonging to the same template are
+evaluated at once by a single relational conjunctive query (``CQT``).
+
+This package provides:
+
+* :mod:`~repro.templates.join_graph` — join graphs of XSCL queries.
+* :mod:`~repro.templates.minor` — the graph-minor reduction rules.
+* :mod:`~repro.templates.template` — template objects and isomorphism
+  matching (meta-variable assignment).
+* :mod:`~repro.templates.registry` — the template registry: partitions the
+  query set into template equivalence classes and maintains the per-template
+  relation ``RT``.
+* :mod:`~repro.templates.cqt` — construction of the per-template conjunctive
+  query, in both the base form (Section 4.4) and the view-materialized form
+  (Section 5).
+* :mod:`~repro.templates.enumerate` — exhaustive enumeration of the possible
+  templates for a given number of value joins (Table 3).
+"""
+
+from repro.templates.join_graph import JoinGraph, Side
+from repro.templates.minor import ReducedJoinGraph, reduce_join_graph
+from repro.templates.template import QueryTemplate, TemplateAssignment
+from repro.templates.registry import TemplateRegistry
+from repro.templates.cqt import build_cqt, build_cqt_materialized, RELATION_SCHEMAS
+from repro.templates.enumerate import count_templates, enumerate_template_queries
+
+__all__ = [
+    "JoinGraph",
+    "Side",
+    "ReducedJoinGraph",
+    "reduce_join_graph",
+    "QueryTemplate",
+    "TemplateAssignment",
+    "TemplateRegistry",
+    "build_cqt",
+    "build_cqt_materialized",
+    "RELATION_SCHEMAS",
+    "count_templates",
+    "enumerate_template_queries",
+]

@@ -1,0 +1,160 @@
+"""Construction of the per-template conjunctive query ``CQT`` (Sections 4.3–4.4, 5).
+
+For a query template the conjunctive query joins:
+
+* level L1 — copies of ``Rdoc`` / ``RdocW`` (string values), one pair per
+  value-join edge, joined on the string value;
+* level L2 — copies of ``Rbin`` / ``RbinW`` (structural-edge witnesses), one
+  per structural edge of the template;
+* level L3 — the template relation ``RT`` (one tuple per registered query).
+
+Template nodes with no incident structural edge (which happens when a block
+contributes a single value-join leaf, so the reduction spliced out its root)
+additionally get a unary ``Rvar`` / ``RvarW`` atom.  This carries the
+variable identity that the paper's ``Rdoc`` relation alone cannot, keeping
+the multi-query evaluation exactly equivalent to per-query evaluation.
+
+:func:`build_cqt_materialized` produces the Section 5 variant over the
+materialized views ``RL`` / ``RR`` (and their unary analogues) instead of
+the raw witness relations.
+"""
+
+from __future__ import annotations
+
+from repro.relational.conjunctive import ConjunctiveQuery
+from repro.relational.terms import Var
+from repro.templates.join_graph import Side
+from repro.templates.template import QueryTemplate
+
+#: Schemas of the shared witness/state relations (attribute names in order).
+RELATION_SCHEMAS: dict[str, list[str]] = {
+    "Rdoc": ["docid", "node", "strVal"],
+    "RdocW": ["node", "strVal"],
+    "Rbin": ["docid", "var1", "var2", "node1", "node2"],
+    "RbinW": ["var1", "var2", "node1", "node2"],
+    "Rvar": ["docid", "var", "node"],
+    "RvarW": ["var", "node"],
+    "RdocTS": ["docid", "timestamp"],
+    "RdocTSW": ["docid", "timestamp"],
+    # Materialized views (Section 5).
+    "Rvj": ["docid", "node1", "node2", "strVal"],
+    "RL": ["docid", "var1", "var2", "node1", "node2", "strVal"],
+    "RR": ["var1", "var2", "node1", "node2", "strVal"],
+    "RLvar": ["docid", "var", "node", "strVal"],
+    "RRvar": ["var", "node", "strVal"],
+}
+
+
+def _node_var(meta: str) -> Var:
+    return Var(f"n_{meta}")
+
+
+def _name_var(meta: str) -> Var:
+    return Var(f"mv_{meta}")
+
+
+def _head(template: QueryTemplate) -> tuple[list[str], list[Var]]:
+    schema = ["qid", "docid1"] + [f"node_{meta}" for meta in template.meta_order] + ["wl"]
+    terms = [Var("qid"), Var("docid")] + [_node_var(m) for m in template.meta_order] + [Var("wl")]
+    return schema, terms
+
+
+def _rt_atom_terms(template: QueryTemplate) -> list[Var]:
+    return [Var("qid")] + [_name_var(m) for m in template.meta_order] + [Var("wl")]
+
+
+def build_cqt(template: QueryTemplate) -> ConjunctiveQuery:
+    """Build the base conjunctive query of Section 4.4 for ``template``."""
+    head_schema, head_terms = _head(template)
+    cq = ConjunctiveQuery(
+        head_name=template.out_relation_name(),
+        head_schema=head_schema,
+        head_terms=head_terms,
+    )
+
+    # L1: one Rdoc/RdocW pair per value-join edge, joined on the string value.
+    for i, (left_meta, right_meta) in enumerate(template.value_edges):
+        s = Var(f"s_{i}")
+        cq.add_atom("Rdoc", [Var("docid"), _node_var(left_meta), s])
+        cq.add_atom("RdocW", [_node_var(right_meta), s])
+
+    # L2: one Rbin/RbinW atom per structural edge.
+    for parent, child in template.structural_edges:
+        if template.node_sides[parent] is Side.LEFT:
+            cq.add_atom(
+                "Rbin",
+                [Var("docid"), _name_var(parent), _name_var(child),
+                 _node_var(parent), _node_var(child)],
+            )
+        else:
+            cq.add_atom(
+                "RbinW",
+                [_name_var(parent), _name_var(child), _node_var(parent), _node_var(child)],
+            )
+
+    # Unary variable-binding atoms for nodes without structural edges.
+    for meta in template.isolated_meta_vars():
+        if template.node_sides[meta] is Side.LEFT:
+            cq.add_atom("Rvar", [Var("docid"), _name_var(meta), _node_var(meta)])
+        else:
+            cq.add_atom("RvarW", [_name_var(meta), _node_var(meta)])
+
+    # L3: the template relation.
+    cq.add_atom(template.rt_relation_name(), _rt_atom_terms(template))
+    return cq
+
+
+def build_cqt_materialized(template: QueryTemplate) -> ConjunctiveQuery:
+    """Build the Section 5 conjunctive query over the materialized views RL/RR."""
+    head_schema, head_terms = _head(template)
+    cq = ConjunctiveQuery(
+        head_name=template.out_relation_name(),
+        head_schema=head_schema,
+        head_terms=head_terms,
+    )
+
+    covered_struct: set[tuple[str, str]] = set()
+    for i, (left_meta, right_meta) in enumerate(template.value_edges):
+        s = Var(f"s_{i}")
+
+        left_parent = template.structural_parent_of(left_meta)
+        if left_parent is not None:
+            cq.add_atom(
+                "RL",
+                [Var("docid"), _name_var(left_parent), _name_var(left_meta),
+                 _node_var(left_parent), _node_var(left_meta), s],
+            )
+            covered_struct.add((left_parent, left_meta))
+        else:
+            cq.add_atom("RLvar", [Var("docid"), _name_var(left_meta), _node_var(left_meta), s])
+
+        right_parent = template.structural_parent_of(right_meta)
+        if right_parent is not None:
+            cq.add_atom(
+                "RR",
+                [_name_var(right_parent), _name_var(right_meta),
+                 _node_var(right_parent), _node_var(right_meta), s],
+            )
+            covered_struct.add((right_parent, right_meta))
+        else:
+            cq.add_atom("RRvar", [_name_var(right_meta), _node_var(right_meta), s])
+
+    # Structural edges not already carried by an RL/RR atom (e.g. edges
+    # between two internal LCA nodes) still need Rbin/RbinW atoms.
+    for parent, child in template.structural_edges:
+        if (parent, child) in covered_struct:
+            continue
+        if template.node_sides[parent] is Side.LEFT:
+            cq.add_atom(
+                "Rbin",
+                [Var("docid"), _name_var(parent), _name_var(child),
+                 _node_var(parent), _node_var(child)],
+            )
+        else:
+            cq.add_atom(
+                "RbinW",
+                [_name_var(parent), _name_var(child), _node_var(parent), _node_var(child)],
+            )
+
+    cq.add_atom(template.rt_relation_name(), _rt_atom_terms(template))
+    return cq

@@ -1,0 +1,133 @@
+"""Join graphs of XSCL queries (paper Section 4.1, Figure 4).
+
+A join graph has one node per bound variable per query block.  Nodes of the
+same block are connected by *structural edges* following the variable tree
+pattern (each bound variable linked to its closest bound ancestor); the
+equality predicates contribute *value-join edges* between the two blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.xscl.ast import XsclQuery
+from repro.xscl.errors import XsclSemanticsError
+
+
+class Side(enum.Enum):
+    """Which query block a join-graph node belongs to."""
+
+    LEFT = "L"
+    RIGHT = "R"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: A join-graph node: the block side plus the variable name.
+NodeKey = tuple[Side, str]
+
+
+@dataclass
+class JoinGraph:
+    """The join graph of one XSCL query.
+
+    Attributes
+    ----------
+    nodes:
+        All nodes, as ``(side, variable)`` keys.
+    structural_edges:
+        Parent → child edges within a block (closest bound ancestor).
+    value_edges:
+        Value-join edges, always oriented left-block node → right-block node.
+    parents:
+        For each node, its structural parent (or ``None`` for block roots).
+    """
+
+    nodes: set[NodeKey] = field(default_factory=set)
+    structural_edges: list[tuple[NodeKey, NodeKey]] = field(default_factory=list)
+    value_edges: list[tuple[NodeKey, NodeKey]] = field(default_factory=list)
+    parents: dict[NodeKey, NodeKey | None] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_query(cls, query: XsclQuery) -> "JoinGraph":
+        """Build the join graph of an inter-document XSCL query."""
+        if not query.is_join_query:
+            raise XsclSemanticsError("join graphs are only defined for join queries")
+        graph = cls()
+        for side, block in ((Side.LEFT, query.left), (Side.RIGHT, query.right)):
+            pattern = block.pattern
+            for var in pattern.variables():
+                key = (side, var)
+                graph.nodes.add(key)
+                parent_var = pattern.parent_of(var)
+                parent_key = (side, parent_var) if parent_var is not None else None
+                graph.parents[key] = parent_key
+                if parent_key is not None:
+                    graph.structural_edges.append((parent_key, key))
+        for pred in query.join.predicates:
+            left_key = (Side.LEFT, pred.left_var)
+            right_key = (Side.RIGHT, pred.right_var)
+            if left_key not in graph.nodes or right_key not in graph.nodes:
+                raise XsclSemanticsError(
+                    f"value join {pred} refers to variables not bound in the query blocks"
+                )
+            graph.value_edges.append((left_key, right_key))
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # queries over the graph
+    # ------------------------------------------------------------------ #
+    def side_nodes(self, side: Side) -> list[NodeKey]:
+        """All nodes of one block side."""
+        return [n for n in self.nodes if n[0] is side]
+
+    def value_join_participants(self, side: Side) -> list[NodeKey]:
+        """Nodes of ``side`` that appear in at least one value-join edge."""
+        out: list[NodeKey] = []
+        seen: set[NodeKey] = set()
+        for left, right in self.value_edges:
+            node = left if side is Side.LEFT else right
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+        return out
+
+    def ancestors(self, node: NodeKey) -> Iterator[NodeKey]:
+        """Proper ancestors of ``node`` along structural parent links, nearest first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def depth(self, node: NodeKey) -> int:
+        """Structural depth of a node (block root variables have depth 0)."""
+        return sum(1 for _ in self.ancestors(node))
+
+    def lca(self, a: NodeKey, b: NodeKey) -> NodeKey | None:
+        """Least common ancestor of two nodes of the *same* side (or ``None``)."""
+        if a[0] is not b[0]:
+            return None
+        chain_a = [a] + list(self.ancestors(a))
+        chain_b_set = {b} | set(self.ancestors(b))
+        for node in chain_a:
+            if node in chain_b_set:
+                return node
+        return None
+
+    @property
+    def num_value_joins(self) -> int:
+        """Number of value-join edges."""
+        return len(self.value_edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"<JoinGraph {len(self.nodes)} nodes, "
+            f"{len(self.structural_edges)} structural edges, "
+            f"{len(self.value_edges)} value joins>"
+        )

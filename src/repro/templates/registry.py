@@ -1,0 +1,165 @@
+"""The template registry: partitions queries into template equivalence classes.
+
+``TemplateRegistry.add_query`` computes a query's join graph, reduces it
+(graph minor), and either matches it against an existing template or mints a
+new one.  It also maintains, per template, the relation ``RT`` (one tuple
+per query) and the compiled conjunctive queries (base and materialized
+forms), which is everything the Join Processor needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.relational.conjunctive import ConjunctiveQuery
+from repro.relational.relation import Relation
+from repro.templates.cqt import build_cqt, build_cqt_materialized
+from repro.templates.join_graph import JoinGraph
+from repro.templates.minor import ReducedJoinGraph, reduce_join_graph
+from repro.templates.template import QueryTemplate, TemplateAssignment
+from repro.xscl.ast import XsclQuery
+
+
+def _full_graph_as_reduced(join_graph: JoinGraph) -> ReducedJoinGraph:
+    """Wrap a full join graph in the reduced-graph interface (ablation path)."""
+    reduced = ReducedJoinGraph()
+    reduced.nodes = set(join_graph.nodes)
+    reduced.structural_edges = list(join_graph.structural_edges)
+    reduced.value_edges = list(join_graph.value_edges)
+    return reduced
+
+
+@dataclass
+class RegisteredQuery:
+    """Bookkeeping for one registered query."""
+
+    qid: str
+    query: XsclQuery
+    assignment: TemplateAssignment
+    reduced: ReducedJoinGraph
+    window: float
+
+    @property
+    def template(self) -> QueryTemplate:
+        """The template this query belongs to."""
+        return self.assignment.template
+
+
+@dataclass
+class _TemplateEntry:
+    template: QueryTemplate
+    rt: Relation
+    cqt: ConjunctiveQuery
+    cqt_materialized: ConjunctiveQuery
+    query_ids: list[str] = field(default_factory=list)
+
+
+class TemplateRegistry:
+    """Partition registered queries into query templates and maintain RT.
+
+    Parameters
+    ----------
+    use_graph_minor:
+        Apply the Section 4.2 graph-minor reduction before template matching
+        (the default).  Disabling it — templates are then isomorphism classes
+        of the *full* join graphs — is only useful for the ablation study:
+        far fewer queries share a template.
+    """
+
+    def __init__(self, use_graph_minor: bool = True) -> None:
+        self.use_graph_minor = use_graph_minor
+        self._entries: list[_TemplateEntry] = []
+        self._by_signature: dict[tuple, list[_TemplateEntry]] = {}
+        self._queries: dict[str, RegisteredQuery] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add_query(self, qid: str, query: XsclQuery) -> RegisteredQuery:
+        """Register a (canonicalized) join query and return its bookkeeping record."""
+        if qid in self._queries:
+            raise ValueError(f"query id {qid!r} is already registered")
+        join_graph = JoinGraph.from_query(query)
+        if self.use_graph_minor:
+            reduced = reduce_join_graph(join_graph)
+        else:
+            reduced = _full_graph_as_reduced(join_graph)
+
+        assignment = self._match_or_create(reduced)
+        entry = self._entry_of(assignment.template)
+        window = query.join.window
+        entry.rt.insert(assignment.rt_values(qid, window))
+        entry.query_ids.append(qid)
+
+        record = RegisteredQuery(
+            qid=qid, query=query, assignment=assignment, reduced=reduced, window=window
+        )
+        self._queries[qid] = record
+        return record
+
+    def _match_or_create(self, reduced: ReducedJoinGraph) -> TemplateAssignment:
+        from repro.templates.template import _reduced_to_nx, _signature
+
+        signature = _signature(_reduced_to_nx(reduced))
+        for entry in self._by_signature.get(signature, ()):
+            assignment = entry.template.match(reduced)
+            if assignment is not None:
+                return assignment
+
+        template, assignment = QueryTemplate.from_reduced(len(self._entries), reduced)
+        entry = _TemplateEntry(
+            template=template,
+            rt=Relation(template.rt_schema(), name=template.rt_relation_name()),
+            cqt=build_cqt(template),
+            cqt_materialized=build_cqt_materialized(template),
+        )
+        self._entries.append(entry)
+        self._by_signature.setdefault(template.signature, []).append(entry)
+        return assignment
+
+    def _entry_of(self, template: QueryTemplate) -> _TemplateEntry:
+        return self._entries[template.template_id]
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @property
+    def templates(self) -> list[QueryTemplate]:
+        """All templates, in creation order."""
+        return [e.template for e in self._entries]
+
+    @property
+    def num_templates(self) -> int:
+        """Number of distinct templates."""
+        return len(self._entries)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of registered queries."""
+        return len(self._queries)
+
+    def queries(self) -> list[RegisteredQuery]:
+        """All registered query records."""
+        return list(self._queries.values())
+
+    def query(self, qid: str) -> RegisteredQuery:
+        """The record of one registered query."""
+        return self._queries[qid]
+
+    def rt_relation(self, template: QueryTemplate) -> Relation:
+        """The RT relation of ``template`` (one tuple per member query)."""
+        return self._entry_of(template).rt
+
+    def cqt(self, template: QueryTemplate, materialized: bool = False) -> ConjunctiveQuery:
+        """The compiled conjunctive query of ``template``."""
+        entry = self._entry_of(template)
+        return entry.cqt_materialized if materialized else entry.cqt
+
+    def queries_of(self, template: QueryTemplate) -> list[str]:
+        """Query ids belonging to ``template``."""
+        return list(self._entry_of(template).query_ids)
+
+    def template_sizes(self) -> dict[int, int]:
+        """Mapping template id -> number of member queries."""
+        return {e.template.template_id: len(e.query_ids) for e in self._entries}

@@ -1,0 +1,225 @@
+"""Query templates and isomorphism-based template matching (Section 4.1–4.2).
+
+A :class:`QueryTemplate` is the canonical representative of an equivalence
+class of reduced join graphs.  Its nodes are *meta-variables* ``var1 ...
+varM``; a query belongs to the template when its reduced join graph is
+isomorphic to the template graph (respecting block sides and edge kinds),
+and the isomorphism provides the assignment of the query's variable names
+to the template's meta-variables — which becomes the query's tuple in the
+template relation ``RT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+from networkx.algorithms import isomorphism
+
+from repro.templates.join_graph import NodeKey, Side
+from repro.templates.minor import ReducedJoinGraph
+
+#: Edge-kind attribute values in the template graphs.
+STRUCTURAL = "structural"
+VALUE_JOIN = "value_join"
+
+
+def _reduced_to_nx(reduced: ReducedJoinGraph) -> nx.MultiDiGraph:
+    """Encode a reduced join graph as a labelled directed multigraph."""
+    graph = nx.MultiDiGraph()
+    for node in reduced.nodes:
+        graph.add_node(node, side=node[0].value)
+    for parent, child in reduced.structural_edges:
+        graph.add_edge(parent, child, kind=STRUCTURAL)
+    for left, right in reduced.value_edges:
+        graph.add_edge(left, right, kind=VALUE_JOIN)
+    return graph
+
+
+def _signature(graph: nx.MultiDiGraph) -> tuple:
+    """A cheap isomorphism-invariant signature used to bucket templates."""
+    descriptors = []
+    for node, data in graph.nodes(data=True):
+        out_kinds = sorted(d["kind"] for _, _, d in graph.out_edges(node, data=True))
+        in_kinds = sorted(d["kind"] for _, _, d in graph.in_edges(node, data=True))
+        descriptors.append((data["side"], tuple(out_kinds), tuple(in_kinds)))
+    return tuple(sorted(descriptors))
+
+
+def _node_match(a: dict, b: dict) -> bool:
+    return a["side"] == b["side"]
+
+
+def _edge_match(a: dict, b: dict) -> bool:
+    kinds_a = sorted(d["kind"] for d in a.values())
+    kinds_b = sorted(d["kind"] for d in b.values())
+    return kinds_a == kinds_b
+
+
+@dataclass
+class TemplateAssignment:
+    """The result of matching one query against (or into) a template.
+
+    Attributes
+    ----------
+    template:
+        The template the query belongs to.
+    assignment:
+        Mapping from meta-variable name (``var1`` ...) to the query's
+        variable name — the values stored in the query's ``RT`` tuple.
+    """
+
+    template: "QueryTemplate"
+    assignment: dict[str, str]
+
+    def rt_values(self, qid: str, window: float) -> tuple:
+        """The query's tuple for the template relation ``RT``."""
+        return (qid,) + tuple(
+            self.assignment[mv] for mv in self.template.meta_order
+        ) + (window,)
+
+
+@dataclass
+class QueryTemplate:
+    """One query template (an equivalence class of reduced join graphs).
+
+    Attributes
+    ----------
+    template_id:
+        Registry-assigned numeric id; also used to name the template's
+        ``RT`` relation (``RT_<id>``) and output relation (``Rout_<id>``).
+    meta_order:
+        Meta-variable names in canonical order (defines the ``RT`` schema).
+    node_sides:
+        Side of each meta-variable's node.
+    structural_edges / value_edges:
+        Edges between meta-variables.
+    """
+
+    template_id: int
+    meta_order: list[str]
+    node_sides: dict[str, Side]
+    structural_edges: list[tuple[str, str]]
+    value_edges: list[tuple[str, str]]
+    graph: nx.MultiDiGraph = field(repr=False)
+    signature: tuple = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_reduced(cls, template_id: int, reduced: ReducedJoinGraph) -> tuple["QueryTemplate", "TemplateAssignment"]:
+        """Create a template from the reduced join graph of its first query.
+
+        Returns the template plus the assignment of that first query.
+        """
+        parents = reduced.structural_parents()
+
+        def depth(node: NodeKey) -> int:
+            d = 0
+            current = node
+            while current in parents:
+                current = parents[current]
+                d += 1
+            return d
+
+        ordered_nodes = sorted(
+            reduced.nodes, key=lambda n: (n[0].value, depth(n), n[1])
+        )
+        meta_of: dict[NodeKey, str] = {}
+        meta_order: list[str] = []
+        node_sides: dict[str, Side] = {}
+        for i, node in enumerate(ordered_nodes, start=1):
+            meta = f"var{i}"
+            meta_of[node] = meta
+            meta_order.append(meta)
+            node_sides[meta] = node[0]
+
+        structural = [(meta_of[p], meta_of[c]) for p, c in reduced.structural_edges]
+        value = [(meta_of[a], meta_of[b]) for a, b in reduced.value_edges]
+
+        graph = nx.MultiDiGraph()
+        for node, meta in meta_of.items():
+            graph.add_node(meta, side=node[0].value)
+        for p, c in structural:
+            graph.add_edge(p, c, kind=STRUCTURAL)
+        for a, b in value:
+            graph.add_edge(a, b, kind=VALUE_JOIN)
+
+        template = cls(
+            template_id=template_id,
+            meta_order=meta_order,
+            node_sides=node_sides,
+            structural_edges=structural,
+            value_edges=value,
+            graph=graph,
+            signature=_signature(graph),
+        )
+        assignment = TemplateAssignment(
+            template=template,
+            assignment={meta_of[node]: node[1] for node in reduced.nodes},
+        )
+        return template, assignment
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    def match(self, reduced: ReducedJoinGraph) -> Optional[TemplateAssignment]:
+        """Match a reduced join graph against this template.
+
+        Returns the meta-variable assignment when the graphs are isomorphic
+        (respecting sides and edge kinds); ``None`` otherwise.
+        """
+        candidate = _reduced_to_nx(reduced)
+        if _signature(candidate) != self.signature:
+            return None
+        matcher = isomorphism.MultiDiGraphMatcher(
+            self.graph, candidate, node_match=_node_match, edge_match=_edge_match
+        )
+        if not matcher.is_isomorphic():
+            return None
+        mapping = matcher.mapping  # template meta var -> reduced NodeKey
+        return TemplateAssignment(
+            template=self,
+            assignment={meta: node[1] for meta, node in mapping.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # structure helpers used by CQT construction
+    # ------------------------------------------------------------------ #
+    @property
+    def num_value_joins(self) -> int:
+        """Number of value-join edges in the template."""
+        return len(self.value_edges)
+
+    def structural_parent_of(self, meta: str) -> Optional[str]:
+        """The structural parent of a meta-variable's node, if any."""
+        for parent, child in self.structural_edges:
+            if child == meta:
+                return parent
+        return None
+
+    def isolated_meta_vars(self) -> list[str]:
+        """Meta-variables whose nodes touch no structural edge."""
+        touched = {m for edge in self.structural_edges for m in edge}
+        return [m for m in self.meta_order if m not in touched]
+
+    def rt_relation_name(self) -> str:
+        """The name of this template's RT relation."""
+        return f"RT_{self.template_id}"
+
+    def rt_schema(self) -> list[str]:
+        """The schema of this template's RT relation."""
+        return ["qid"] + list(self.meta_order) + ["wl"]
+
+    def out_relation_name(self) -> str:
+        """The name of this template's output relation RoutT."""
+        return f"Rout_{self.template_id}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryTemplate #{self.template_id}: {len(self.meta_order)} meta vars, "
+            f"{len(self.structural_edges)} structural edges, "
+            f"{len(self.value_edges)} value joins>"
+        )

@@ -1,0 +1,39 @@
+"""Workload generators for the paper's evaluation (Section 6).
+
+* :mod:`~repro.workloads.zipf` — the Zipf sampler both query generators use.
+* :mod:`~repro.workloads.synthetic` — the technical benchmark of Section 6.1:
+  two-level and three-level document schemas, the two fixed documents with
+  matching leaf values, and direct construction of the witness relations
+  (bypassing the XPath Evaluator, exactly as the paper does).
+* :mod:`~repro.workloads.querygen` — random XSCL query generation following
+  Figure 17.
+* :mod:`~repro.workloads.rss` — a simulated RSS/Atom feed stream standing in
+  for the proprietary crawl used in Section 6.3.
+"""
+
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.synthetic import (
+    TechnicalBenchmarkData,
+    build_document,
+    build_technical_benchmark_data,
+    leaf_variable,
+    group_variable,
+    root_variable,
+)
+from repro.workloads.querygen import QueryWorkloadConfig, generate_queries
+from repro.workloads.rss import RssStreamConfig, generate_rss_stream, generate_rss_queries
+
+__all__ = [
+    "ZipfSampler",
+    "TechnicalBenchmarkData",
+    "build_document",
+    "build_technical_benchmark_data",
+    "leaf_variable",
+    "group_variable",
+    "root_variable",
+    "QueryWorkloadConfig",
+    "generate_queries",
+    "RssStreamConfig",
+    "generate_rss_stream",
+    "generate_rss_queries",
+]

@@ -1,0 +1,148 @@
+"""Random XSCL query generation (paper Figure 17).
+
+For each query:
+
+1. draw ``k``, the number of value joins, from a Zipf distribution over
+   ``1 .. max_value_joins``;
+2. for the left block, bind the root variable plus ``k`` variables on ``k``
+   distinct leaves chosen uniformly at random (for three-level schemas the
+   intermediate nodes on the chosen paths are bound too, adding structural
+   joins);
+3. repeat independently for the right block;
+4. emit the ``k`` value joins ``v_i = v'_i`` pairing the i-th chosen leaf of
+   each side, under a FOLLOWED BY with the configured window.
+
+Variable names follow the canonical convention of
+:mod:`repro.workloads.synthetic` (one name per schema position), so witness
+relations built there line up with the generated queries, and — as the paper
+observes — the number of distinct templates is bounded by the schema, not by
+the number of generated queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.workloads.synthetic import group_variable, leaf_variable, root_variable
+from repro.workloads.zipf import ZipfSampler
+from repro.xmlmodel.schema import DocumentSchema
+from repro.xpath.ast import parse_path
+from repro.xpath.pattern import PatternNode, VariableTreePattern
+from repro.xscl.ast import (
+    INFINITE_WINDOW,
+    JoinOperator,
+    JoinSpec,
+    QueryBlock,
+    ValueJoinPredicate,
+    XsclQuery,
+)
+
+
+@dataclass
+class QueryWorkloadConfig:
+    """Parameters of the random query workload (Table 5 defaults).
+
+    Attributes
+    ----------
+    schema:
+        The document schema queries are generated against.
+    num_queries:
+        How many queries to generate (paper default: 1000).
+    zipf_theta:
+        Zipf parameter for drawing the number of value joins (default 0.8).
+    max_value_joins:
+        Upper bound on value joins per query.  Defaults to the number of
+        schema leaves for two-level schemas and to 4 (the paper's ``K``) for
+        three-level schemas.
+    window:
+        Window length assigned to every generated query.
+    stream:
+        Input stream name.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    schema: DocumentSchema
+    num_queries: int = 1000
+    zipf_theta: float = 0.8
+    max_value_joins: Optional[int] = None
+    window: float = INFINITE_WINDOW
+    stream: str = "S"
+    seed: int = 7
+
+    def resolved_max_value_joins(self) -> int:
+        """The effective upper bound on value joins per query."""
+        if self.max_value_joins is not None:
+            return min(self.max_value_joins, self.schema.num_leaves)
+        if self.schema.levels == 2:
+            return self.schema.num_leaves
+        return min(4, self.schema.num_leaves)
+
+
+def _build_block(schema: DocumentSchema, leaves: list[int], stream: str) -> QueryBlock:
+    """Build one query block binding the root, the chosen leaves and (for
+    three-level schemas) the intermediate nodes on the chosen paths."""
+    root = PatternNode(root_variable(schema), parse_path(f"//{schema.root_tag}"))
+    if schema.levels == 2:
+        for leaf in leaves:
+            root.add_child(
+                PatternNode(leaf_variable(schema, leaf), parse_path(f".//{schema.leaf_tags[leaf]}"))
+            )
+    else:
+        by_group: dict[int, list[int]] = {}
+        for leaf in leaves:
+            by_group.setdefault(schema.group_of_leaf(leaf), []).append(leaf)
+        for g in sorted(by_group):
+            group_node = root.add_child(
+                PatternNode(group_variable(schema, g), parse_path(f".//{schema.group_tags[g]}"))
+            )
+            for leaf in sorted(by_group[g]):
+                group_node.add_child(
+                    PatternNode(
+                        leaf_variable(schema, leaf), parse_path(f".//{schema.leaf_tags[leaf]}")
+                    )
+                )
+    return QueryBlock(pattern=VariableTreePattern(root=root, stream=stream))
+
+
+def generate_query(
+    schema: DocumentSchema,
+    num_value_joins: int,
+    rng: random.Random,
+    window: float = INFINITE_WINDOW,
+    stream: str = "S",
+) -> XsclQuery:
+    """Generate a single random query with exactly ``num_value_joins`` value joins."""
+    if not 1 <= num_value_joins <= schema.num_leaves:
+        raise ValueError("num_value_joins must be between 1 and the number of schema leaves")
+    left_leaves = rng.sample(range(schema.num_leaves), num_value_joins)
+    right_leaves = rng.sample(range(schema.num_leaves), num_value_joins)
+    left_block = _build_block(schema, left_leaves, stream)
+    right_block = _build_block(schema, right_leaves, stream)
+    predicates = tuple(
+        ValueJoinPredicate(leaf_variable(schema, l), leaf_variable(schema, r))
+        for l, r in zip(left_leaves, right_leaves)
+    )
+    return XsclQuery(
+        left=left_block,
+        right=right_block,
+        join=JoinSpec(operator=JoinOperator.FOLLOWED_BY, predicates=predicates, window=window),
+    )
+
+
+def iter_queries(config: QueryWorkloadConfig) -> Iterator[XsclQuery]:
+    """Yield ``config.num_queries`` random queries."""
+    rng = random.Random(config.seed)
+    sampler = ZipfSampler(config.resolved_max_value_joins(), config.zipf_theta, rng)
+    for _ in range(config.num_queries):
+        k = sampler.sample()
+        yield generate_query(
+            config.schema, k, rng, window=config.window, stream=config.stream
+        )
+
+
+def generate_queries(config: QueryWorkloadConfig) -> list[XsclQuery]:
+    """Generate the full random query workload as a list."""
+    return list(iter_queries(config))

@@ -1,0 +1,54 @@
+"""A Zipf-distributed integer sampler.
+
+Section 6.1 draws the number of value joins per query, ``k``, from a Zipf
+distribution over ``1..N``; the experiments sweep the Zipf parameter from
+0.0 (uniform) to 1.6 (highly skewed towards small ``k``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Optional
+
+
+class ZipfSampler:
+    """Sample integers from ``1..n`` with probability proportional to ``1 / k**theta``.
+
+    ``theta = 0`` gives the uniform distribution; larger values skew the
+    distribution towards 1.
+    """
+
+    def __init__(self, n: int, theta: float, rng: Optional[random.Random] = None):
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        self._rng = rng if rng is not None else random.Random()
+        weights = [1.0 / (k ** theta) for k in range(1, n + 1)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def sample(self) -> int:
+        """Draw one value from ``1..n``."""
+        u = self._rng.random()
+        return bisect.bisect_left(self._cumulative, u) + 1
+
+    def sample_many(self, count: int) -> list[int]:
+        """Draw ``count`` values."""
+        return [self.sample() for _ in range(count)]
+
+    def probability(self, k: int) -> float:
+        """The probability of drawing ``k``."""
+        if not 1 <= k <= self.n:
+            return 0.0
+        previous = self._cumulative[k - 2] if k >= 2 else 0.0
+        return self._cumulative[k - 1] - previous

@@ -1,0 +1,27 @@
+"""XML document model used throughout the system.
+
+Documents are ordered, labelled trees.  Each element node carries a *node
+id* assigned by pre-order traversal (exactly as in the paper's Figures 1
+and 2) plus a post-order id, so that ancestor/descendant tests are O(1)
+interval containment checks.  Leaf text content is exposed through the XPath
+string-value semantics the paper's equality operator relies on.
+"""
+
+from repro.xmlmodel.node import XmlNode
+from repro.xmlmodel.document import XmlDocument
+from repro.xmlmodel.builder import element
+from repro.xmlmodel.parser import parse_document, XmlParseError
+from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.schema import DocumentSchema, two_level_schema, three_level_schema
+
+__all__ = [
+    "XmlNode",
+    "XmlDocument",
+    "element",
+    "parse_document",
+    "XmlParseError",
+    "to_xml",
+    "DocumentSchema",
+    "two_level_schema",
+    "three_level_schema",
+]

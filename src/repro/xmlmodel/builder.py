@@ -1,0 +1,37 @@
+"""Programmatic construction of XML trees.
+
+``element("book", element("author", text="Danny Ayers"), ...)`` builds the
+kind of small documents the paper's running example and the synthetic
+workloads use, without going through text parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xmlmodel.node import XmlNode
+
+
+def element(
+    tag: str,
+    *children: XmlNode,
+    text: Optional[str] = None,
+    attributes: Optional[dict[str, str]] = None,
+) -> XmlNode:
+    """Create an :class:`~repro.xmlmodel.node.XmlNode` with the given children.
+
+    Parameters
+    ----------
+    tag:
+        Element name.
+    children:
+        Child element nodes, attached in the given order.
+    text:
+        Direct text content of the element.
+    attributes:
+        XML attributes.
+    """
+    node = XmlNode(tag, text=text, attributes=attributes)
+    for child in children:
+        node.append(child)
+    return node

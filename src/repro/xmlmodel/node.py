@@ -1,0 +1,140 @@
+"""Element nodes of an XML document tree."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class XmlNode:
+    """A single element node in an XML tree.
+
+    Attributes
+    ----------
+    tag:
+        The element name.
+    text:
+        Direct text content of the node (``None`` for pure container nodes).
+    attributes:
+        XML attributes as a ``str -> str`` mapping.
+    children:
+        Child element nodes, in document order.
+    parent:
+        The parent node, or ``None`` for the root.
+    node_id:
+        Pre-order id assigned by the owning :class:`~repro.xmlmodel.document.XmlDocument`.
+    post_id:
+        Post-order id (used together with ``node_id`` for O(1) descendant tests).
+    depth:
+        Distance from the root (root has depth 0).
+    """
+
+    __slots__ = ("tag", "text", "attributes", "children", "parent", "node_id", "post_id", "depth")
+
+    def __init__(
+        self,
+        tag: str,
+        text: Optional[str] = None,
+        attributes: Optional[dict[str, str]] = None,
+    ):
+        if not tag:
+            raise ValueError("element tag must be a non-empty string")
+        self.tag = tag
+        self.text = text
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[XmlNode] = []
+        self.parent: Optional[XmlNode] = None
+        self.node_id: int = -1
+        self.post_id: int = -1
+        self.depth: int = 0
+
+    # ------------------------------------------------------------------ #
+    # tree construction
+    # ------------------------------------------------------------------ #
+    def append(self, child: "XmlNode") -> "XmlNode":
+        """Attach ``child`` as the last child of this node and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------ #
+    # structure queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node has no element children."""
+        return not self.children
+
+    def iter_preorder(self) -> Iterator["XmlNode"]:
+        """Iterate this node and all descendants in document (pre-) order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["XmlNode"]:
+        """Iterate proper descendants in document order."""
+        it = self.iter_preorder()
+        next(it)  # skip self
+        return it
+
+    def iter_ancestors(self) -> Iterator["XmlNode"]:
+        """Iterate proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_descendant_of(self, other: "XmlNode") -> bool:
+        """True when ``self`` is a proper descendant of ``other``.
+
+        Uses the pre/post interval labelling when available (ids >= 0),
+        otherwise walks parents.
+        """
+        if self is other:
+            return False
+        if self.node_id >= 0 and other.node_id >= 0:
+            return other.node_id < self.node_id and self.post_id < other.post_id
+        return any(anc is other for anc in self.iter_ancestors())
+
+    def is_ancestor_of(self, other: "XmlNode") -> bool:
+        """True when ``self`` is a proper ancestor of ``other``."""
+        return other.is_descendant_of(self)
+
+    # ------------------------------------------------------------------ #
+    # values
+    # ------------------------------------------------------------------ #
+    def string_value(self) -> str:
+        """The XPath string value: concatenation of all descendant text, in order.
+
+        The paper's value-join equality is defined on this value.
+        """
+        parts: list[str] = []
+        for node in self.iter_preorder():
+            if node.text:
+                parts.append(node.text)
+        return "".join(parts)
+
+    def attribute(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the value of attribute ``name`` (or ``default``)."""
+        return self.attributes.get(name, default)
+
+    def find_children(self, tag: str) -> list["XmlNode"]:
+        """Direct children with the given tag (``"*"`` matches every tag)."""
+        if tag == "*":
+            return list(self.children)
+        return [c for c in self.children if c.tag == tag]
+
+    def find_descendants(self, tag: str) -> list["XmlNode"]:
+        """Proper descendants with the given tag (``"*"`` matches every tag)."""
+        if tag == "*":
+            return list(self.iter_descendants())
+        return [d for d in self.iter_descendants() if d.tag == tag]
+
+    def __repr__(self) -> str:
+        label = f"<{self.tag}"
+        if self.node_id >= 0:
+            label += f" #{self.node_id}"
+        if self.text:
+            label += f" {self.text!r}"
+        return label + ">"

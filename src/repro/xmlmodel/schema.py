@@ -1,0 +1,118 @@
+"""Document schema descriptions.
+
+The paper's technical benchmark (Section 6.1) uses two synthetic schemas:
+
+* a *two-level* ("simple"/"flat") schema — a root with ``N`` leaf children,
+  modelling an RSS feed item (Figure 2), and
+* a *three-level* ("complex") schema — root and intermediate nodes with
+  branching factor 4, giving 16 leaves.
+
+:class:`DocumentSchema` captures the tree shape (tags per level) so that the
+workload generators, the query generators and the template enumeration all
+agree on which leaves exist and how they are grouped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DocumentSchema:
+    """A (small) tree-shaped document schema.
+
+    Attributes
+    ----------
+    root_tag:
+        Tag of the root element.
+    leaf_tags:
+        Tags of the leaf elements, in document order.
+    groups:
+        For three-level schemas: a tuple, one entry per intermediate node,
+        each entry a tuple of indexes into ``leaf_tags`` giving the leaves
+        under that intermediate node.  Empty for two-level schemas.
+    group_tags:
+        Tags of the intermediate nodes (parallel to ``groups``).
+    """
+
+    root_tag: str
+    leaf_tags: tuple[str, ...]
+    groups: tuple[tuple[int, ...], ...] = field(default=())
+    group_tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.groups and len(self.groups) != len(self.group_tags):
+            raise ValueError("groups and group_tags must have the same length")
+        if self.groups:
+            covered = [i for group in self.groups for i in group]
+            if sorted(covered) != list(range(len(self.leaf_tags))):
+                raise ValueError("groups must partition the leaf indexes exactly")
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf elements in the schema."""
+        return len(self.leaf_tags)
+
+    @property
+    def levels(self) -> int:
+        """Number of levels: 2 for flat schemas, 3 when intermediate groups exist."""
+        return 3 if self.groups else 2
+
+    def group_of_leaf(self, leaf_index: int) -> int:
+        """Return the intermediate-group index of a leaf (or -1 for flat schemas)."""
+        for g, members in enumerate(self.groups):
+            if leaf_index in members:
+                return g
+        return -1
+
+    def leaf_path(self, leaf_index: int) -> list[str]:
+        """Tags on the path from the root to the given leaf (root first)."""
+        path = [self.root_tag]
+        g = self.group_of_leaf(leaf_index)
+        if g >= 0:
+            path.append(self.group_tags[g])
+        path.append(self.leaf_tags[leaf_index])
+        return path
+
+
+def two_level_schema(num_leaves: int = 6, root_tag: str = "item") -> DocumentSchema:
+    """The paper's simple document schema: a root with ``num_leaves`` leaf children."""
+    if num_leaves < 1:
+        raise ValueError("num_leaves must be positive")
+    leaves = tuple(f"leaf{i}" for i in range(num_leaves))
+    return DocumentSchema(root_tag=root_tag, leaf_tags=leaves)
+
+
+def three_level_schema(
+    branching: int = 4, root_tag: str = "record", group_tag_prefix: str = "section"
+) -> DocumentSchema:
+    """The paper's complex schema: root and intermediates with branching factor 4.
+
+    ``branching ** 2`` leaves in total (16 for the default branching of 4).
+    """
+    if branching < 1:
+        raise ValueError("branching must be positive")
+    leaves = []
+    groups = []
+    group_tags = []
+    for g in range(branching):
+        members = []
+        for j in range(branching):
+            members.append(len(leaves))
+            leaves.append(f"leaf{g}_{j}")
+        groups.append(tuple(members))
+        group_tags.append(f"{group_tag_prefix}{g}")
+    return DocumentSchema(
+        root_tag=root_tag,
+        leaf_tags=tuple(leaves),
+        groups=tuple(groups),
+        group_tags=tuple(group_tags),
+    )
+
+
+def rss_item_schema() -> DocumentSchema:
+    """The RSS feed-item schema of Section 6.3: five leaves under an ``item`` root."""
+    return DocumentSchema(
+        root_tag="item",
+        leaf_tags=("item_url", "channel_url", "title", "timestamp", "description"),
+    )

@@ -1,0 +1,42 @@
+"""Serialize XML trees back to text (used for query output construction)."""
+
+from __future__ import annotations
+
+from repro.xmlmodel.document import XmlDocument
+from repro.xmlmodel.node import XmlNode
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _ESCAPES + [('"', "&quot;")]
+
+
+def _escape(text: str, attr: bool = False) -> str:
+    for char, entity in (_ATTR_ESCAPES if attr else _ESCAPES):
+        text = text.replace(char, entity)
+    return text
+
+
+def _render(node: XmlNode, indent: int, pretty: bool) -> list[str]:
+    pad = "  " * indent if pretty else ""
+    attrs = "".join(f' {k}="{_escape(v, attr=True)}"' for k, v in node.attributes.items())
+    if not node.children and not node.text:
+        return [f"{pad}<{node.tag}{attrs}/>"]
+    if not node.children:
+        return [f"{pad}<{node.tag}{attrs}>{_escape(node.text or '')}</{node.tag}>"]
+    lines = [f"{pad}<{node.tag}{attrs}>"]
+    if node.text:
+        lines.append(f"{pad}  {_escape(node.text)}" if pretty else _escape(node.text))
+    for child in node.children:
+        lines.extend(_render(child, indent + 1, pretty))
+    lines.append(f"{pad}</{node.tag}>")
+    return lines
+
+
+def to_xml(doc_or_node: XmlDocument | XmlNode, pretty: bool = True) -> str:
+    """Serialize a document or node to XML text.
+
+    With ``pretty=True`` (default) the output is indented, one element per
+    line; otherwise the output is a single line.
+    """
+    node = doc_or_node.root if isinstance(doc_or_node, XmlDocument) else doc_or_node
+    lines = _render(node, 0, pretty)
+    return "\n".join(lines) if pretty else "".join(lines)

@@ -1,0 +1,37 @@
+"""Stage 1 — the XPath Evaluator.
+
+The paper leverages existing XML pub/sub technology (YFilter) to evaluate
+the *tree-pattern components* of all registered queries against each
+incoming document, producing *witnesses* (variable bindings) that feed the
+Join Processor.  This package provides that stage:
+
+* :mod:`~repro.xpath.ast` — location paths over the supported XPath
+  fragment (``/`` child axis, ``//`` descendant axis, ``*`` wildcard) and a
+  parser for them.
+* :mod:`~repro.xpath.pattern` — *variable tree patterns*: tree patterns in
+  which nodes are bound to named variables (the per-query-block patterns of
+  Section 3.1).
+* :mod:`~repro.xpath.nfa` — a shared NFA over the absolute root paths of all
+  registered patterns (YFilter-style path sharing).
+* :mod:`~repro.xpath.evaluator` — the evaluator producing per-document
+  witnesses: variable → node bindings, structural-edge bindings and node
+  string values.
+"""
+
+from repro.xpath.ast import Axis, Step, LocationPath, parse_path, XPathSyntaxError
+from repro.xpath.pattern import PatternNode, VariableTreePattern
+from repro.xpath.nfa import PathNFA
+from repro.xpath.evaluator import XPathEvaluator, DocumentWitnesses
+
+__all__ = [
+    "Axis",
+    "Step",
+    "LocationPath",
+    "parse_path",
+    "XPathSyntaxError",
+    "PatternNode",
+    "VariableTreePattern",
+    "PathNFA",
+    "XPathEvaluator",
+    "DocumentWitnesses",
+]

@@ -1,0 +1,156 @@
+"""Location paths for the supported XPath fragment.
+
+The fragment matches what existing XML pub/sub systems (YFilter, XPush,
+XSQ) and this paper support for tree patterns: the child axis ``/``, the
+descendant axis ``//`` and the wildcard node test ``*``.  Predicates are not
+part of a location path here — in XSCL they appear on query blocks and are
+handled by :mod:`repro.xscl` / :mod:`repro.xpath.pattern`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+class XPathSyntaxError(ValueError):
+    """Raised when a path string cannot be parsed."""
+
+
+class Axis(enum.Enum):
+    """Supported XPath axes."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: an axis plus a node test (tag name or ``*``)."""
+
+    axis: Axis
+    test: str
+
+    def matches(self, tag: str) -> bool:
+        """True when this step's node test matches an element tag."""
+        return self.test == "*" or self.test == tag
+
+    def __str__(self) -> str:
+        return f"{self.axis.value}{self.test}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A sequence of steps, either absolute (from the document node) or relative.
+
+    Examples: ``//book``, ``/rss/channel/item``, ``.//author`` (relative).
+    """
+
+    steps: tuple[Step, ...]
+    absolute: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise XPathSyntaxError("a location path needs at least one step")
+
+    def __str__(self) -> str:
+        prefix = "" if self.absolute else "."
+        return prefix + "".join(str(s) for s in self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def concat(self, other: "LocationPath") -> "LocationPath":
+        """Append a relative path to this one (``self`` then ``other``)."""
+        if other.absolute:
+            raise XPathSyntaxError("can only concatenate a relative path")
+        return LocationPath(self.steps + other.steps, absolute=self.absolute)
+
+    @property
+    def uses_only_descendant_axis(self) -> bool:
+        """True when every step uses ``//`` (the paper's simplifying assumption)."""
+        return all(s.axis is Axis.DESCENDANT for s in self.steps)
+
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-:")
+
+
+def _read_name(text: str, pos: int) -> tuple[str, int]:
+    if pos < len(text) and text[pos] == "*":
+        return "*", pos + 1
+    start = pos
+    while pos < len(text) and text[pos] in _NAME_CHARS:
+        pos += 1
+    if pos == start:
+        raise XPathSyntaxError(f"expected an element name at position {start} in {text!r}")
+    return text[start:pos], pos
+
+
+def parse_path(text: str) -> LocationPath:
+    """Parse a path string like ``//book//title`` or ``.//author``.
+
+    A leading ``.`` makes the path relative (evaluated from a context node);
+    otherwise the path is absolute (evaluated from the document node).
+    """
+    original = text
+    text = text.strip()
+    if not text:
+        raise XPathSyntaxError("empty path")
+    absolute = True
+    pos = 0
+    if text[0] == ".":
+        absolute = False
+        pos = 1
+    steps: list[Step] = []
+    while pos < len(text):
+        if text.startswith("//", pos):
+            axis = Axis.DESCENDANT
+            pos += 2
+        elif text.startswith("/", pos):
+            axis = Axis.CHILD
+            pos += 1
+        else:
+            raise XPathSyntaxError(
+                f"expected '/' or '//' at position {pos} in {original!r}"
+            )
+        name, pos = _read_name(text, pos)
+        steps.append(Step(axis, name))
+    if not steps:
+        raise XPathSyntaxError(f"path {original!r} has no steps")
+    return LocationPath(tuple(steps), absolute=absolute)
+
+
+def evaluate_relative(path: LocationPath | Sequence[Step], context_node) -> list:
+    """Evaluate a relative path from ``context_node`` and return matching nodes.
+
+    Works directly on :class:`~repro.xmlmodel.node.XmlNode` objects; used for
+    the per-ancestor edge witnesses (documents are small, so a direct
+    recursive evaluation is appropriate here — the sharing happens at the
+    level of *which* relative paths get evaluated, via canonical variables).
+    """
+    steps = list(path.steps) if isinstance(path, LocationPath) else list(path)
+    frontier = [context_node]
+    for step in steps:
+        nxt = []
+        seen_ids = set()
+        for node in frontier:
+            if step.axis is Axis.CHILD:
+                candidates = node.find_children(step.test)
+            else:
+                candidates = node.find_descendants(step.test)
+            for cand in candidates:
+                marker = id(cand)
+                if marker not in seen_ids:
+                    seen_ids.add(marker)
+                    nxt.append(cand)
+        frontier = nxt
+        if not frontier:
+            break
+    return frontier

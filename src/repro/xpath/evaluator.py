@@ -1,0 +1,189 @@
+"""The Stage 1 evaluator: from documents to witnesses.
+
+The evaluator maintains, across *all* registered queries:
+
+* one shared :class:`~repro.xpath.nfa.PathNFA` per input stream, holding the
+  absolute path of every (canonical) variable, and
+* the set of *edge requests* — pairs of variables (ancestor, descendant)
+  whose joint bindings the Join Processor needs (these are exactly the
+  structural edges of the reduced query templates, Section 4.2).
+
+For each incoming document it produces a :class:`DocumentWitnesses` object:
+variable bindings (→ ``RvarW``), structural-edge bindings (→ ``RbinW``) and
+node string values (→ ``RdocW``), plus the document id and timestamp
+(→ ``RdocTSW``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.xmlmodel.document import XmlDocument
+from repro.xpath.ast import LocationPath, evaluate_relative
+from repro.xpath.nfa import PathNFA
+from repro.xpath.pattern import VariableTreePattern
+
+
+@dataclass
+class DocumentWitnesses:
+    """Witnesses produced by Stage 1 for a single document.
+
+    Attributes
+    ----------
+    docid, timestamp:
+        Identity of the document (the single ``RdocTSW`` tuple).
+    var_nodes:
+        ``variable -> set of node ids`` bound to it (``RvarW``).
+    edge_pairs:
+        ``(ancestor var, descendant var) -> set of (ancestor node, descendant node)``
+        pairs (``RbinW``).
+    node_values:
+        ``node id -> XPath string value`` for every bound node (``RdocW``).
+    """
+
+    docid: str
+    timestamp: float
+    var_nodes: dict[str, set[int]] = field(default_factory=dict)
+    edge_pairs: dict[tuple[str, str], set[tuple[int, int]]] = field(default_factory=dict)
+    node_values: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no registered variable matched the document."""
+        return not self.var_nodes
+
+    def bound_variables(self) -> set[str]:
+        """The variables that have at least one binding in this document."""
+        return {v for v, nodes in self.var_nodes.items() if nodes}
+
+
+class VariableConflictError(ValueError):
+    """Raised when one variable name is registered with two different definitions."""
+
+
+class XPathEvaluator:
+    """Shared Stage 1 evaluator for all registered query blocks."""
+
+    def __init__(self) -> None:
+        self._nfas: dict[str, PathNFA] = {}
+        # variable -> (stream, absolute path)
+        self._variables: dict[str, tuple[str, LocationPath]] = {}
+        # (ancestor var, descendant var) -> relative path between them
+        self._edges: dict[tuple[str, str], LocationPath] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_variable(self, variable: str, stream: str, absolute_path: LocationPath) -> None:
+        """Register a variable with its defining absolute path on ``stream``."""
+        if not absolute_path.absolute:
+            raise ValueError(f"variable {variable!r} needs an absolute defining path")
+        existing = self._variables.get(variable)
+        if existing is not None:
+            if existing[0] != stream or str(existing[1]) != str(absolute_path):
+                raise VariableConflictError(
+                    f"variable {variable!r} already registered with definition "
+                    f"{existing[0]}:{existing[1]} (new: {stream}:{absolute_path})"
+                )
+            return
+        self._variables[variable] = (stream, absolute_path)
+        nfa = self._nfas.setdefault(stream, PathNFA())
+        nfa.add_path(variable, absolute_path)
+
+    def register_edge(
+        self, ancestor_var: str, descendant_var: str, relative_path: LocationPath
+    ) -> None:
+        """Request (ancestor, descendant) edge witnesses for a variable pair."""
+        if relative_path.absolute:
+            raise ValueError("edge paths must be relative (from the ancestor's node)")
+        key = (ancestor_var, descendant_var)
+        existing = self._edges.get(key)
+        if existing is not None and str(existing) != str(relative_path):
+            raise VariableConflictError(
+                f"edge {key} already registered with path {existing} (new: {relative_path})"
+            )
+        self._edges[key] = relative_path
+
+    def register_pattern(
+        self,
+        pattern: VariableTreePattern,
+        edges: Optional[list[tuple[str, str]]] = None,
+    ) -> None:
+        """Register every bound variable of ``pattern`` plus the requested edges.
+
+        ``edges`` lists (ancestor var, descendant var) pairs; when omitted,
+        every bound parent/child pair of the pattern is registered.
+        """
+        for var in pattern.variables():
+            self.register_variable(var, pattern.stream, pattern.absolute_path_of(var))
+        if edges is None:
+            edges = []
+            for var in pattern.variables():
+                parent = pattern.parent_of(var)
+                if parent is not None:
+                    edges.append((parent, var))
+        for ancestor, descendant in edges:
+            self.register_edge(
+                ancestor, descendant, pattern.relative_path_between(ancestor, descendant)
+            )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> dict[str, tuple[str, LocationPath]]:
+        """Registered variables with their (stream, absolute path) definitions."""
+        return dict(self._variables)
+
+    @property
+    def edges(self) -> dict[tuple[str, str], LocationPath]:
+        """Registered edge requests with their relative paths."""
+        return dict(self._edges)
+
+    def num_nfa_states(self) -> int:
+        """Total NFA states across all streams (a measure of structural sharing)."""
+        return sum(nfa.num_states for nfa in self._nfas.values())
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, document: XmlDocument) -> DocumentWitnesses:
+        """Produce the witnesses of ``document`` (Stage 1 of query processing)."""
+        witnesses = DocumentWitnesses(docid=document.docid, timestamp=document.timestamp)
+        nfa = self._nfas.get(document.stream)
+        if nfa is None:
+            return witnesses
+
+        matches = nfa.match_document(document)
+        for variable, node_ids in matches.items():
+            if node_ids:
+                witnesses.var_nodes[variable] = set(node_ids)
+
+        # Structural-edge witnesses: anchor the relative path at every
+        # binding of the ancestor variable.
+        for (anc_var, desc_var), rel_path in self._edges.items():
+            anc_nodes = witnesses.var_nodes.get(anc_var)
+            if not anc_nodes:
+                continue
+            desc_bound = witnesses.var_nodes.get(desc_var, set())
+            pairs: set[tuple[int, int]] = set()
+            for anc_id in anc_nodes:
+                anc_node = document.node(anc_id)
+                for target in evaluate_relative(rel_path, anc_node):
+                    if target.node_id in desc_bound or not desc_bound:
+                        pairs.add((anc_id, target.node_id))
+            if pairs:
+                witnesses.edge_pairs[(anc_var, desc_var)] = pairs
+
+        # String values for every bound node (RdocW never stores unbound nodes).
+        bound_nodes: set[int] = set()
+        for nodes in witnesses.var_nodes.values():
+            bound_nodes.update(nodes)
+        for pairs in witnesses.edge_pairs.values():
+            for a, b in pairs:
+                bound_nodes.add(a)
+                bound_nodes.add(b)
+        for node_id in bound_nodes:
+            witnesses.node_values[node_id] = document.string_value(node_id)
+        return witnesses

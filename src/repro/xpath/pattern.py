@@ -1,0 +1,188 @@
+"""Variable tree patterns.
+
+A *variable tree pattern* (paper Section 3.1) extends an XPath tree pattern
+by associating tree nodes with variable names.  An XSCL query block such as
+
+    S//book->x1[.//author->x2][.//title->x3]
+
+becomes a pattern with a root node (variable ``x1``, absolute path
+``//book``) and two children (``x2`` via ``.//author`` and ``x3`` via
+``.//title``).  The Join Processor only ever sees variables; patterns are
+the bridge between the XSCL surface syntax and Stage 1 evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.xpath.ast import LocationPath, parse_path
+
+
+@dataclass
+class PatternNode:
+    """One node of a variable tree pattern.
+
+    Attributes
+    ----------
+    variable:
+        The bound variable name, or ``None`` for an anonymous (existence
+        only) predicate node.
+    path:
+        The location path *relative to the parent node* (absolute for the
+        pattern root).
+    children:
+        Child pattern nodes.
+    """
+
+    variable: Optional[str]
+    path: LocationPath
+    children: list["PatternNode"] = field(default_factory=list)
+
+    def add_child(self, child: "PatternNode") -> "PatternNode":
+        """Attach ``child`` and return it."""
+        self.children.append(child)
+        return child
+
+    def iter_nodes(self) -> Iterator["PatternNode"]:
+        """Iterate this node and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def __repr__(self) -> str:
+        var = self.variable or "_"
+        return f"PatternNode({var}: {self.path})"
+
+
+@dataclass
+class VariableTreePattern:
+    """A rooted variable tree pattern for one XSCL query block.
+
+    Attributes
+    ----------
+    root:
+        The root pattern node; its path is absolute.
+    stream:
+        Name of the input stream the block reads from.
+    """
+
+    root: PatternNode
+    stream: str = "S"
+
+    def __post_init__(self) -> None:
+        if not self.root.path.absolute:
+            raise ValueError("the root of a variable tree pattern needs an absolute path")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def iter_nodes(self) -> Iterator[PatternNode]:
+        """All pattern nodes, root first."""
+        return self.root.iter_nodes()
+
+    def variables(self) -> list[str]:
+        """Names of all bound variables, in pattern order."""
+        return [n.variable for n in self.iter_nodes() if n.variable is not None]
+
+    def node_of(self, variable: str) -> PatternNode:
+        """Return the pattern node bound to ``variable``."""
+        for node in self.iter_nodes():
+            if node.variable == variable:
+                return node
+        raise KeyError(f"variable {variable!r} is not bound in this pattern")
+
+    def parent_of(self, variable: str) -> Optional[str]:
+        """Return the variable of the closest *bound* ancestor of ``variable``.
+
+        Anonymous ancestors are skipped.  Returns ``None`` for the root
+        variable (or when every ancestor is anonymous).
+        """
+        target = self.node_of(variable)
+        path = self._path_to(target)
+        for node in reversed(path[:-1]):
+            if node.variable is not None:
+                return node.variable
+        return None
+
+    def _path_to(self, target: PatternNode) -> list[PatternNode]:
+        def walk(node: PatternNode, acc: list[PatternNode]) -> Optional[list[PatternNode]]:
+            acc = acc + [node]
+            if node is target:
+                return acc
+            for child in node.children:
+                found = walk(child, acc)
+                if found:
+                    return found
+            return None
+
+        found = walk(self.root, [])
+        if not found:
+            raise KeyError("pattern node is not part of this pattern")
+        return found
+
+    def relative_path_between(self, ancestor_var: str, descendant_var: str) -> LocationPath:
+        """The relative path from ``ancestor_var``'s node to ``descendant_var``'s node.
+
+        Used when a query-template edge spans multiple pattern edges (after
+        the graph-minor reduction splices out intermediate nodes).
+        """
+        anc = self.node_of(ancestor_var)
+        desc = self.node_of(descendant_var)
+        path_nodes = self._path_to(desc)
+        if anc not in path_nodes:
+            raise ValueError(
+                f"{ancestor_var!r} is not an ancestor of {descendant_var!r} in this pattern"
+            )
+        start = path_nodes.index(anc)
+        steps: tuple = ()
+        for node in path_nodes[start + 1:]:
+            steps = steps + node.path.steps
+        return LocationPath(steps, absolute=False)
+
+    def absolute_path_of(self, variable: str) -> LocationPath:
+        """The absolute path of ``variable``'s node (root path + relative hops)."""
+        target = self.node_of(variable)
+        path_nodes = self._path_to(target)
+        steps: tuple = ()
+        for node in path_nodes:
+            steps = steps + node.path.steps
+        return LocationPath(steps, absolute=True)
+
+    def definition_key(self, variable: str) -> tuple[str, str]:
+        """A canonical identity for a variable: (stream, absolute path).
+
+        The paper assumes that two variables with exactly the same definition
+        carry the same name; the engine enforces this by mapping definition
+        keys to canonical variable names.
+        """
+        return (self.stream, str(self.absolute_path_of(variable)))
+
+    def __repr__(self) -> str:
+        return f"VariableTreePattern(stream={self.stream!r}, vars={self.variables()})"
+
+
+def simple_pattern(
+    stream: str,
+    root_variable: str,
+    root_path: str,
+    leaves: dict[str, str],
+) -> VariableTreePattern:
+    """Convenience constructor for the common "root plus leaf predicates" shape.
+
+    Parameters
+    ----------
+    stream:
+        Input stream name.
+    root_variable:
+        Variable bound to the block's root path.
+    root_path:
+        Absolute path string for the root, e.g. ``"//book"``.
+    leaves:
+        Mapping from leaf variable name to its relative path string, e.g.
+        ``{"x2": ".//author", "x3": ".//title"}``.
+    """
+    root = PatternNode(root_variable, parse_path(root_path))
+    for var, rel in leaves.items():
+        root.add_child(PatternNode(var, parse_path(rel)))
+    return VariableTreePattern(root=root, stream=stream)

@@ -1,0 +1,43 @@
+"""XSCL — the XML Stream Conjunctive Language (paper Section 2).
+
+XSCL adds two join operators (``JOIN`` and ``FOLLOWED BY``) to the XPath
+fragment supported by existing XML pub/sub systems, making *inter-document*
+queries expressible.  This package provides the AST, a parser for the
+textual form used in the paper (Table 2), and the normalization steps the
+Join Processor assumes (value-join normal form, canonical variable names).
+"""
+
+from repro.xscl.errors import XsclSyntaxError, XsclSemanticsError
+from repro.xscl.ast import (
+    JoinOperator,
+    ValueJoinPredicate,
+    JoinSpec,
+    QueryBlock,
+    XsclQuery,
+    INFINITE_WINDOW,
+)
+from repro.xscl.parser import parse_query, parse_block
+from repro.xscl.normalize import (
+    VariableCatalog,
+    canonicalize_query,
+    check_value_join_normal_form,
+)
+from repro.xscl.render import render_query, render_block
+
+__all__ = [
+    "XsclSyntaxError",
+    "XsclSemanticsError",
+    "JoinOperator",
+    "ValueJoinPredicate",
+    "JoinSpec",
+    "QueryBlock",
+    "XsclQuery",
+    "INFINITE_WINDOW",
+    "parse_query",
+    "parse_block",
+    "VariableCatalog",
+    "canonicalize_query",
+    "check_value_join_normal_form",
+    "render_query",
+    "render_block",
+]

@@ -1,0 +1,13 @@
+"""Errors raised by the XSCL front end."""
+
+
+class XsclSyntaxError(ValueError):
+    """The query text cannot be parsed."""
+
+
+class XsclSemanticsError(ValueError):
+    """The query parses but violates an XSCL restriction.
+
+    Examples: a join predicate referring to an unbound variable, or a
+    predicate that is not a value join between the two query blocks.
+    """

@@ -1,0 +1,281 @@
+"""Parser for the textual form of XSCL queries.
+
+The concrete syntax follows the paper's Table 2, e.g.::
+
+    S//book->x1[.//author->x2][.//title->x3]
+    FOLLOWED BY{x2=x5 AND x3=x6, 3600}
+    S//blog->x4[.//author->x5][.//title->x6]
+
+Optionally wrapped in the three-clause form::
+
+    SELECT * FROM <join expression> PUBLISH matches
+
+Windows are numeric (time units), ``INF``/``INFINITY``/``*`` for an
+unbounded window, or a symbolic name resolved through the
+``window_symbols`` mapping (so the paper's ``T1`` placeholders stay usable
+in examples and tests).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.xpath.ast import Axis, LocationPath, Step
+from repro.xpath.pattern import PatternNode, VariableTreePattern
+from repro.xscl.ast import (
+    INFINITE_WINDOW,
+    JoinOperator,
+    JoinSpec,
+    QueryBlock,
+    ValueJoinPredicate,
+    XsclQuery,
+)
+from repro.xscl.errors import XsclSyntaxError
+
+# Names may contain internal hyphens (e.g. RSS tag names) but must not
+# swallow the '-' of a '->' variable-binding arrow.
+_NAME_RE = re.compile(r"[A-Za-z_][\w.]*(?:-[\w.]+)*")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?")
+_KEYWORDS = {"FOLLOWED", "JOIN", "PUBLISH", "SELECT", "FROM", "AND", "BY"}
+
+
+class _Cursor:
+    """A tiny scanning cursor over the query text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XsclSyntaxError:
+        snippet = self.text[self.pos : self.pos + 20]
+        return XsclSyntaxError(f"{message} at position {self.pos}: ...{snippet!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def take(self, literal: str) -> bool:
+        if self.peek(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.take(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def peek_word(self) -> Optional[str]:
+        self.skip_ws()
+        m = _NAME_RE.match(self.text, self.pos)
+        return m.group(0) if m else None
+
+    def take_word(self, word: str) -> bool:
+        """Consume ``word`` (case-insensitive) when it is the next whole word."""
+        self.skip_ws()
+        m = _NAME_RE.match(self.text, self.pos)
+        if m and m.group(0).upper() == word.upper():
+            self.pos = m.end()
+            return True
+        return False
+
+    def read_name(self) -> str:
+        m = _NAME_RE.match(self.text, self.pos)
+        if not m:
+            raise self.error("expected a name")
+        self.pos = m.end()
+        return m.group(0)
+
+
+# --------------------------------------------------------------------------- #
+# block / pattern parsing
+# --------------------------------------------------------------------------- #
+def _parse_steps(cur: _Cursor) -> list[Step]:
+    """Parse one or more ``/name`` / ``//name`` steps (no whitespace allowed)."""
+    steps: list[Step] = []
+    while True:
+        if cur.peek("//"):
+            cur.pos += 2
+            axis = Axis.DESCENDANT
+        elif cur.peek("/"):
+            cur.pos += 1
+            axis = Axis.CHILD
+        else:
+            break
+        if cur.peek("*"):
+            cur.pos += 1
+            name = "*"
+        else:
+            name = cur.read_name()
+        steps.append(Step(axis, name))
+    if not steps:
+        raise cur.error("expected a path step ('/' or '//')")
+    return steps
+
+
+def _parse_pattern_chain(cur: _Cursor, absolute: bool) -> PatternNode:
+    """Parse ``steps (->var)? predicate* (more steps ...)*`` into a pattern chain.
+
+    Returns the chain's top node; deeper segments become single children.
+    """
+    steps = _parse_steps(cur)
+    variable: Optional[str] = None
+    if cur.take("->"):
+        variable = cur.read_name()
+    node = PatternNode(variable, LocationPath(tuple(steps), absolute=absolute))
+
+    # Predicates: [ .//path->var ... ]
+    while cur.peek("["):
+        cur.pos += 1
+        if not cur.take("."):
+            raise cur.error("predicate paths must be relative (start with '.')")
+        child = _parse_pattern_chain(cur, absolute=False)
+        cur.expect("]")
+        node.children.append(child)
+
+    # Continuation of the main path after a binding or predicates.
+    if cur.peek("/"):
+        deeper = _parse_pattern_chain(cur, absolute=False)
+        node.children.append(deeper)
+    return node
+
+
+def parse_block(cur_or_text, window_symbols=None) -> QueryBlock:
+    """Parse a single query block such as ``S//book->x1[.//author->x2]``."""
+    if isinstance(cur_or_text, str):
+        cur = _Cursor(cur_or_text)
+        cur.skip_ws()
+        block = _parse_block(cur)
+        if not cur.at_end():
+            raise cur.error("trailing text after query block")
+        return block
+    return _parse_block(cur_or_text)
+
+
+def _parse_block(cur: _Cursor) -> QueryBlock:
+    cur.skip_ws()
+    stream = cur.read_name()
+    if stream.upper() in _KEYWORDS:
+        raise cur.error(f"expected a stream name, found keyword {stream!r}")
+    root = _parse_pattern_chain(cur, absolute=True)
+    pattern = VariableTreePattern(root=root, stream=stream)
+    return QueryBlock(pattern=pattern)
+
+
+# --------------------------------------------------------------------------- #
+# join spec parsing
+# --------------------------------------------------------------------------- #
+def _parse_window(cur: _Cursor, window_symbols: Optional[dict[str, float]]) -> float:
+    cur.skip_ws()
+    if cur.take("*"):
+        return INFINITE_WINDOW
+    m = _NUMBER_RE.match(cur.text, cur.pos)
+    if m:
+        cur.pos = m.end()
+        return float(m.group(0))
+    word = cur.read_name()
+    if word.upper() in ("INF", "INFINITY"):
+        return INFINITE_WINDOW
+    if window_symbols and word in window_symbols:
+        return float(window_symbols[word])
+    raise cur.error(
+        f"unknown window symbol {word!r} (pass window_symbols={{{word!r}: <seconds>}})"
+    )
+
+
+def _parse_join_spec(
+    cur: _Cursor, operator: JoinOperator, window_symbols: Optional[dict[str, float]]
+) -> JoinSpec:
+    cur.skip_ws()
+    cur.expect("{")
+    predicates: list[ValueJoinPredicate] = []
+    while True:
+        cur.skip_ws()
+        left = cur.read_name()
+        cur.skip_ws()
+        cur.expect("=")
+        cur.skip_ws()
+        right = cur.read_name()
+        predicates.append(ValueJoinPredicate(left, right))
+        if cur.take_word("AND"):
+            continue
+        break
+    cur.skip_ws()
+    cur.expect(",")
+    window = _parse_window(cur, window_symbols)
+    cur.skip_ws()
+    cur.expect("}")
+    return JoinSpec(operator=operator, predicates=tuple(predicates), window=window)
+
+
+# --------------------------------------------------------------------------- #
+# query parsing
+# --------------------------------------------------------------------------- #
+def parse_query(
+    text: str,
+    window_symbols: Optional[dict[str, float]] = None,
+    name: Optional[str] = None,
+) -> XsclQuery:
+    """Parse a complete XSCL query.
+
+    Parameters
+    ----------
+    text:
+        The query text (see module docstring for the grammar).
+    window_symbols:
+        Optional mapping for symbolic window names (``{"T1": 3600.0}``).
+    name:
+        Optional query name recorded on the resulting AST.
+    """
+    cur = _Cursor(text)
+    cur.skip_ws()
+
+    select = "*"
+    if cur.take_word("SELECT"):
+        cur.skip_ws()
+        # The select spec is everything up to the FROM keyword.
+        m = re.search(r"\bFROM\b", cur.text[cur.pos:], flags=re.IGNORECASE)
+        if not m:
+            raise cur.error("SELECT clause requires a FROM clause")
+        select = cur.text[cur.pos : cur.pos + m.start()].strip() or "*"
+        cur.pos += m.end()
+
+    left = _parse_block(cur)
+
+    right = None
+    join = None
+    cur.skip_ws()
+    if cur.take_word("FOLLOWED"):
+        if not cur.take_word("BY"):
+            raise cur.error("expected 'BY' after 'FOLLOWED'")
+        join = _parse_join_spec(cur, JoinOperator.FOLLOWED_BY, window_symbols)
+        right = _parse_block(cur)
+    elif cur.peek_word() and cur.peek_word().upper() == "JOIN":
+        cur.take_word("JOIN")
+        join = _parse_join_spec(cur, JoinOperator.JOIN, window_symbols)
+        right = _parse_block(cur)
+
+    publish = None
+    if cur.take_word("PUBLISH"):
+        cur.skip_ws()
+        publish = cur.read_name()
+
+    if not cur.at_end():
+        raise cur.error("trailing text after query")
+
+    return XsclQuery(
+        left=left,
+        right=right,
+        join=join,
+        select=select,
+        publish=publish,
+        name=name,
+        text=text,
+    )

@@ -1,0 +1,53 @@
+"""Render XSCL ASTs back to query text.
+
+Programmatically constructed queries (e.g. from the workload generators) can
+be turned into the same textual form the parser accepts, which is useful for
+logging, for the examples, and for persisting generated workloads.  The
+round trip ``parse_query(render_query(q))`` preserves query semantics.
+"""
+
+from __future__ import annotations
+
+from repro.xpath.pattern import PatternNode, VariableTreePattern
+from repro.xscl.ast import INFINITE_WINDOW, QueryBlock, XsclQuery
+
+
+def _render_pattern_node(node: PatternNode, is_root: bool) -> str:
+    text = str(node.path)
+    if node.variable is not None:
+        text += f"->{node.variable}"
+    for child in node.children:
+        text += f"[{_render_pattern_node(child, is_root=False)}]"
+    return text
+
+
+def render_block(block: QueryBlock) -> str:
+    """Render one query block, e.g. ``S//book->x1[.//author->x2]``."""
+    pattern: VariableTreePattern = block.pattern
+    return f"{pattern.stream}{_render_pattern_node(pattern.root, is_root=True)}"
+
+
+def render_window(window: float) -> str:
+    """Render a window length (``INF`` for unbounded windows)."""
+    if window == INFINITE_WINDOW:
+        return "INF"
+    if float(window).is_integer():
+        return str(int(window))
+    return str(window)
+
+
+def render_query(query: XsclQuery) -> str:
+    """Render a complete XSCL query as parseable text."""
+    parts: list[str] = []
+    if query.select != "*":
+        parts.append(f"SELECT {query.select} FROM")
+    parts.append(render_block(query.left))
+    if query.is_join_query:
+        predicates = " AND ".join(str(p) for p in query.join.predicates)
+        parts.append(
+            f"{query.join.operator.value}{{{predicates}, {render_window(query.join.window)}}}"
+        )
+        parts.append(render_block(query.right))
+    if query.publish:
+        parts.append(f"PUBLISH {query.publish}")
+    return " ".join(parts)

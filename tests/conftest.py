@@ -1,0 +1,89 @@
+"""Shared fixtures: the paper's running example and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmlmodel import XmlDocument, element
+
+#: Window symbols for the paper's Table 2 queries.
+PAPER_WINDOWS = {"T1": 10.0, "T2": 10.0, "T3": 10.0}
+
+#: The three example queries of Table 2 (Q3 uses identical variable names on
+#: both sides, as the paper's canonical-naming convention prescribes).
+PAPER_Q1 = (
+    "S//book->x1[.//author->x2][.//title->x3] "
+    "FOLLOWED BY{x2=x5 AND x3=x6, T1} "
+    "S//blog->x4[.//author->x5][.//title->x6]"
+)
+PAPER_Q2 = (
+    "S//book->x1[.//author->x2][.//category->x7] "
+    "FOLLOWED BY{x2=x5 AND x7=x8, T2} "
+    "S//blog->x4[.//author->x5][.//category->x8]"
+)
+PAPER_Q3 = (
+    "S//blog->x4[.//author->x5][.//title->x6] "
+    "FOLLOWED BY{x5=x5 AND x6=x6, T3} "
+    "S//blog->x4[.//author->x5][.//title->x6]"
+)
+
+
+def make_book_announcement(docid: str = "d1", timestamp: float = 1.0) -> XmlDocument:
+    """The book announcement document of Figure 1."""
+    root = element(
+        "book",
+        element(
+            "authors",
+            element("author", text="Danny Ayers"),
+            element("author", text="Andrew Watt"),
+        ),
+        element("title", text="Beginning RSS and Atom Programming"),
+        element("category", text="Scripting & Programming"),
+        element("category", text="Web Site Development"),
+        element("publisher", text="Wrox"),
+        element("isbn", text="0764579169"),
+    )
+    return XmlDocument(root, docid=docid, timestamp=timestamp)
+
+
+def make_blog_article(
+    docid: str = "d2",
+    timestamp: float = 2.0,
+    author: str = "Danny Ayers",
+    title: str = "Beginning RSS and Atom Programming",
+) -> XmlDocument:
+    """The blog article document of Figure 2."""
+    root = element(
+        "blog",
+        element("url", text="http://dannyayers.com/topics/books/rss-book"),
+        element("author", text=author),
+        element("title", text=title),
+        element("category", text="Book Announcement"),
+        element("category", text="Scripting & Programming"),
+        element("description", text="Just heard ..."),
+    )
+    return XmlDocument(root, docid=docid, timestamp=timestamp)
+
+
+@pytest.fixture
+def book_document() -> XmlDocument:
+    """Fresh copy of Figure 1's book announcement (node ids reassigned)."""
+    return make_book_announcement()
+
+
+@pytest.fixture
+def blog_document() -> XmlDocument:
+    """Fresh copy of Figure 2's blog article."""
+    return make_blog_article()
+
+
+@pytest.fixture
+def paper_queries() -> list[tuple[str, str]]:
+    """The (qid, query text) pairs of Table 2."""
+    return [("Q1", PAPER_Q1), ("Q2", PAPER_Q2), ("Q3", PAPER_Q3)]
+
+
+@pytest.fixture
+def paper_windows() -> dict[str, float]:
+    """Window symbol bindings used by the Table 2 queries."""
+    return dict(PAPER_WINDOWS)

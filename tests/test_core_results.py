@@ -1,0 +1,62 @@
+"""Unit tests for match records and output document construction."""
+
+from repro.core.results import Match, build_output_document, copy_subtree
+from repro.xmlmodel import XmlDocument, element, to_xml
+
+
+def _match(**overrides):
+    values = dict(
+        qid="Q",
+        lhs_docid="d1",
+        rhs_docid="d2",
+        lhs_timestamp=1.0,
+        rhs_timestamp=2.0,
+        lhs_bindings={"x": 1},
+        rhs_bindings={"y": 0},
+        window=10.0,
+    )
+    values.update(overrides)
+    return Match(**values)
+
+
+def test_match_key_identifies_bindings():
+    assert _match().key() == _match().key()
+    assert _match().key() != _match(lhs_bindings={"x": 2}).key()
+    assert _match().key() != _match(qid="other").key()
+
+
+def test_copy_subtree_is_deep():
+    original = element("a", element("b", text="t"), attributes={"k": "v"})
+    clone = copy_subtree(original)
+    clone.children[0].text = "changed"
+    clone.attributes["k"] = "other"
+    assert original.children[0].text == "t"
+    assert original.attributes["k"] == "v"
+
+
+def test_output_document_uses_bound_block_roots():
+    lhs = XmlDocument(element("wrapper", element("book", element("title", text="T"))), docid="d1")
+    rhs = XmlDocument(element("blog", element("title", text="T")), docid="d2")
+    match = _match(lhs_bindings={"b": 1}, rhs_bindings={"g": 0})
+    output = build_output_document(match, lhs, rhs, lhs_root_variable="b", rhs_root_variable="g")
+    assert [c.tag for c in output.root.children] == ["book", "blog"]
+    assert output.root.attributes["qid"] == "Q"
+    assert output.timestamp == 2.0
+    assert output.stream == "output"
+
+
+def test_output_document_falls_back_to_document_roots():
+    lhs = XmlDocument(element("book", element("title", text="T")), docid="d1")
+    rhs = XmlDocument(element("blog", element("title", text="T")), docid="d2")
+    match = _match(lhs_bindings={}, rhs_bindings={})
+    output = build_output_document(match, lhs, rhs)
+    assert [c.tag for c in output.root.children] == ["book", "blog"]
+
+
+def test_output_document_serializes():
+    lhs = XmlDocument(element("book", element("title", text="A & B")), docid="d1")
+    rhs = XmlDocument(element("blog", element("title", text="A & B")), docid="d2")
+    output = build_output_document(_match(lhs_bindings={}, rhs_bindings={}), lhs, rhs)
+    text = to_xml(output)
+    assert "A &amp; B" in text
+    assert text.count("<title>") == 2

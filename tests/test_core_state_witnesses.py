@@ -1,0 +1,112 @@
+"""Unit tests for the join state (Algorithm 2) and witness relation encoding."""
+
+import pytest
+
+from repro.core import JoinState, WitnessRelations
+from repro.xmlmodel import parse_document
+from repro.xpath import XPathEvaluator
+from repro.xpath.pattern import simple_pattern
+
+
+@pytest.fixture
+def witnesses() -> WitnessRelations:
+    evaluator = XPathEvaluator()
+    evaluator.register_pattern(
+        simple_pattern("S", "x1", "//book", {"x2": ".//author", "x3": ".//title"})
+    )
+    doc = parse_document(
+        "<book><author>Ada</author><title>Streams</title></book>",
+        docid="b1",
+        timestamp=4.0,
+    )
+    return WitnessRelations.from_witnesses(evaluator.evaluate(doc))
+
+
+def test_witness_relations_from_stage1(witnesses):
+    assert witnesses.docid == "b1"
+    assert witnesses.timestamp == 4.0
+    assert not witnesses.is_empty
+    assert set(witnesses.rbinw.rows) == {("x1", "x2", 0, 1), ("x1", "x3", 0, 2)}
+    assert ("x2", 1) in witnesses.rvarw.rows
+    assert (1, "Ada") in witnesses.rdocw.rows
+    assert witnesses.rdoctsw.rows == [("b1", 4.0)]
+
+
+def test_witness_relations_empty():
+    empty = WitnessRelations.empty("d9", 1.5)
+    assert empty.is_empty
+    assert empty.rdoctsw.rows == [("d9", 1.5)]
+    assert set(empty.relations()) == {"RbinW", "RdocW", "RvarW", "RdocTSW"}
+
+
+def test_witness_relations_from_rows():
+    w = WitnessRelations.from_rows(
+        "d1", 2.0, rbinw_rows=[("a", "b", 0, 1)], rdocw_rows=[(1, "v")], rvarw_rows=[("b", 1)]
+    )
+    assert len(w.rbinw) == 1
+    assert len(w.rdocw) == 1
+    assert len(w.rvarw) == 1
+
+
+def test_state_merge_adds_docid_column(witnesses):
+    state = JoinState()
+    state.merge(witnesses)
+    assert state.num_documents == 1
+    assert ("b1", "x1", "x2", 0, 1) in state.rbin.rows
+    assert ("b1", 1, "Ada") in state.rdoc.rows
+    assert ("b1", "x2", 1) in state.rvar.rows
+    assert state.timestamp_of("b1") == 4.0
+
+
+def test_state_merge_accumulates(witnesses):
+    state = JoinState()
+    state.merge(witnesses)
+    other = WitnessRelations.from_rows("b2", 9.0, [("x1", "x2", 0, 1)], [(1, "Bob")])
+    state.merge(other)
+    assert state.num_documents == 2
+    assert len(state.rbin) == 3
+
+
+def test_insert_document_rows():
+    state = JoinState()
+    state.insert_document_rows(
+        "d1", 1.0, rbin_rows=[("a", "b", 0, 1)], rdoc_rows=[(1, "x")], rvar_rows=[("b", 1)]
+    )
+    assert state.rbin.rows == [("d1", "a", "b", 0, 1)]
+    assert state.rdoc.rows == [("d1", 1, "x")]
+    assert state.rvar.rows == [("d1", "b", 1)]
+    assert state.rdocts.rows == [("d1", 1.0)]
+
+
+def test_prune_drops_old_documents(witnesses):
+    state = JoinState()
+    state.merge(witnesses)  # timestamp 4.0
+    state.insert_document_rows("old", 1.0, [("a", "b", 0, 1)], [(1, "v")])
+    removed = state.prune(min_timestamp=3.0)
+    assert removed == 1
+    assert state.num_documents == 1
+    assert all(row[0] != "old" for row in state.rbin.rows)
+    assert all(row[0] != "old" for row in state.rdocts.rows)
+
+
+def test_prune_noop_when_everything_recent(witnesses):
+    state = JoinState()
+    state.merge(witnesses)
+    assert state.prune(min_timestamp=0.0) == 0
+    assert state.num_documents == 1
+
+
+def test_clear(witnesses):
+    state = JoinState()
+    state.merge(witnesses)
+    state.clear()
+    assert state.num_documents == 0
+    assert len(state.rbin) == 0
+
+
+def test_relations_mapping(witnesses):
+    state = JoinState()
+    state.merge(witnesses)
+    relations = state.relations()
+    assert set(relations) == {"Rbin", "Rdoc", "Rvar", "RdocTS"}
+    assert relations["Rbin"] is state.rbin

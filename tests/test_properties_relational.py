@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the relational substrate.
+
+These check algebraic laws of the operators and the equivalence of the
+conjunctive-query evaluator with a brute-force nested-loop reference
+implementation on random instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import ConjunctiveQuery, Relation, Var, evaluate_conjunctive
+from repro.relational import operators as ops
+
+# Small value domains keep the instances interesting (collisions happen).
+values = st.integers(min_value=0, max_value=4)
+rows2 = st.lists(st.tuples(values, values), max_size=12)
+rows3 = st.lists(st.tuples(values, values, values), max_size=12)
+
+
+def _rel(schema, rows, name="r"):
+    return Relation(schema, rows=rows, name=name)
+
+
+@given(rows2, rows2)
+def test_union_is_commutative_up_to_multiset(a_rows, b_rows):
+    a, b = _rel(["x", "y"], a_rows), _rel(["x", "y"], b_rows)
+    assert sorted(ops.union(a, b).rows) == sorted(ops.union(b, a).rows)
+
+
+@given(rows2, rows2)
+def test_difference_then_intersection_disjoint(a_rows, b_rows):
+    a, b = _rel(["x", "y"], a_rows), _rel(["x", "y"], b_rows)
+    diff = set(ops.difference(a, b).rows)
+    inter = set(ops.intersection(a, b).rows)
+    assert diff.isdisjoint(inter)
+    assert diff | inter == set(a.rows)
+
+
+@given(rows2)
+def test_project_distinct_idempotent(a_rows):
+    a = _rel(["x", "y"], a_rows)
+    once = ops.project(a, ["y"], distinct=True)
+    twice = ops.project(once, ["y"], distinct=True)
+    assert sorted(once.rows) == sorted(twice.rows)
+    assert len(once) <= len(a)
+
+
+@given(rows2, rows3)
+def test_equi_join_matches_nested_loop(a_rows, b_rows):
+    a = _rel(["x", "y"], a_rows, "a")
+    b = _rel(["u", "v", "w"], b_rows, "b")
+    joined = ops.equi_join(a, b, on=[("y", "u")])
+    expected = sorted(ar + br for ar in a_rows for br in b_rows if ar[1] == br[0])
+    assert sorted(joined.rows) == expected
+
+
+@given(rows2, rows3)
+def test_semijoin_antijoin_partition_left(a_rows, b_rows):
+    a = _rel(["x", "y"], a_rows, "a")
+    b = _rel(["u", "v", "w"], b_rows, "b")
+    semi = ops.semijoin(a, b, on=[("y", "u")])
+    anti = ops.antijoin(a, b, on=[("y", "u")])
+    assert sorted(semi.rows + anti.rows) == sorted(a.rows)
+
+
+@given(rows2, rows3)
+def test_natural_join_consistent_with_equi_join(a_rows, b_rows):
+    a = _rel(["x", "k"], a_rows, "a")
+    b = _rel(["k", "v", "w"], b_rows, "b")
+    natural = ops.natural_join(a, b)
+    expected = sorted(
+        ar + br[1:] for ar in a_rows for br in b_rows if ar[1] == br[0]
+    )
+    assert sorted(natural.rows) == expected
+
+
+def _brute_force_two_hop(edge_rows):
+    return sorted({(a, c) for a, b in edge_rows for b2, c in edge_rows if b == b2})
+
+
+@given(rows2)
+@settings(max_examples=60)
+def test_conjunctive_query_matches_brute_force(edge_rows):
+    edges = _rel(["src", "dst"], edge_rows, "edge")
+    cq = ConjunctiveQuery("out", ["a", "c"], [Var("a"), Var("c")])
+    cq.add_atom("edge", [Var("a"), Var("b")])
+    cq.add_atom("edge", [Var("b"), Var("c")])
+    result = evaluate_conjunctive(cq, {"edge": edges})
+    assert sorted(result.rows) == _brute_force_two_hop(edge_rows)
+
+
+@given(rows2, rows2)
+@settings(max_examples=60)
+def test_conjunctive_query_order_invariance(a_rows, b_rows):
+    """Greedy and given join orders must produce identical results."""
+    a = _rel(["x", "y"], a_rows, "a")
+    b = _rel(["y", "z"], b_rows, "b")
+    cq = ConjunctiveQuery("out", ["x", "z"], [Var("x"), Var("z")])
+    cq.add_atom("a", [Var("x"), Var("y")])
+    cq.add_atom("b", [Var("y"), Var("z")])
+    env = {"a": a, "b": b}
+    greedy = evaluate_conjunctive(cq, env, order="greedy")
+    given_order = evaluate_conjunctive(cq, env, order="given")
+    assert sorted(greedy.rows) == sorted(given_order.rows)
+
+
+@given(rows3)
+def test_distinct_count_matches_set_semantics(rows):
+    rel = _rel(["a", "b", "c"], rows)
+    for column in range(3):
+        assert rel.distinct_count(column) == len({r[column] for r in rows})
+    # Cache stays correct after inserting more rows.
+    rel.insert((9, 9, 9))
+    assert rel.distinct_count(0) == len({r[0] for r in rel.rows})

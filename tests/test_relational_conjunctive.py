@@ -1,0 +1,167 @@
+"""Unit tests for conjunctive-query evaluation."""
+
+import pytest
+
+from repro.relational import (
+    Atom,
+    ConjunctiveQuery,
+    Const,
+    Database,
+    Relation,
+    SchemaError,
+    Var,
+    evaluate_conjunctive,
+)
+
+
+@pytest.fixture
+def graph_db() -> dict[str, Relation]:
+    edges = Relation(["src", "dst"], rows=[(1, 2), (2, 3), (3, 4), (1, 3)], name="edge")
+    labels = Relation(["node", "label"], rows=[(1, "a"), (2, "b"), (3, "b"), (4, "c")], name="label")
+    return {"edge": edges, "label": labels}
+
+
+def test_single_atom_query(graph_db):
+    cq = ConjunctiveQuery("out", ["s", "d"], [Var("x"), Var("y")])
+    cq.add_atom("edge", [Var("x"), Var("y")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert sorted(result.rows) == [(1, 2), (1, 3), (2, 3), (3, 4)]
+
+
+def test_join_two_atoms(graph_db):
+    """Two-hop paths: edge(x,y), edge(y,z)."""
+    cq = ConjunctiveQuery("out", ["x", "z"], [Var("x"), Var("z")])
+    cq.add_atom("edge", [Var("x"), Var("y")])
+    cq.add_atom("edge", [Var("y"), Var("z")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert sorted(result.rows) == [(1, 3), (1, 4), (2, 4)]
+
+
+def test_constant_filter(graph_db):
+    cq = ConjunctiveQuery("out", ["n"], [Var("n")])
+    cq.add_atom("label", [Var("n"), Const("b")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert sorted(result.rows) == [(2,), (3,)]
+
+
+def test_repeated_variable_within_atom():
+    loops = Relation(["a", "b"], rows=[(1, 1), (1, 2), (3, 3)], name="r")
+    cq = ConjunctiveQuery("out", ["x"], [Var("x")])
+    cq.add_atom("r", [Var("x"), Var("x")])
+    result = evaluate_conjunctive(cq, {"r": loops})
+    assert sorted(result.rows) == [(1,), (3,)]
+
+
+def test_cross_atom_variable_sharing(graph_db):
+    """Nodes with label 'b' that have an outgoing edge."""
+    cq = ConjunctiveQuery("out", ["n", "to"], [Var("n"), Var("m")])
+    cq.add_atom("label", [Var("n"), Const("b")])
+    cq.add_atom("edge", [Var("n"), Var("m")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert sorted(result.rows) == [(2, 3), (3, 4)]
+
+
+def test_constant_in_head(graph_db):
+    cq = ConjunctiveQuery("out", ["tag", "n"], [Const("hit"), Var("n")])
+    cq.add_atom("label", [Var("n"), Const("c")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert result.rows == [("hit", 4)]
+
+
+def test_distinct_head_rows(graph_db):
+    cq = ConjunctiveQuery("out", ["l"], [Var("l")])
+    cq.add_atom("label", [Var("n"), Var("l")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert sorted(result.rows) == [("a",), ("b",), ("c",)]
+
+
+def test_non_distinct_head_rows(graph_db):
+    cq = ConjunctiveQuery("out", ["l"], [Var("l")], distinct=False)
+    cq.add_atom("label", [Var("n"), Var("l")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert len(result) == 4
+
+
+def test_empty_result_when_an_atom_is_empty(graph_db):
+    graph_db["empty"] = Relation(["x"], name="empty")
+    cq = ConjunctiveQuery("out", ["x"], [Var("x")])
+    cq.add_atom("edge", [Var("x"), Var("y")])
+    cq.add_atom("empty", [Var("x")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert len(result) == 0
+    assert result.schema.attributes == ("x",)
+
+
+def test_unbound_head_variable_raises(graph_db):
+    cq = ConjunctiveQuery("out", ["z"], [Var("z")])
+    cq.add_atom("edge", [Var("x"), Var("y")])
+    with pytest.raises(SchemaError):
+        evaluate_conjunctive(cq, graph_db)
+
+
+def test_arity_mismatch_raises(graph_db):
+    cq = ConjunctiveQuery("out", ["x"], [Var("x")])
+    cq.add_atom("edge", [Var("x")])
+    with pytest.raises(SchemaError):
+        evaluate_conjunctive(cq, graph_db)
+
+
+def test_unknown_relation_raises(graph_db):
+    cq = ConjunctiveQuery("out", ["x"], [Var("x")])
+    cq.add_atom("missing", [Var("x")])
+    with pytest.raises((SchemaError, KeyError)):
+        evaluate_conjunctive(cq, graph_db)
+
+
+def test_given_order_matches_greedy(graph_db):
+    cq = ConjunctiveQuery("out", ["x", "z"], [Var("x"), Var("z")])
+    cq.add_atom("edge", [Var("x"), Var("y")])
+    cq.add_atom("edge", [Var("y"), Var("z")])
+    cq.add_atom("label", [Var("z"), Const("c")])
+    greedy = evaluate_conjunctive(cq, graph_db, order="greedy")
+    given = evaluate_conjunctive(cq, graph_db, order="given")
+    assert sorted(greedy.rows) == sorted(given.rows)
+
+
+def test_explicit_order(graph_db):
+    cq = ConjunctiveQuery("out", ["x"], [Var("x")])
+    a1 = cq.add_atom("edge", [Var("x"), Var("y")])
+    a2 = cq.add_atom("label", [Var("y"), Const("b")])
+    result = evaluate_conjunctive(cq, graph_db, order=[a2, a1])
+    assert sorted(result.rows) == [(1,), (2,)]
+
+
+def test_invalid_order_strategy(graph_db):
+    cq = ConjunctiveQuery("out", ["x"], [Var("x")])
+    cq.add_atom("label", [Var("x"), Var("y")])
+    with pytest.raises(ValueError):
+        evaluate_conjunctive(cq, graph_db, order="fastest")
+
+
+def test_works_with_database_catalog(graph_db):
+    db = Database()
+    for name, rel in graph_db.items():
+        db.create_or_replace(name, rel)
+    cq = ConjunctiveQuery("out", ["x"], [Var("x")])
+    cq.add_atom("label", [Var("x"), Const("a")])
+    result = evaluate_conjunctive(cq, db)
+    assert result.rows == [(1,)]
+
+
+def test_head_arity_mismatch_rejected():
+    with pytest.raises(SchemaError):
+        ConjunctiveQuery("out", ["a", "b"], [Var("a")])
+
+
+def test_cartesian_when_atoms_share_no_variables(graph_db):
+    cq = ConjunctiveQuery("out", ["n", "m"], [Var("n"), Var("m")], distinct=False)
+    cq.add_atom("label", [Var("n"), Const("a")])
+    cq.add_atom("label", [Var("m"), Const("c")])
+    result = evaluate_conjunctive(cq, graph_db)
+    assert result.rows == [(1, 4)]
+
+
+def test_atom_repr_and_variables():
+    atom = Atom("r", [Var("x"), Const(5)])
+    assert "r(" in repr(atom)
+    assert [v.name for v in atom.variables] == ["x"]

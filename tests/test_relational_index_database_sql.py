@@ -1,0 +1,152 @@
+"""Unit tests for hash indexes, the catalog and SQL rendering."""
+
+import pytest
+
+from repro.relational import (
+    ConjunctiveQuery,
+    Const,
+    Database,
+    HashIndex,
+    Relation,
+    SchemaError,
+    Var,
+    render_sql,
+    term,
+)
+
+
+# --------------------------------------------------------------------------- #
+# HashIndex
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def rdoc() -> Relation:
+    return Relation(
+        ["docid", "node", "strVal"],
+        rows=[("d1", 1, "Ada"), ("d1", 2, "Streams"), ("d2", 1, "Ada")],
+        name="Rdoc",
+    )
+
+
+def test_index_lookup(rdoc):
+    index = HashIndex(rdoc, ["strVal"])
+    assert len(index.lookup("Ada")) == 2
+    assert index.lookup("nothing") == []
+
+
+def test_index_composite_key(rdoc):
+    index = HashIndex(rdoc, ["docid", "node"])
+    assert index.lookup("d1", 2) == [("d1", 2, "Streams")]
+
+
+def test_index_lookup_relation(rdoc):
+    index = HashIndex(rdoc, ["docid"])
+    subset = index.lookup_relation("d1", name="d1-only")
+    assert isinstance(subset, Relation)
+    assert len(subset) == 2
+
+
+def test_index_add_row_and_contains(rdoc):
+    index = HashIndex(rdoc, ["strVal"])
+    index.add_row(("d3", 5, "Joins"))
+    assert ("Joins",) in index
+    assert "Ada" in index  # scalar keys are wrapped automatically
+    assert len(index) == 3
+
+
+def test_index_keys(rdoc):
+    index = HashIndex(rdoc, ["docid"])
+    assert sorted(index.keys()) == [("d1",), ("d2",)]
+
+
+# --------------------------------------------------------------------------- #
+# Database
+# --------------------------------------------------------------------------- #
+def test_database_create_and_get():
+    db = Database()
+    rel = db.create("Rbin", ["docid", "var1", "var2", "node1", "node2"])
+    assert db.get("Rbin") is rel
+    assert "Rbin" in db
+    assert db.names() == ["Rbin"]
+
+
+def test_database_duplicate_create_rejected():
+    db = Database()
+    db.create("R", ["a"])
+    with pytest.raises(SchemaError):
+        db.create("R", ["a"])
+
+
+def test_database_create_or_replace():
+    db = Database()
+    db.create("R", ["a"])
+    replacement = Relation(["a", "b"], rows=[(1, 2)])
+    db.create_or_replace("R", replacement)
+    assert db.get("R") is replacement
+    assert db.get("R").name == "R"
+
+
+def test_database_missing_relation():
+    with pytest.raises(SchemaError):
+        Database().get("nope")
+
+
+def test_database_drop_and_total_rows():
+    db = Database()
+    db.create("R", ["a"]).insert_many([(1,), (2,)])
+    db.create("S", ["b"]).insert((3,))
+    assert db.total_rows() == 3
+    db.drop("S")
+    assert "S" not in db
+    db.drop("S")  # idempotent
+
+
+def test_database_iteration():
+    db = Database()
+    db.create("A", ["x"])
+    db.create("B", ["x"])
+    assert sorted(db) == ["A", "B"]
+
+
+# --------------------------------------------------------------------------- #
+# term coercion and SQL rendering
+# --------------------------------------------------------------------------- #
+def test_term_coercion():
+    assert term("?x") == Var("x")
+    assert term("plain") == Const("plain")
+    assert term(5) == Const(5)
+    assert term(Var("y")) == Var("y")
+    assert term("?") == Const("?")
+
+
+def test_render_sql_with_schemas():
+    cq = ConjunctiveQuery("out", ["person", "city"], [Var("p"), Var("c")])
+    cq.add_atom("lives", [Var("p"), Var("c")])
+    cq.add_atom("capital", [Var("c"), Const("yes")])
+    sql = render_sql(cq, {"lives": ["person", "city"], "capital": ["city", "flag"]})
+    assert "FROM lives AS t0, capital AS t1" in sql
+    assert "t1.city = t0.city" in sql
+    assert "t1.flag = 'yes'" in sql
+    assert sql.startswith("SELECT DISTINCT t0.person AS person")
+
+
+def test_render_sql_positional_columns():
+    cq = ConjunctiveQuery("out", ["a"], [Var("x")], distinct=False)
+    cq.add_atom("r", [Var("x"), Const(3)])
+    sql = render_sql(cq)
+    assert "t0.c1 = 3" in sql
+    assert "DISTINCT" not in sql
+
+
+def test_render_sql_escapes_strings_and_infinity():
+    cq = ConjunctiveQuery("out", ["a"], [Var("x")])
+    cq.add_atom("r", [Var("x"), Const("O'Reilly"), Const(float("inf"))])
+    sql = render_sql(cq)
+    assert "'O''Reilly'" in sql
+    assert "'infinity'" in sql
+
+
+def test_render_sql_unbound_head_variable_rejected():
+    cq = ConjunctiveQuery("out", ["a"], [Var("missing")])
+    cq.add_atom("r", [Const(1)])
+    with pytest.raises(ValueError):
+        render_sql(cq)

@@ -1,0 +1,132 @@
+"""Unit tests for the relational operators."""
+
+import pytest
+
+from repro.relational import Relation, SchemaError
+from repro.relational import operators as ops
+
+
+@pytest.fixture
+def employees() -> Relation:
+    return Relation(
+        ["emp", "dept", "salary"],
+        rows=[("ada", "eng", 120), ("grace", "eng", 130), ("alan", "math", 110)],
+        name="employees",
+    )
+
+
+@pytest.fixture
+def departments() -> Relation:
+    return Relation(
+        ["dept", "building"],
+        rows=[("eng", "B1"), ("math", "B2"), ("bio", "B3")],
+        name="departments",
+    )
+
+
+def test_select(employees):
+    rich = ops.select(employees, lambda r: r["salary"] > 115)
+    assert {row[0] for row in rich} == {"ada", "grace"}
+
+
+def test_select_eq(employees):
+    eng = ops.select_eq(employees, "dept", "eng")
+    assert len(eng) == 2
+
+
+def test_project_keeps_duplicates_by_default(employees):
+    depts = ops.project(employees, ["dept"])
+    assert depts.rows == [("eng",), ("eng",), ("math",)]
+
+
+def test_project_distinct(employees):
+    depts = ops.project(employees, ["dept"], distinct=True)
+    assert sorted(depts.rows) == [("eng",), ("math",)]
+
+
+def test_project_reorders_columns(employees):
+    swapped = ops.project(employees, ["salary", "emp"])
+    assert swapped.rows[0] == (120, "ada")
+
+
+def test_rename(employees):
+    renamed = ops.rename(employees, {"emp": "person"})
+    assert renamed.schema.attributes == ("person", "dept", "salary")
+    assert renamed.rows == employees.rows
+
+
+def test_union_bag_and_set():
+    a = Relation(["x"], rows=[(1,), (2,)])
+    b = Relation(["x"], rows=[(2,), (3,)])
+    assert len(ops.union(a, b)) == 4
+    assert len(ops.union(a, b, distinct_rows=True)) == 3
+
+
+def test_union_schema_mismatch(employees, departments):
+    with pytest.raises(SchemaError):
+        ops.union(employees, departments)
+
+
+def test_difference():
+    a = Relation(["x"], rows=[(1,), (2,), (3,)])
+    b = Relation(["x"], rows=[(2,)])
+    assert sorted(ops.difference(a, b).rows) == [(1,), (3,)]
+
+
+def test_intersection():
+    a = Relation(["x"], rows=[(1,), (2,), (2,)])
+    b = Relation(["x"], rows=[(2,), (3,)])
+    assert ops.intersection(a, b).rows == [(2,)]
+
+
+def test_cartesian(employees, departments):
+    product = ops.cartesian(ops.project(employees, ["emp"]), departments)
+    assert len(product) == len(employees) * len(departments)
+    assert product.schema.attributes == ("emp", "dept", "building")
+
+
+def test_equi_join(employees, departments):
+    joined = ops.equi_join(employees, departments, on=[("dept", "dept")])
+    assert len(joined) == 3
+    # Right-side attribute that collides gets the _r suffix.
+    assert "dept_r" in joined.schema
+    buildings = {row[joined.schema.index_of("building")] for row in joined}
+    assert buildings == {"B1", "B2"}
+
+
+def test_equi_join_no_matches():
+    a = Relation(["k", "v"], rows=[(1, "a")])
+    b = Relation(["k", "w"], rows=[(2, "b")])
+    assert len(ops.equi_join(a, b, on=[("k", "k")])) == 0
+
+
+def test_natural_join(employees, departments):
+    joined = ops.natural_join(employees, departments)
+    assert joined.schema.attributes == ("emp", "dept", "salary", "building")
+    assert len(joined) == 3
+
+
+def test_natural_join_without_shared_attributes_is_cartesian():
+    a = Relation(["a"], rows=[(1,), (2,)])
+    b = Relation(["b"], rows=[(3,)])
+    assert len(ops.natural_join(a, b)) == 2
+
+
+def test_semijoin(employees, departments):
+    only_listed = ops.semijoin(departments, employees, on=[("dept", "dept")])
+    assert sorted(row[0] for row in only_listed) == ["eng", "math"]
+
+
+def test_antijoin(employees, departments):
+    unused = ops.antijoin(departments, employees, on=[("dept", "dept")])
+    assert [row[0] for row in unused] == ["bio"]
+
+
+def test_group_count(employees):
+    counts = ops.group_count(employees, ["dept"])
+    assert dict((r[0], r[1]) for r in counts) == {"eng": 2, "math": 1}
+
+
+def test_distinct_operator():
+    a = Relation(["x"], rows=[(1,), (1,), (2,)])
+    assert len(ops.distinct(a)) == 2

@@ -1,0 +1,114 @@
+"""Unit tests for the Relation container."""
+
+import pytest
+
+from repro.relational import Relation, RelationSchema, SchemaError
+
+
+@pytest.fixture
+def people() -> Relation:
+    return Relation(
+        ["name", "city"],
+        rows=[("ada", "london"), ("grace", "nyc"), ("ada", "london")],
+        name="people",
+    )
+
+
+def test_schema_coerced_from_attribute_list():
+    relation = Relation(["a", "b"])
+    assert isinstance(relation.schema, RelationSchema)
+    assert relation.schema.attributes == ("a", "b")
+
+
+def test_insert_and_len(people):
+    assert len(people) == 3
+    people.insert(("alan", "cambridge"))
+    assert len(people) == 4
+
+
+def test_insert_wrong_arity_raises(people):
+    with pytest.raises(SchemaError):
+        people.insert(("only-one",))
+
+
+def test_insert_dict(people):
+    people.insert_dict({"city": "zurich", "name": "niklaus"})
+    assert people.rows[-1] == ("niklaus", "zurich")
+
+
+def test_insert_dict_missing_attribute_raises(people):
+    with pytest.raises(SchemaError):
+        people.insert_dict({"name": "x"})
+
+
+def test_insert_many():
+    relation = Relation(["a"])
+    relation.insert_many([(1,), (2,), (3,)])
+    assert relation.rows == [(1,), (2,), (3,)]
+
+
+def test_iteration_yields_tuples(people):
+    assert all(isinstance(row, tuple) for row in people)
+
+
+def test_column(people):
+    assert people.column("name") == ["ada", "grace", "ada"]
+
+
+def test_row_dicts(people):
+    first = next(people.row_dicts())
+    assert first == {"name": "ada", "city": "london"}
+
+
+def test_value_accessor(people):
+    row = people.rows[1]
+    assert people.value(row, "city") == "nyc"
+
+
+def test_distinct_removes_duplicates(people):
+    distinct = people.distinct()
+    assert len(distinct) == 2
+    assert len(people) == 3  # original untouched
+
+
+def test_where_filters_rows(people):
+    only_ada = people.where(lambda row: row["name"] == "ada")
+    assert len(only_ada) == 2
+
+
+def test_copy_is_independent(people):
+    clone = people.copy()
+    clone.insert(("new", "rome"))
+    assert len(people) == 3
+    assert len(clone) == 4
+
+
+def test_extend_requires_same_schema(people):
+    other = Relation(["name", "city"], rows=[("x", "y")])
+    people.extend(other)
+    assert len(people) == 4
+    with pytest.raises(SchemaError):
+        people.extend(Relation(["a", "b"], rows=[(1, 2)]))
+
+
+def test_equality_ignores_row_order():
+    a = Relation(["x"], rows=[(1,), (2,)])
+    b = Relation(["x"], rows=[(2,), (1,)])
+    assert a == b
+
+
+def test_relations_are_unhashable(people):
+    with pytest.raises(TypeError):
+        hash(people)
+
+
+def test_empty_like(people):
+    empty = Relation.empty_like(people)
+    assert empty.schema == people.schema
+    assert len(empty) == 0
+
+
+def test_clear(people):
+    people.clear()
+    assert len(people) == 0
+    assert not people

@@ -1,0 +1,77 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.relational import RelationSchema, SchemaError
+
+
+def test_attributes_preserved_in_order():
+    schema = RelationSchema(["docid", "node", "strVal"])
+    assert schema.attributes == ("docid", "node", "strVal")
+    assert list(schema) == ["docid", "node", "strVal"]
+    assert len(schema) == 3
+
+
+def test_index_of_returns_positions():
+    schema = RelationSchema(["a", "b", "c"])
+    assert schema.index_of("a") == 0
+    assert schema.index_of("c") == 2
+    assert schema.indexes_of(["c", "a"]) == (2, 0)
+
+
+def test_index_of_unknown_attribute_raises():
+    schema = RelationSchema(["a"])
+    with pytest.raises(SchemaError):
+        schema.index_of("missing")
+
+
+def test_contains():
+    schema = RelationSchema(["a", "b"])
+    assert "a" in schema
+    assert "z" not in schema
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(SchemaError):
+        RelationSchema(["a", "a"])
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        RelationSchema([])
+
+
+def test_non_string_attribute_rejected():
+    with pytest.raises(SchemaError):
+        RelationSchema(["a", 3])
+
+
+def test_equality_and_hash():
+    assert RelationSchema(["a", "b"]) == RelationSchema(["a", "b"])
+    assert RelationSchema(["a", "b"]) != RelationSchema(["b", "a"])
+    assert hash(RelationSchema(["a"])) == hash(RelationSchema(["a"]))
+
+
+def test_project_preserves_requested_order():
+    schema = RelationSchema(["a", "b", "c"])
+    assert schema.project(["c", "a"]).attributes == ("c", "a")
+
+
+def test_project_unknown_attribute_raises():
+    with pytest.raises(SchemaError):
+        RelationSchema(["a"]).project(["a", "b"])
+
+
+def test_rename():
+    schema = RelationSchema(["a", "b"]).rename({"a": "x"})
+    assert schema.attributes == ("x", "b")
+
+
+def test_concat():
+    combined = RelationSchema(["a"]).concat(RelationSchema(["b", "c"]))
+    assert combined.attributes == ("a", "b", "c")
+
+
+def test_concat_collision_raises():
+    with pytest.raises(SchemaError):
+        RelationSchema(["a"]).concat(RelationSchema(["a"]))

@@ -1,0 +1,120 @@
+"""Unit tests for the per-template conjunctive query construction."""
+
+import pytest
+
+from repro.relational import render_sql
+from repro.templates import (
+    JoinGraph,
+    QueryTemplate,
+    RELATION_SCHEMAS,
+    build_cqt,
+    build_cqt_materialized,
+    reduce_join_graph,
+)
+from repro.xscl import parse_query
+from tests.conftest import PAPER_Q1, PAPER_WINDOWS
+
+
+def _template(text: str, template_id: int = 0) -> QueryTemplate:
+    reduced = reduce_join_graph(
+        JoinGraph.from_query(parse_query(text, window_symbols=PAPER_WINDOWS))
+    )
+    template, _ = QueryTemplate.from_reduced(template_id, reduced)
+    return template
+
+
+@pytest.fixture
+def q1_template() -> QueryTemplate:
+    return _template(PAPER_Q1)
+
+
+def _atom_counts(cq):
+    counts: dict[str, int] = {}
+    for atom in cq.body:
+        counts[atom.relation] = counts.get(atom.relation, 0) + 1
+    return counts
+
+
+def test_cqt_atoms_match_section_4_4(q1_template):
+    """Two value joins -> 2 Rdoc + 2 RdocW; four structural edges -> 2 Rbin + 2 RbinW."""
+    cq = build_cqt(q1_template)
+    counts = _atom_counts(cq)
+    assert counts["Rdoc"] == 2
+    assert counts["RdocW"] == 2
+    assert counts["Rbin"] == 2
+    assert counts["RbinW"] == 2
+    assert counts["RT_0"] == 1
+    assert "Rvar" not in counts and "RvarW" not in counts
+
+
+def test_cqt_head_schema(q1_template):
+    cq = build_cqt(q1_template)
+    assert cq.head_schema[0] == "qid"
+    assert cq.head_schema[1] == "docid1"
+    assert cq.head_schema[-1] == "wl"
+    assert len(cq.head_schema) == 2 + len(q1_template.meta_order) + 1
+
+
+def test_cqt_materialized_uses_rl_rr(q1_template):
+    cq = build_cqt_materialized(q1_template)
+    counts = _atom_counts(cq)
+    assert counts["RL"] == 2
+    assert counts["RR"] == 2
+    assert "Rdoc" not in counts
+    assert "RdocW" not in counts
+    # All four structural edges are carried by the RL/RR atoms.
+    assert "Rbin" not in counts and "RbinW" not in counts
+    assert counts["RT_0"] == 1
+
+
+def test_isolated_nodes_get_unary_atoms():
+    template = _template("S//a->r[.//b->x] FOLLOWED BY{x=u, 1} S//c->r2[.//d->u]")
+    cq = build_cqt(template)
+    counts = _atom_counts(cq)
+    assert counts["Rvar"] == 1
+    assert counts["RvarW"] == 1
+    materialized = build_cqt_materialized(template)
+    counts_vm = _atom_counts(materialized)
+    assert counts_vm["RLvar"] == 1
+    assert counts_vm["RRvar"] == 1
+
+
+def test_internal_structural_edges_kept_in_materialized_form():
+    """Edges between two internal LCA nodes still need Rbin/RbinW atoms."""
+    text = (
+        "S//r->a[.//m->b[.//p->c][.//q->d]][.//n->e[.//s->f]] "
+        "FOLLOWED BY{c=u AND d=v AND f=w, 1} "
+        "S//x->rr[.//y->u][.//z->v][.//t->w]"
+    )
+    template = _template(text)
+    counts = _atom_counts(build_cqt_materialized(template))
+    # The left side has an a->b edge between two internal nodes.
+    assert counts.get("Rbin", 0) == 1
+
+
+def test_atom_arities_match_declared_schemas(q1_template):
+    for cq in (build_cqt(q1_template), build_cqt_materialized(q1_template)):
+        for atom in cq.body:
+            if atom.relation.startswith("RT_"):
+                expected = len(q1_template.rt_schema())
+            else:
+                expected = len(RELATION_SCHEMAS[atom.relation])
+            assert len(atom.terms) == expected, atom.relation
+
+
+def test_sql_rendering_of_cqt(q1_template):
+    cq = build_cqt(q1_template)
+    schemas = dict(RELATION_SCHEMAS)
+    schemas["RT_0"] = q1_template.rt_schema()
+    sql = render_sql(cq, schemas)
+    assert sql.startswith("SELECT DISTINCT")
+    assert "FROM Rdoc AS t0" in sql
+    assert "RT_0" in sql
+    assert "strVal" in sql
+
+
+def test_value_join_string_value_shared_between_rdoc_and_rdocw(q1_template):
+    cq = build_cqt(q1_template)
+    rdoc_s = [a.terms[-1] for a in cq.body if a.relation == "Rdoc"]
+    rdocw_s = [a.terms[-1] for a in cq.body if a.relation == "RdocW"]
+    assert {t.name for t in rdoc_s} == {t.name for t in rdocw_s}

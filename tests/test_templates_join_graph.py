@@ -1,0 +1,75 @@
+"""Unit tests for join graphs."""
+
+import pytest
+
+from repro.templates import JoinGraph, Side
+from repro.xscl import parse_query
+from repro.xscl.errors import XsclSemanticsError
+from tests.conftest import PAPER_Q1, PAPER_WINDOWS
+
+
+@pytest.fixture
+def q1_graph() -> JoinGraph:
+    return JoinGraph.from_query(parse_query(PAPER_Q1, window_symbols=PAPER_WINDOWS))
+
+
+def test_nodes_carry_side_and_variable(q1_graph):
+    assert (Side.LEFT, "x1") in q1_graph.nodes
+    assert (Side.RIGHT, "x5") in q1_graph.nodes
+    assert len(q1_graph.nodes) == 6
+
+
+def test_structural_edges_follow_pattern(q1_graph):
+    assert ((Side.LEFT, "x1"), (Side.LEFT, "x2")) in q1_graph.structural_edges
+    assert ((Side.RIGHT, "x4"), (Side.RIGHT, "x6")) in q1_graph.structural_edges
+    assert len(q1_graph.structural_edges) == 4
+
+
+def test_value_edges_oriented_left_to_right(q1_graph):
+    assert ((Side.LEFT, "x2"), (Side.RIGHT, "x5")) in q1_graph.value_edges
+    assert ((Side.LEFT, "x3"), (Side.RIGHT, "x6")) in q1_graph.value_edges
+    assert q1_graph.num_value_joins == 2
+
+
+def test_value_join_participants(q1_graph):
+    assert set(q1_graph.value_join_participants(Side.LEFT)) == {(Side.LEFT, "x2"), (Side.LEFT, "x3")}
+    assert set(q1_graph.value_join_participants(Side.RIGHT)) == {(Side.RIGHT, "x5"), (Side.RIGHT, "x6")}
+
+
+def test_depth_and_ancestors(q1_graph):
+    assert q1_graph.depth((Side.LEFT, "x1")) == 0
+    assert q1_graph.depth((Side.LEFT, "x2")) == 1
+    assert list(q1_graph.ancestors((Side.LEFT, "x2"))) == [(Side.LEFT, "x1")]
+
+
+def test_lca_same_side(q1_graph):
+    assert q1_graph.lca((Side.LEFT, "x2"), (Side.LEFT, "x3")) == (Side.LEFT, "x1")
+    assert q1_graph.lca((Side.LEFT, "x2"), (Side.LEFT, "x2")) == (Side.LEFT, "x2")
+
+
+def test_lca_across_sides_is_none(q1_graph):
+    assert q1_graph.lca((Side.LEFT, "x2"), (Side.RIGHT, "x5")) is None
+
+
+def test_deep_pattern_depths():
+    query = parse_query(
+        "S//r->a[.//m->b[.//leaf->c]] FOLLOWED BY{c=z, 1} S//r2->w[.//leaf2->z]"
+    )
+    graph = JoinGraph.from_query(query)
+    assert graph.depth((Side.LEFT, "c")) == 2
+    assert list(graph.ancestors((Side.LEFT, "c"))) == [(Side.LEFT, "b"), (Side.LEFT, "a")]
+
+
+def test_single_block_query_rejected():
+    with pytest.raises(XsclSemanticsError):
+        JoinGraph.from_query(parse_query("blog//entry->e"))
+
+
+def test_self_join_nodes_distinguished_by_side():
+    query = parse_query(
+        "S//blog->g[.//author->a] FOLLOWED BY{a=a, 1} S//blog->g[.//author->a]"
+    )
+    graph = JoinGraph.from_query(query)
+    assert (Side.LEFT, "a") in graph.nodes
+    assert (Side.RIGHT, "a") in graph.nodes
+    assert len(graph.nodes) == 4

@@ -1,0 +1,96 @@
+"""Unit tests for the template registry."""
+
+import pytest
+
+from repro.templates import TemplateRegistry
+from repro.workloads.querygen import QueryWorkloadConfig, generate_queries
+from repro.xmlmodel.schema import two_level_schema
+from repro.xscl import parse_query
+from tests.conftest import PAPER_Q1, PAPER_Q2, PAPER_Q3, PAPER_WINDOWS
+
+
+def _paper_query(text: str):
+    return parse_query(text, window_symbols=PAPER_WINDOWS)
+
+
+def test_paper_queries_share_one_template():
+    registry = TemplateRegistry()
+    for qid, text in (("Q1", PAPER_Q1), ("Q2", PAPER_Q2), ("Q3", PAPER_Q3)):
+        registry.add_query(qid, _paper_query(text))
+    assert registry.num_templates == 1
+    assert registry.num_queries == 3
+    template = registry.templates[0]
+    assert registry.queries_of(template) == ["Q1", "Q2", "Q3"]
+    assert registry.template_sizes() == {0: 3}
+
+
+def test_rt_relation_rows_follow_table4a():
+    registry = TemplateRegistry()
+    for qid, text in (("Q1", PAPER_Q1), ("Q2", PAPER_Q2), ("Q3", PAPER_Q3)):
+        registry.add_query(qid, _paper_query(text))
+    rt = registry.rt_relation(registry.templates[0])
+    assert len(rt) == 3
+    by_qid = {row[0]: row for row in rt.rows}
+    assert set(by_qid) == {"Q1", "Q2", "Q3"}
+    # Q1 binds the six distinct variables x1..x6; Q3 repeats x4, x5, x6.
+    assert sorted(by_qid["Q1"][1:-1]) == ["x1", "x2", "x3", "x4", "x5", "x6"]
+    assert sorted(by_qid["Q3"][1:-1]) == ["x4", "x4", "x5", "x5", "x6", "x6"]
+    assert by_qid["Q2"][-1] == 10.0
+
+
+def test_duplicate_qid_rejected():
+    registry = TemplateRegistry()
+    registry.add_query("Q1", _paper_query(PAPER_Q1))
+    with pytest.raises(ValueError):
+        registry.add_query("Q1", _paper_query(PAPER_Q2))
+
+
+def test_different_shapes_get_different_templates():
+    registry = TemplateRegistry()
+    registry.add_query("a", _paper_query(PAPER_Q1))
+    registry.add_query(
+        "b", parse_query("S//a->r[.//b->x] FOLLOWED BY{x=u, 1} S//c->r2[.//d->u]")
+    )
+    assert registry.num_templates == 2
+
+
+def test_number_of_templates_bounded_by_schema_not_queries():
+    """With the Figure 17 generator the template count equals the leaf count."""
+    schema = two_level_schema(4)
+    queries = generate_queries(
+        QueryWorkloadConfig(schema=schema, num_queries=300, zipf_theta=0.0, seed=3)
+    )
+    registry = TemplateRegistry()
+    for i, query in enumerate(queries):
+        registry.add_query(f"q{i}", query)
+    assert registry.num_templates <= schema.num_leaves
+    assert registry.num_queries == 300
+
+
+def test_registry_without_graph_minor_creates_more_templates():
+    schema = two_level_schema(6)
+    queries = generate_queries(
+        QueryWorkloadConfig(schema=schema, num_queries=200, zipf_theta=0.8, seed=5)
+    )
+    with_minor = TemplateRegistry(use_graph_minor=True)
+    without_minor = TemplateRegistry(use_graph_minor=False)
+    for i, query in enumerate(queries):
+        with_minor.add_query(f"q{i}", query)
+        without_minor.add_query(f"q{i}", query)
+    assert without_minor.num_templates >= with_minor.num_templates
+
+
+def test_query_record_accessible():
+    registry = TemplateRegistry()
+    record = registry.add_query("Q1", _paper_query(PAPER_Q1))
+    assert registry.query("Q1") is record
+    assert record.window == 10.0
+    assert record.template is registry.templates[0]
+
+
+def test_cqt_cached_per_template():
+    registry = TemplateRegistry()
+    registry.add_query("Q1", _paper_query(PAPER_Q1))
+    template = registry.templates[0]
+    assert registry.cqt(template) is registry.cqt(template)
+    assert registry.cqt(template, materialized=True) is not registry.cqt(template)

@@ -1,0 +1,99 @@
+"""Unit tests for query templates and isomorphism matching."""
+
+import pytest
+
+from repro.templates import JoinGraph, QueryTemplate, Side, reduce_join_graph
+from repro.xscl import parse_query
+from tests.conftest import PAPER_Q1, PAPER_Q2, PAPER_Q3, PAPER_WINDOWS
+
+
+def _reduced(text: str):
+    return reduce_join_graph(JoinGraph.from_query(parse_query(text, window_symbols=PAPER_WINDOWS)))
+
+
+@pytest.fixture
+def q1_template():
+    template, assignment = QueryTemplate.from_reduced(0, _reduced(PAPER_Q1))
+    return template, assignment
+
+
+def test_template_structure_matches_figure5(q1_template):
+    template, _ = q1_template
+    assert len(template.meta_order) == 6
+    assert len(template.structural_edges) == 4
+    assert len(template.value_edges) == 2
+    sides = [template.node_sides[m] for m in template.meta_order]
+    assert sides.count(Side.LEFT) == 3
+    assert sides.count(Side.RIGHT) == 3
+
+
+def test_creating_assignment_covers_all_meta_vars(q1_template):
+    template, assignment = q1_template
+    assert set(assignment.assignment) == set(template.meta_order)
+    assert set(assignment.assignment.values()) == {"x1", "x2", "x3", "x4", "x5", "x6"}
+
+
+def test_rt_values_order(q1_template):
+    template, assignment = q1_template
+    row = assignment.rt_values("Q1", 10.0)
+    assert row[0] == "Q1"
+    assert row[-1] == 10.0
+    assert len(row) == len(template.meta_order) + 2
+
+
+def test_q2_and_q3_match_q1_template(q1_template):
+    template, _ = q1_template
+    for text in (PAPER_Q2, PAPER_Q3):
+        assignment = template.match(_reduced(text))
+        assert assignment is not None
+        assert set(assignment.assignment) == set(template.meta_order)
+
+
+def test_q3_assignment_uses_same_names_for_both_sides(q1_template):
+    template, _ = q1_template
+    assignment = template.match(_reduced(PAPER_Q3))
+    values = list(assignment.assignment.values())
+    # x4, x5, x6 each appear twice (once per block side).
+    assert sorted(values) == ["x4", "x4", "x5", "x5", "x6", "x6"]
+
+
+def test_non_isomorphic_query_does_not_match(q1_template):
+    template, _ = q1_template
+    single_vj = _reduced("S//a->r[.//b->x] FOLLOWED BY{x=u, 1} S//c->r2[.//d->u]")
+    assert template.match(single_vj) is None
+
+
+def test_side_asymmetry_respected():
+    """1 left leaf vs 2 right leaves is a different template than its mirror."""
+    one_two = _reduced(
+        "S//a->r[.//b->x] FOLLOWED BY{x=u AND x=v, 1} S//c->r2[.//d->u][.//e->v]"
+    )
+    two_one = _reduced(
+        "S//a->r[.//b->x][.//c->y] FOLLOWED BY{x=u AND y=u, 1} S//d->r2[.//e->u]"
+    )
+    template, _ = QueryTemplate.from_reduced(0, one_two)
+    assert template.match(two_one) is None
+    assert template.match(one_two) is not None
+
+
+def test_assignment_respects_graph_structure():
+    """The matched assignment must map value-join partners consistently."""
+    template, _ = QueryTemplate.from_reduced(0, _reduced(PAPER_Q1))
+    assignment = template.match(_reduced(PAPER_Q2))
+    mapping = assignment.assignment
+    for left_meta, right_meta in template.value_edges:
+        left_var, right_var = mapping[left_meta], mapping[right_meta]
+        # Q2's value joins are x2=x5 and x7=x8.
+        assert (left_var, right_var) in {("x2", "x5"), ("x7", "x8")}
+
+
+def test_helper_accessors(q1_template):
+    template, _ = q1_template
+    assert template.rt_relation_name() == "RT_0"
+    assert template.out_relation_name() == "Rout_0"
+    assert template.rt_schema()[0] == "qid"
+    assert template.rt_schema()[-1] == "wl"
+    assert template.isolated_meta_vars() == []
+    assert template.num_value_joins == 2
+    roots = [m for m in template.meta_order if template.structural_parent_of(m) is None]
+    assert len(roots) == 2

@@ -1,0 +1,222 @@
+"""Unit tests for the workload generators (Zipf, synthetic, query gen, RSS)."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    QueryWorkloadConfig,
+    RssStreamConfig,
+    ZipfSampler,
+    build_document,
+    build_technical_benchmark_data,
+    generate_queries,
+    generate_rss_queries,
+    generate_rss_stream,
+    leaf_variable,
+    root_variable,
+)
+from repro.workloads.synthetic import group_variable, leaf_value, node_ids
+from repro.workloads.querygen import generate_query
+from repro.xmlmodel.schema import three_level_schema, two_level_schema
+
+
+# --------------------------------------------------------------------------- #
+# Zipf sampler
+# --------------------------------------------------------------------------- #
+def test_zipf_values_in_range():
+    sampler = ZipfSampler(6, 0.8, random.Random(1))
+    values = sampler.sample_many(500)
+    assert all(1 <= v <= 6 for v in values)
+
+
+def test_zipf_zero_theta_is_roughly_uniform():
+    sampler = ZipfSampler(4, 0.0, random.Random(2))
+    assert sampler.probability(1) == pytest.approx(0.25)
+    assert sampler.probability(4) == pytest.approx(0.25)
+
+
+def test_zipf_skew_prefers_small_values():
+    skewed = ZipfSampler(6, 1.6, random.Random(3))
+    assert skewed.probability(1) > 3 * skewed.probability(6)
+    counts = {k: 0 for k in range(1, 7)}
+    for v in skewed.sample_many(2000):
+        counts[v] += 1
+    assert counts[1] > counts[6]
+
+
+def test_zipf_probabilities_sum_to_one():
+    sampler = ZipfSampler(5, 0.7)
+    assert sum(sampler.probability(k) for k in range(1, 6)) == pytest.approx(1.0)
+    assert sampler.probability(0) == 0.0
+    assert sampler.probability(9) == 0.0
+
+
+def test_zipf_invalid_parameters():
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 0.5)
+    with pytest.raises(ValueError):
+        ZipfSampler(3, -0.1)
+
+
+# --------------------------------------------------------------------------- #
+# synthetic documents / witness relations
+# --------------------------------------------------------------------------- #
+def test_build_document_two_level():
+    schema = two_level_schema(3)
+    doc = build_document(schema, docid="d", timestamp=1.0)
+    assert len(doc) == 4
+    assert doc.node(1).string_value() == leaf_value(0)
+
+
+def test_build_document_three_level():
+    schema = three_level_schema(branching=2)
+    doc = build_document(schema, docid="d", timestamp=1.0)
+    # root + 2 groups + 4 leaves
+    assert len(doc) == 7
+    root_id, group_ids, leaf_ids = node_ids(schema)
+    assert doc.node(group_ids[0]).tag == "section0"
+    assert doc.node(leaf_ids[3]).string_value() == leaf_value(3)
+
+
+def test_build_document_custom_values_validated():
+    schema = two_level_schema(2)
+    doc = build_document(schema, docid="d", timestamp=0.0, leaf_values=["a", "b"])
+    assert doc.node(1).text == "a"
+    with pytest.raises(ValueError):
+        build_document(schema, docid="d", timestamp=0.0, leaf_values=["only-one"])
+
+
+def test_node_ids_match_document_preorder():
+    for schema in (two_level_schema(5), three_level_schema(3)):
+        doc = build_document(schema, docid="d", timestamp=0.0)
+        root_id, group_ids, leaf_ids = node_ids(schema)
+        assert doc.node(root_id).tag == schema.root_tag
+        for g, gid in enumerate(group_ids):
+            assert doc.node(gid).tag == schema.group_tags[g]
+        for i, lid in enumerate(leaf_ids):
+            assert doc.node(lid).tag == schema.leaf_tags[i]
+
+
+def test_technical_benchmark_data_shapes():
+    schema = two_level_schema(6)
+    data = build_technical_benchmark_data(schema)
+    assert len(data.rbin_rows) == 6
+    assert len(data.rdoc_rows) == 7
+    assert len(data.rvar_rows) == 7
+    assert len(data.witness.rbinw) == 6
+    state = data.fresh_state()
+    assert state.num_documents == 1
+    assert state.timestamp_of("d1") == 1.0
+
+
+def test_technical_benchmark_data_three_level_edges():
+    schema = three_level_schema(branching=2)
+    data = build_technical_benchmark_data(schema)
+    root_var = root_variable(schema)
+    # Edges: root->leaf (4), root->group (2), group->leaf (4).
+    assert len(data.rbin_rows) == 10
+    assert any(row[0] == root_var and row[1] == group_variable(schema, 0) for row in data.rbin_rows)
+
+
+def test_leaf_values_shared_between_documents():
+    schema = two_level_schema(4)
+    data = build_technical_benchmark_data(schema)
+    d1_values = {row[1] for row in data.rdoc_rows if str(row[1]).startswith("value_")}
+    d2_values = {row[1] for row in data.witness.rdocw.rows if str(row[1]).startswith("value_")}
+    assert d1_values == d2_values
+    # Internal nodes never collide across documents.
+    d1_internal = {row[1] for row in data.rdoc_rows} - d1_values
+    d2_internal = {row[1] for row in data.witness.rdocw.rows} - d2_values
+    assert d1_internal.isdisjoint(d2_internal)
+
+
+# --------------------------------------------------------------------------- #
+# query generation (Figure 17)
+# --------------------------------------------------------------------------- #
+def test_generate_query_structure_two_level():
+    schema = two_level_schema(6)
+    query = generate_query(schema, 3, random.Random(1))
+    assert len(query.join.predicates) == 3
+    assert query.left.root_variable == root_variable(schema)
+    assert len(query.left.variables()) == 4  # root + 3 leaves
+
+
+def test_generate_query_structure_three_level_binds_intermediates():
+    schema = three_level_schema(branching=4)
+    query = generate_query(schema, 4, random.Random(2))
+    left_vars = query.left.variables()
+    assert root_variable(schema) in left_vars
+    assert any(v.startswith("v_section") for v in left_vars)
+    assert sum(1 for v in left_vars if v.startswith("v_leaf")) == 4
+
+
+def test_generate_query_rejects_bad_counts():
+    schema = two_level_schema(3)
+    with pytest.raises(ValueError):
+        generate_query(schema, 0, random.Random(1))
+    with pytest.raises(ValueError):
+        generate_query(schema, 4, random.Random(1))
+
+
+def test_generate_queries_reproducible_and_sized():
+    schema = two_level_schema(6)
+    config = QueryWorkloadConfig(schema=schema, num_queries=50, seed=99)
+    first = generate_queries(config)
+    second = generate_queries(config)
+    assert len(first) == 50
+    assert [len(q.join.predicates) for q in first] == [len(q.join.predicates) for q in second]
+
+
+def test_workload_config_value_join_bounds():
+    assert QueryWorkloadConfig(schema=two_level_schema(6)).resolved_max_value_joins() == 6
+    assert QueryWorkloadConfig(schema=three_level_schema(4)).resolved_max_value_joins() == 4
+    assert (
+        QueryWorkloadConfig(schema=two_level_schema(6), max_value_joins=3).resolved_max_value_joins()
+        == 3
+    )
+
+
+def test_generated_queries_use_canonical_variable_names():
+    schema = two_level_schema(4)
+    queries = generate_queries(QueryWorkloadConfig(schema=schema, num_queries=20, seed=1))
+    for query in queries:
+        for var in query.left.variables() + query.right.variables():
+            assert var.startswith("v_")
+
+
+# --------------------------------------------------------------------------- #
+# RSS stream simulation
+# --------------------------------------------------------------------------- #
+def test_rss_stream_shape():
+    config = RssStreamConfig(num_items=20, num_channels=3, seed=5)
+    items = list(generate_rss_stream(config))
+    assert len(items) == 20
+    tags = [c.tag for c in items[0].root.children]
+    assert tags == ["item_url", "channel_url", "title", "timestamp", "description"]
+    timestamps = [d.timestamp for d in items]
+    assert timestamps == sorted(timestamps)
+
+
+def test_rss_stream_channel_reuse_and_unique_item_urls():
+    config = RssStreamConfig(num_items=30, num_channels=3, seed=6)
+    items = list(generate_rss_stream(config))
+    channel_urls = [d.node(2).string_value() for d in items]
+    item_urls = [d.node(1).string_value() for d in items]
+    assert len(set(channel_urls)) <= 3
+    assert len(set(item_urls)) == 30
+
+
+def test_rss_stream_reproducible():
+    config = RssStreamConfig(num_items=10, seed=7)
+    a = [d.node(3).string_value() for d in generate_rss_stream(config)]
+    b = [d.node(3).string_value() for d in generate_rss_stream(config)]
+    assert a == b
+
+
+def test_rss_queries_over_item_schema():
+    queries = generate_rss_queries(15, seed=8)
+    assert len(queries) == 15
+    for query in queries:
+        assert query.join.window == float("inf")
+        assert query.left.root_variable == "v_item"

@@ -1,0 +1,93 @@
+"""Unit tests for XML element nodes."""
+
+import pytest
+
+from repro.xmlmodel import XmlDocument, element
+from repro.xmlmodel.node import XmlNode
+
+
+@pytest.fixture
+def tree() -> XmlDocument:
+    root = element(
+        "a",
+        element("b", element("d", text="dd"), element("e", text="ee")),
+        element("c", text="cc"),
+    )
+    return XmlDocument(root, docid="t")
+
+
+def test_empty_tag_rejected():
+    with pytest.raises(ValueError):
+        XmlNode("")
+
+
+def test_append_sets_parent():
+    parent = XmlNode("p")
+    child = parent.append(XmlNode("c"))
+    assert child.parent is parent
+    assert parent.children == [child]
+
+
+def test_is_leaf(tree):
+    assert not tree.root.is_leaf
+    assert tree.node(2).is_leaf  # <d>
+
+
+def test_preorder_ids_follow_document_order(tree):
+    tags = [tree.node(i).tag for i in range(len(tree))]
+    assert tags == ["a", "b", "d", "e", "c"]
+
+
+def test_iter_preorder(tree):
+    assert [n.tag for n in tree.root.iter_preorder()] == ["a", "b", "d", "e", "c"]
+
+
+def test_iter_descendants_excludes_self(tree):
+    assert [n.tag for n in tree.root.iter_descendants()] == ["b", "d", "e", "c"]
+
+
+def test_iter_ancestors(tree):
+    d = tree.node(2)
+    assert [n.tag for n in d.iter_ancestors()] == ["b", "a"]
+
+
+def test_descendant_checks_use_interval_labels(tree):
+    a, b, d, c = tree.node(0), tree.node(1), tree.node(2), tree.node(4)
+    assert d.is_descendant_of(a)
+    assert d.is_descendant_of(b)
+    assert not d.is_descendant_of(c)
+    assert not a.is_descendant_of(d)
+    assert a.is_ancestor_of(d)
+    assert not d.is_descendant_of(d)
+
+
+def test_descendant_check_without_ids_falls_back_to_parents():
+    parent = XmlNode("p")
+    child = parent.append(XmlNode("c"))
+    assert child.is_descendant_of(parent)
+    assert not parent.is_descendant_of(child)
+
+
+def test_string_value_concatenates_descendant_text(tree):
+    assert tree.root.string_value() == "ddeecc"
+    assert tree.node(1).string_value() == "ddee"
+    assert tree.node(4).string_value() == "cc"
+
+
+def test_attributes():
+    node = element("x", attributes={"id": "42"})
+    assert node.attribute("id") == "42"
+    assert node.attribute("missing") is None
+    assert node.attribute("missing", "default") == "default"
+
+
+def test_find_children_and_descendants(tree):
+    assert [n.tag for n in tree.root.find_children("b")] == ["b"]
+    assert [n.tag for n in tree.root.find_children("*")] == ["b", "c"]
+    assert [n.tag for n in tree.root.find_descendants("e")] == ["e"]
+    assert len(tree.root.find_descendants("*")) == 4
+
+
+def test_repr_contains_tag_and_id(tree):
+    assert "a" in repr(tree.root)
+    assert "#0" in repr(tree.root)

@@ -1,0 +1,73 @@
+"""Unit tests for document schema descriptions."""
+
+import pytest
+
+from repro.xmlmodel.schema import (
+    DocumentSchema,
+    rss_item_schema,
+    three_level_schema,
+    two_level_schema,
+)
+
+
+def test_two_level_schema_shape():
+    schema = two_level_schema(6)
+    assert schema.levels == 2
+    assert schema.num_leaves == 6
+    assert schema.groups == ()
+    assert schema.leaf_path(3) == ["item", "leaf3"]
+
+
+def test_two_level_schema_requires_positive_leaves():
+    with pytest.raises(ValueError):
+        two_level_schema(0)
+
+
+def test_three_level_schema_shape():
+    schema = three_level_schema(branching=4)
+    assert schema.levels == 3
+    assert schema.num_leaves == 16
+    assert len(schema.groups) == 4
+    assert all(len(g) == 4 for g in schema.groups)
+
+
+def test_three_level_group_of_leaf():
+    schema = three_level_schema(branching=3)
+    assert schema.group_of_leaf(0) == 0
+    assert schema.group_of_leaf(8) == 2
+
+
+def test_three_level_leaf_path():
+    schema = three_level_schema(branching=2)
+    assert schema.leaf_path(3) == ["record", "section1", "leaf1_1"]
+
+
+def test_group_of_leaf_flat_is_minus_one():
+    assert two_level_schema(3).group_of_leaf(1) == -1
+
+
+def test_groups_must_partition_leaves():
+    with pytest.raises(ValueError):
+        DocumentSchema(
+            root_tag="r",
+            leaf_tags=("a", "b"),
+            groups=((0,),),
+            group_tags=("g",),
+        )
+
+
+def test_groups_and_tags_must_align():
+    with pytest.raises(ValueError):
+        DocumentSchema(
+            root_tag="r",
+            leaf_tags=("a",),
+            groups=((0,),),
+            group_tags=(),
+        )
+
+
+def test_rss_item_schema_has_five_leaves():
+    schema = rss_item_schema()
+    assert schema.num_leaves == 5
+    assert "title" in schema.leaf_tags
+    assert schema.levels == 2

@@ -1,0 +1,99 @@
+"""Unit tests for location paths and their parser."""
+
+import pytest
+
+from repro.xmlmodel import XmlDocument, element
+from repro.xpath import Axis, LocationPath, Step, XPathSyntaxError, parse_path
+from repro.xpath.ast import evaluate_relative
+
+
+def test_parse_descendant_path():
+    path = parse_path("//book//title")
+    assert path.absolute
+    assert [s.axis for s in path] == [Axis.DESCENDANT, Axis.DESCENDANT]
+    assert [s.test for s in path] == ["book", "title"]
+
+
+def test_parse_child_path():
+    path = parse_path("/rss/channel/item")
+    assert [s.axis for s in path] == [Axis.CHILD] * 3
+
+
+def test_parse_relative_path():
+    path = parse_path(".//author")
+    assert not path.absolute
+    assert str(path) == ".//author"
+
+
+def test_parse_wildcard():
+    path = parse_path("//*//title")
+    assert path.steps[0].test == "*"
+    assert path.steps[0].matches("anything")
+
+
+def test_step_matches():
+    step = Step(Axis.CHILD, "book")
+    assert step.matches("book")
+    assert not step.matches("blog")
+
+
+def test_str_roundtrip():
+    for text in ("//a//b", "/a/b", ".//x", "//a/b//c"):
+        assert str(parse_path(text)) == text
+
+
+@pytest.mark.parametrize("bad", ["", "book", "//", "//a[", ".//", "a//b"])
+def test_parse_errors(bad):
+    with pytest.raises(XPathSyntaxError):
+        parse_path(bad)
+
+
+def test_concat_relative():
+    combined = parse_path("//book").concat(parse_path(".//author"))
+    assert str(combined) == "//book//author"
+    assert combined.absolute
+
+
+def test_concat_absolute_rejected():
+    with pytest.raises(XPathSyntaxError):
+        parse_path("//book").concat(parse_path("//author"))
+
+
+def test_uses_only_descendant_axis():
+    assert parse_path("//a//b").uses_only_descendant_axis
+    assert not parse_path("//a/b").uses_only_descendant_axis
+
+
+def test_empty_location_path_rejected():
+    with pytest.raises(XPathSyntaxError):
+        LocationPath(())
+
+
+@pytest.fixture
+def sample_doc() -> XmlDocument:
+    root = element(
+        "library",
+        element("shelf", element("book", element("title", text="A")), element("book", element("title", text="B"))),
+        element("book", element("title", text="C")),
+    )
+    return XmlDocument(root)
+
+
+def test_evaluate_relative_descendant(sample_doc):
+    books = evaluate_relative(parse_path(".//book"), sample_doc.root)
+    assert len(books) == 3
+
+
+def test_evaluate_relative_child(sample_doc):
+    direct = evaluate_relative(parse_path("./book"), sample_doc.root)
+    assert len(direct) == 1
+    assert direct[0].node_id == 6
+
+
+def test_evaluate_relative_multi_step(sample_doc):
+    titles = evaluate_relative(parse_path(".//shelf//title"), sample_doc.root)
+    assert sorted(t.string_value() for t in titles) == ["A", "B"]
+
+
+def test_evaluate_relative_no_match(sample_doc):
+    assert evaluate_relative(parse_path(".//magazine"), sample_doc.root) == []

@@ -1,0 +1,71 @@
+"""Unit tests for variable tree patterns."""
+
+import pytest
+
+from repro.xpath import PatternNode, VariableTreePattern, parse_path
+from repro.xpath.pattern import simple_pattern
+
+
+@pytest.fixture
+def book_pattern() -> VariableTreePattern:
+    """The pattern of Q1's left block: //book->x1[.//author->x2][.//title->x3]."""
+    return simple_pattern("S", "x1", "//book", {"x2": ".//author", "x3": ".//title"})
+
+
+def test_variables_in_pattern_order(book_pattern):
+    assert book_pattern.variables() == ["x1", "x2", "x3"]
+
+
+def test_node_of(book_pattern):
+    assert str(book_pattern.node_of("x2").path) == ".//author"
+    with pytest.raises(KeyError):
+        book_pattern.node_of("unknown")
+
+
+def test_parent_of(book_pattern):
+    assert book_pattern.parent_of("x2") == "x1"
+    assert book_pattern.parent_of("x1") is None
+
+
+def test_parent_of_skips_anonymous_nodes():
+    root = PatternNode("r", parse_path("//a"))
+    anon = root.add_child(PatternNode(None, parse_path(".//b")))
+    anon.add_child(PatternNode("x", parse_path(".//c")))
+    pattern = VariableTreePattern(root=root)
+    assert pattern.parent_of("x") == "r"
+
+
+def test_absolute_path_of(book_pattern):
+    assert str(book_pattern.absolute_path_of("x1")) == "//book"
+    assert str(book_pattern.absolute_path_of("x2")) == "//book//author"
+
+
+def test_relative_path_between(book_pattern):
+    assert str(book_pattern.relative_path_between("x1", "x3")) == ".//title"
+
+
+def test_relative_path_between_spans_multiple_edges():
+    root = PatternNode("r", parse_path("//a"))
+    mid = root.add_child(PatternNode("m", parse_path(".//b")))
+    mid.add_child(PatternNode("x", parse_path(".//c")))
+    pattern = VariableTreePattern(root=root)
+    assert str(pattern.relative_path_between("r", "x")) == ".//b//c"
+
+
+def test_relative_path_between_non_ancestor_raises(book_pattern):
+    with pytest.raises(ValueError):
+        book_pattern.relative_path_between("x2", "x3")
+
+
+def test_definition_key_includes_stream(book_pattern):
+    assert book_pattern.definition_key("x2") == ("S", "//book//author")
+
+
+def test_root_must_be_absolute():
+    with pytest.raises(ValueError):
+        VariableTreePattern(root=PatternNode("x", parse_path(".//a")))
+
+
+def test_iter_nodes_depth_first(book_pattern):
+    variables = [n.variable for n in book_pattern.iter_nodes()]
+    assert variables == ["x1", "x2", "x3"]

@@ -1,0 +1,101 @@
+"""Unit tests for XSCL normalization (canonical names, value-join normal form)."""
+
+import pytest
+
+from repro.xscl import (
+    VariableCatalog,
+    XsclSemanticsError,
+    canonicalize_query,
+    check_value_join_normal_form,
+    parse_query,
+)
+from repro.xscl.normalize import to_value_join_normal_form
+
+
+def _q(text: str):
+    return parse_query(text)
+
+
+def test_catalog_assigns_first_name_as_canonical():
+    catalog = VariableCatalog()
+    name1 = catalog.canonical_name(("S", "//book//author"), "x2")
+    name2 = catalog.canonical_name(("S", "//book//author"), "zz")
+    assert name1 == name2 == "x2"
+    assert catalog.definition_of("x2") == ("S", "//book//author")
+
+
+def test_catalog_disambiguates_name_collisions():
+    catalog = VariableCatalog()
+    assert catalog.canonical_name(("S", "//a"), "x") == "x"
+    other = catalog.canonical_name(("S", "//b"), "x")
+    assert other != "x"
+    assert catalog.definition_of(other) == ("S", "//b")
+
+
+def test_canonicalize_merges_same_definitions_across_queries():
+    catalog = VariableCatalog()
+    q1 = canonicalize_query(
+        _q("S//book->b[.//author->a1] FOLLOWED BY{a1=a2, 1} S//blog->g[.//author->a2]"),
+        catalog,
+    )
+    q2 = canonicalize_query(
+        _q("S//book->bb[.//author->other] FOLLOWED BY{other=a2, 1} S//blog->gg[.//author->a2]"),
+        catalog,
+    )
+    # The second query's //book//author variable is renamed to the first's.
+    assert q2.left.variables() == q1.left.variables() == ["b", "a1"]
+
+
+def test_canonicalize_merges_same_definition_within_one_query():
+    catalog = VariableCatalog()
+    query = canonicalize_query(
+        _q("S//blog->g1[.//author->a1] FOLLOWED BY{a1=a2, 1} S//blog->g2[.//author->a2]"),
+        catalog,
+    )
+    # Both blocks bind //blog and //blog//author: same canonical names.
+    assert query.left.variables() == query.right.variables()
+    pred = query.join.predicates[0]
+    assert pred.left_var == pred.right_var
+
+
+def test_value_join_normal_form_accepts_valid_query():
+    check_value_join_normal_form(
+        _q("S//a->x[.//b->y] FOLLOWED BY{y=z, 1} S//c->w[.//d->z]")
+    )
+
+
+def test_value_join_normal_form_rejects_unbound_variable():
+    with pytest.raises(XsclSemanticsError):
+        check_value_join_normal_form(
+            _q("S//a->x[.//b->y] FOLLOWED BY{y=nosuch, 1} S//c->w[.//d->z]")
+        )
+
+
+def test_value_join_normal_form_rejects_same_block_predicate():
+    with pytest.raises(XsclSemanticsError):
+        check_value_join_normal_form(
+            _q("S//a->x[.//b->y][.//c->y2] FOLLOWED BY{y=y2, 1} S//d->w[.//e->z]")
+        )
+
+
+def test_reversed_predicate_is_swapped():
+    query = to_value_join_normal_form(
+        _q("S//a->x[.//b->y] FOLLOWED BY{z=y, 1} S//c->w[.//d->z]")
+    )
+    pred = query.join.predicates[0]
+    assert (pred.left_var, pred.right_var) == ("y", "z")
+
+
+def test_single_block_query_passes_through():
+    catalog = VariableCatalog()
+    query = canonicalize_query(_q("blog//entry->e"), catalog)
+    assert not query.is_join_query
+
+
+def test_canonicalize_is_idempotent():
+    catalog = VariableCatalog()
+    text = "S//a->x[.//b->y] FOLLOWED BY{y=z, 1} S//c->w[.//d->z]"
+    once = canonicalize_query(_q(text), catalog)
+    twice = canonicalize_query(once, catalog)
+    assert once.left.variables() == twice.left.variables()
+    assert once.right.variables() == twice.right.variables()

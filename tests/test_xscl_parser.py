@@ -1,0 +1,133 @@
+"""Unit tests for the XSCL parser."""
+
+import pytest
+
+from repro.xscl import (
+    INFINITE_WINDOW,
+    JoinOperator,
+    XsclSyntaxError,
+    parse_block,
+    parse_query,
+)
+from tests.conftest import PAPER_Q1, PAPER_Q3, PAPER_WINDOWS
+
+
+def test_parse_block_binds_variables():
+    block = parse_block("S//book->x1[.//author->x2][.//title->x3]")
+    assert block.stream == "S"
+    assert block.variables() == ["x1", "x2", "x3"]
+    assert block.root_variable == "x1"
+    assert str(block.pattern.absolute_path_of("x2")) == "//book//author"
+
+
+def test_parse_block_without_bindings():
+    block = parse_block("blogfeed//entry")
+    assert block.stream == "blogfeed"
+    assert block.variables() == []
+
+
+def test_parse_block_nested_predicates():
+    block = parse_block("S//record->r[.//section->s[.//leaf->l]]")
+    assert block.variables() == ["r", "s", "l"]
+    assert block.pattern.parent_of("l") == "s"
+    assert block.pattern.parent_of("s") == "r"
+
+
+def test_parse_block_path_continuation():
+    block = parse_block("S//rss/channel//item->i[.//title->t]")
+    assert block.variables() == ["i", "t"]
+    assert str(block.pattern.absolute_path_of("i")) == "//rss/channel//item"
+
+
+def test_parse_query_q1(paper_windows):
+    query = parse_query(PAPER_Q1, window_symbols=paper_windows)
+    assert query.is_join_query
+    assert query.join.operator is JoinOperator.FOLLOWED_BY
+    assert query.join.window == 10.0
+    assert [str(p) for p in query.join.predicates] == ["x2=x5", "x3=x6"]
+    assert query.left.variables() == ["x1", "x2", "x3"]
+    assert query.right.variables() == ["x4", "x5", "x6"]
+
+
+def test_parse_query_self_join(paper_windows):
+    query = parse_query(PAPER_Q3, window_symbols=paper_windows)
+    assert query.left.variables() == query.right.variables()
+
+
+def test_parse_join_operator():
+    query = parse_query(
+        "S//a->x[.//b->y] JOIN{y=z, 5} S//c->w[.//d->z]"
+    )
+    assert query.join.operator is JoinOperator.JOIN
+    assert query.join.window == 5.0
+
+
+def test_parse_numeric_and_infinite_windows():
+    q_num = parse_query("S//a->x[.//b->y] FOLLOWED BY{y=z, 3.5} S//c->w[.//d->z]")
+    assert q_num.join.window == 3.5
+    for token in ("INF", "INFINITY", "*"):
+        q_inf = parse_query(f"S//a->x[.//b->y] FOLLOWED BY{{y=z, {token}}} S//c->w[.//d->z]")
+        assert q_inf.join.window == INFINITE_WINDOW
+
+
+def test_unknown_window_symbol_raises():
+    with pytest.raises(XsclSyntaxError):
+        parse_query("S//a->x[.//b->y] FOLLOWED BY{y=z, T9} S//c->w[.//d->z]")
+
+
+def test_parse_select_from_publish():
+    query = parse_query(
+        "SELECT * FROM S//a->x[.//b->y] FOLLOWED BY{y=z, 1} S//c->w[.//d->z] PUBLISH joined"
+    )
+    assert query.select == "*"
+    assert query.publish == "joined"
+
+
+def test_parse_single_block_query():
+    query = parse_query("SELECT * FROM blog//entry->e")
+    assert not query.is_join_query
+    assert query.left.stream == "blog"
+
+
+def test_parse_bare_single_block_query():
+    query = parse_query("blog//entry->e[.//title->t]")
+    assert not query.is_join_query
+    assert query.left.variables() == ["e", "t"]
+
+
+def test_multiple_and_predicates():
+    query = parse_query(
+        "S//a->r[.//b->p][.//c->q][.//d->s] FOLLOWED BY{p=u AND q=v AND s=w, 2} "
+        "S//e->r2[.//f->u][.//g->v][.//h->w]"
+    )
+    assert len(query.join.predicates) == 3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "S//a->x FOLLOWED BY{x=y} S//b->y",          # missing window
+        "S//a->x FOLLOWED BY{x=y, 1 S//b->y",        # missing closing brace
+        "S//a->x FOLLOWED {x=y, 1} S//b->y",         # FOLLOWED without BY
+        "S//a->x[.//b->y FOLLOWED BY{y=z, 1} S//c->z",  # unclosed predicate
+        "S//a->x[//b->y] FOLLOWED BY{y=z, 1} S//c->z",  # predicate must be relative
+        "SELECT * S//a->x",                          # SELECT without FROM
+        "S//a->x trailing",                          # trailing text
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(XsclSyntaxError):
+        parse_query(bad)
+
+
+def test_query_text_preserved():
+    query = parse_query("S//a->x[.//b->y] FOLLOWED BY{y=z, 1} S//c->w[.//d->z]", name="my-query")
+    assert query.name == "my-query"
+    assert "FOLLOWED BY" in query.text
+
+
+def test_hyphenated_tag_names():
+    block = parse_block("S//feed-item->i[.//channel-url->c]")
+    assert block.variables() == ["i", "c"]
+    assert str(block.pattern.absolute_path_of("c")) == "//feed-item//channel-url"

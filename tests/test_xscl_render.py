@@ -1,0 +1,68 @@
+"""Round-trip tests: AST -> text -> AST preserves query structure."""
+
+import pytest
+
+from repro.workloads.querygen import QueryWorkloadConfig, generate_queries
+from repro.xmlmodel.schema import three_level_schema, two_level_schema
+from repro.xscl import parse_query
+from repro.xscl.render import render_block, render_query, render_window
+from tests.conftest import PAPER_Q1, PAPER_Q2, PAPER_Q3, PAPER_WINDOWS
+
+
+def _normalize(query):
+    """A structural fingerprint of a query for round-trip comparison."""
+    def block_fingerprint(block):
+        pattern = block.pattern
+        return (
+            pattern.stream,
+            tuple(sorted((v, str(pattern.absolute_path_of(v))) for v in pattern.variables())),
+        )
+
+    join = None
+    if query.is_join_query:
+        join = (
+            query.join.operator,
+            tuple((p.left_var, p.right_var) for p in query.join.predicates),
+            query.join.window,
+        )
+    return (
+        block_fingerprint(query.left),
+        block_fingerprint(query.right) if query.right else None,
+        join,
+        query.publish,
+    )
+
+
+@pytest.mark.parametrize("text", [PAPER_Q1, PAPER_Q2, PAPER_Q3])
+def test_paper_queries_roundtrip(text):
+    original = parse_query(text, window_symbols=PAPER_WINDOWS)
+    rendered = render_query(original)
+    reparsed = parse_query(rendered)
+    assert _normalize(reparsed) == _normalize(original)
+
+
+def test_generated_queries_roundtrip_flat_and_complex():
+    for schema in (two_level_schema(5), three_level_schema(3)):
+        queries = generate_queries(QueryWorkloadConfig(schema=schema, num_queries=25, seed=31))
+        for query in queries:
+            reparsed = parse_query(render_query(query))
+            assert _normalize(reparsed) == _normalize(query)
+
+
+def test_render_block():
+    block = parse_query("S//book->x1[.//author->x2]").left
+    assert render_block(block) == "S//book->x1[.//author->x2]"
+
+
+def test_render_window_formats():
+    assert render_window(float("inf")) == "INF"
+    assert render_window(10.0) == "10"
+    assert render_window(2.5) == "2.5"
+
+
+def test_render_single_block_query_with_publish():
+    query = parse_query("SELECT * FROM blog//entry->e PUBLISH entries")
+    rendered = render_query(query)
+    reparsed = parse_query(rendered)
+    assert reparsed.publish == "entries"
+    assert not reparsed.is_join_query
