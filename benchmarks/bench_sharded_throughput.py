@@ -1,0 +1,43 @@
+"""Sharded-runtime throughput: events/second vs. shard count on the RSS stream.
+
+Goes beyond the paper: the ShardedBroker partitions the subscription
+workload template-cohesively across independent engine shards and fans each
+feed item out to all of them.  Expected shape: per-shard work shrinks with
+the shard's share of templates, so the serial executor already shows the
+work-partitioning effect; the threads executor additionally exercises
+concurrent dispatch (with little wall-clock gain under the GIL for the
+pure-Python engines — the shape to watch is shards, not threads).
+
+The unsharded engine (``bench_fig16_rss_throughput.py``, approach
+``mmqjp``) is the single-engine baseline for these numbers.
+"""
+
+import pytest
+
+from repro.bench.harness import run_sharded_rss_throughput
+from repro.workloads.rss import RssStreamConfig, generate_rss_queries, generate_rss_stream
+
+NUM_ITEMS = 150
+NUM_QUERIES = 400
+SHARD_SWEEP = (1, 2, 4)
+
+
+@pytest.mark.parametrize("shards", SHARD_SWEEP)
+@pytest.mark.parametrize("executor", ["serial", "threads"])
+def bench_sharded_throughput(benchmark, executor, shards):
+    documents = list(generate_rss_stream(RssStreamConfig(num_items=NUM_ITEMS)))
+    queries = generate_rss_queries(NUM_QUERIES)
+
+    def run_once():
+        return run_sharded_rss_throughput(
+            queries, documents, shards=shards, partitioner="hash", executor=executor
+        )
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "sharded_throughput"
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["executor"] = executor
+    benchmark.extra_info["num_queries"] = NUM_QUERIES
+    benchmark.extra_info["num_events"] = NUM_ITEMS
+    benchmark.extra_info["events_per_second"] = result.extra["events_per_second"]
+    benchmark.extra_info["num_matches"] = result.num_matches

@@ -20,6 +20,8 @@ User-facing entry points:
 
 * :class:`repro.pubsub.Broker` — publish/subscribe API (subscribe with XSCL
   text, publish XML documents, receive matches via callbacks).
+* :class:`repro.runtime.ShardedBroker` — the same API over N parallel
+  engine shards (``Broker(..., shards=N)`` is a shortcut to it).
 * :class:`repro.core.MMQJPEngine` / :class:`repro.core.SequentialEngine` —
   the two engines compared throughout the paper's evaluation.
 * :mod:`repro.workloads` — the synthetic benchmark workloads of Section 6
@@ -30,16 +32,18 @@ User-facing entry points:
 
 from repro.core import MMQJPEngine, SequentialEngine, Match
 from repro.pubsub import Broker, Subscription
+from repro.runtime import ShardedBroker
 from repro.xmlmodel import XmlDocument, element, parse_document, to_xml
 from repro.xscl import parse_query, XsclQuery
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MMQJPEngine",
     "SequentialEngine",
     "Match",
     "Broker",
+    "ShardedBroker",
     "Subscription",
     "XmlDocument",
     "element",

@@ -16,6 +16,7 @@ from repro.bench.harness import (
     ApproachResult,
     run_technical_benchmark,
     run_rss_throughput,
+    run_sharded_rss_throughput,
     register_mmqjp,
     register_sequential,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "ApproachResult",
     "run_technical_benchmark",
     "run_rss_throughput",
+    "run_sharded_rss_throughput",
     "register_mmqjp",
     "register_sequential",
     "experiments",

@@ -20,6 +20,7 @@ from repro.bench.harness import (
     APPROACH_SEQUENTIAL,
     register_mmqjp,
     run_rss_throughput,
+    run_sharded_rss_throughput,
     run_technical_benchmark,
 )
 from repro.core.processor import MMQJPJoinProcessor
@@ -248,6 +249,49 @@ def fig16(
 
 
 # --------------------------------------------------------------------------- #
+# Sharded runtime: throughput vs. shard count (beyond the paper)
+# --------------------------------------------------------------------------- #
+def sharded_throughput(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    executors: Sequence[str] = ("serial", "threads"),
+    partitioner: str = "hash",
+    num_queries: int = 400,
+    num_items: int = 150,
+    zipf: float = DEFAULT_ZIPF,
+) -> list[dict]:
+    """RSS-stream throughput of the sharded runtime vs. shard count.
+
+    The first row is the unsharded MMQJP engine as the baseline; the
+    remaining rows sweep shard counts for each executor.  Every
+    configuration must (and does — the equivalence tests enforce it) report
+    the same number of matches.
+    """
+    documents = list(generate_rss_stream(RssStreamConfig(num_items=num_items)))
+    queries = generate_rss_queries(num_queries, zipf_theta=zipf)
+
+    rows = []
+    baseline = run_rss_throughput(queries, documents, APPROACH_MMQJP)
+    row = baseline.as_row()
+    row["figure"] = "sharded_throughput"
+    rows.append(row)
+
+    for executor in executors:
+        for shards in shard_counts:
+            result = run_sharded_rss_throughput(
+                queries,
+                documents,
+                shards=shards,
+                approach=APPROACH_MMQJP,
+                partitioner=partitioner,
+                executor=executor,
+            )
+            row = result.as_row()
+            row["figure"] = "sharded_throughput"
+            rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
 # Ablation studies (DESIGN.md Section 5)
 # --------------------------------------------------------------------------- #
 def ablation_graph_minor(
@@ -377,6 +421,7 @@ ALL_EXPERIMENTS = {
     "fig14": fig14,
     "fig15": fig15,
     "fig16": fig16,
+    "sharded_throughput": sharded_throughput,
     "ablation_graph_minor": ablation_graph_minor,
     "ablation_view_cache": ablation_view_cache,
     "ablation_witness_representation": ablation_witness_representation,

@@ -14,9 +14,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from repro.core.engine import MMQJPEngine, SequentialEngine
+from repro.core.engine import make_engine
 from repro.core.materialize import ViewCache
 from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
+from repro.runtime.sharded_broker import ShardedBroker
 from repro.templates.registry import TemplateRegistry
 from repro.workloads.synthetic import TechnicalBenchmarkData, build_technical_benchmark_data
 from repro.xmlmodel.document import XmlDocument
@@ -144,21 +145,6 @@ def run_technical_benchmark(
 # --------------------------------------------------------------------------- #
 # the RSS stream benchmark (Section 6.3)
 # --------------------------------------------------------------------------- #
-def _make_engine(approach: str, view_cache_size: Optional[int]):
-    if approach == APPROACH_MMQJP:
-        return MMQJPEngine(store_documents=False, auto_timestamp=False)
-    if approach == APPROACH_MMQJP_VM:
-        return MMQJPEngine(
-            use_view_materialization=True,
-            view_cache_size=view_cache_size,
-            store_documents=False,
-            auto_timestamp=False,
-        )
-    if approach == APPROACH_SEQUENTIAL:
-        return SequentialEngine(store_documents=False, auto_timestamp=False)
-    raise ValueError(f"unknown approach {approach!r}")
-
-
 def run_rss_throughput(
     queries: Sequence[XsclQuery],
     documents: Iterable[XmlDocument],
@@ -172,7 +158,12 @@ def run_rss_throughput(
     Throughput in events/second is reported in ``extra["events_per_second"]``.
     """
     documents = list(documents)
-    engine = _make_engine(approach, view_cache_size)
+    engine = make_engine(
+        approach,
+        view_cache_size=view_cache_size,
+        store_documents=False,
+        auto_timestamp=False,
+    )
     for i, query in enumerate(queries):
         engine.register_query(query, qid=f"q{i}")
 
@@ -191,4 +182,78 @@ def run_rss_throughput(
         num_templates=getattr(engine, "num_templates", None),
         breakdown_ms=engine.costs.as_milliseconds(),
         extra={"events_per_second": round(throughput, 2), "num_events": len(documents)},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the sharded-runtime throughput benchmark
+# --------------------------------------------------------------------------- #
+def run_sharded_rss_throughput(
+    queries: Sequence[XsclQuery],
+    documents: Iterable[XmlDocument],
+    shards: int,
+    approach: str = APPROACH_MMQJP,
+    partitioner: str = "hash",
+    executor: str = "serial",
+    batch_size: Optional[int] = None,
+    view_cache_size: Optional[int] = 4096,
+) -> ApproachResult:
+    """Stream feed items through a :class:`~repro.runtime.ShardedBroker`.
+
+    Subscription registration is excluded from the timing; the streaming
+    phase uses batched ingestion (``publish_many``), dispatching the stream
+    in batches of ``batch_size`` documents (the whole stream at once when
+    ``None``).  The result's ``approach`` is tagged
+    ``"<engine>-sharded<N>-<executor>"`` and the shard/executor/partitioner
+    configuration is reported in ``extra``.
+    """
+    documents = list(documents)
+    broker = ShardedBroker(
+        approach,
+        view_cache_size=view_cache_size,
+        construct_outputs=False,
+        shards=shards,
+        partitioner=partitioner,
+        executor=executor,
+        store_documents=False,
+        auto_timestamp=False,
+    )
+    try:
+        for i, query in enumerate(queries):
+            broker.subscribe(query, subscription_id=f"q{i}")
+
+        if batch_size is None or batch_size >= len(documents):
+            batches = [documents]
+        else:
+            batches = [
+                documents[i : i + batch_size]
+                for i in range(0, len(documents), batch_size)
+            ]
+
+        start = time.perf_counter()
+        total_matches = 0
+        for batch in batches:
+            total_matches += len(broker.publish_many(batch))
+        elapsed = time.perf_counter() - start
+
+        stats = broker.merged_engine_stats()
+    finally:
+        broker.close()
+
+    throughput = len(documents) / elapsed if elapsed > 0 else float("inf")
+    return ApproachResult(
+        approach=f"{approach}-sharded{shards}-{executor}",
+        num_queries=len(queries),
+        elapsed_ms=elapsed * 1000.0,
+        num_matches=total_matches,
+        num_templates=stats.num_templates,
+        breakdown_ms=dict(stats.costs),
+        extra={
+            "events_per_second": round(throughput, 2),
+            "num_events": len(documents),
+            "shards": shards,
+            "partitioner": partitioner,
+            "executor": executor,
+            "batch_size": batch_size if batch_size is not None else len(documents),
+        },
     )

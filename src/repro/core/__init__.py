@@ -20,10 +20,21 @@ from repro.core.witnesses import WitnessRelations
 from repro.core.results import Match
 from repro.core.materialize import ViewCache, MaterializedViews, compute_materialized_views
 from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
-from repro.core.engine import MMQJPEngine, SequentialEngine
+from repro.core.engine import (
+    ENGINES,
+    EngineStats,
+    MMQJPEngine,
+    SequentialEngine,
+    make_engine,
+    merge_engine_stats,
+)
 
 __all__ = [
     "CostBreakdown",
+    "ENGINES",
+    "EngineStats",
+    "make_engine",
+    "merge_engine_stats",
     "JoinState",
     "WitnessRelations",
     "Match",

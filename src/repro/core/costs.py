@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 @dataclass
@@ -37,6 +38,14 @@ class CostBreakdown:
         for phase, secs in other.seconds.items():
             self.add(phase, secs)
         return self
+
+    @classmethod
+    def combined(cls, breakdowns: "Iterable[CostBreakdown]") -> "CostBreakdown":
+        """A fresh breakdown accumulating several others (e.g. one per shard)."""
+        total = cls()
+        for breakdown in breakdowns:
+            total.merge(breakdown)
+        return total
 
     @property
     def total(self) -> float:

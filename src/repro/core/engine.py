@@ -12,8 +12,8 @@ checked for result equivalence — on any workload.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.costs import CostBreakdown
 from repro.core.materialize import ViewCache
@@ -33,6 +33,9 @@ from repro.templates.join_graph import Side
 #: Suffix used internally for the mirrored registration of symmetric JOIN queries.
 _SWAP_SUFFIX = "::swap"
 
+#: Engine selection keywords accepted by :func:`make_engine` (and the brokers).
+ENGINES = ("mmqjp", "mmqjp-vm", "sequential")
+
 
 @dataclass
 class EngineStats:
@@ -43,17 +46,51 @@ class EngineStats:
     num_documents_processed: int
     num_matches: int
     state_documents: int
-    costs: dict[str, float]
+    costs: dict[str, float] = field(default_factory=dict)
+
+
+def merge_engine_stats(stats: Sequence[EngineStats], fanout: bool = True) -> EngineStats:
+    """Merge per-engine statistics into one aggregate :class:`EngineStats`.
+
+    Query and match counts are summed (shards own disjoint query sets), and
+    the per-phase costs are accumulated.  With ``fanout=True`` (the sharded
+    runtime's fan-out model, where every engine processes every document)
+    ``num_documents_processed`` and ``state_documents`` take the maximum
+    across engines instead of the sum, so they keep counting *documents*
+    rather than (document, shard) pairs.
+    """
+    if not stats:
+        return EngineStats(0, None, 0, 0, 0, {})
+    doc_agg = max if fanout else sum
+    templates = [s.num_templates for s in stats if s.num_templates is not None]
+    costs: dict[str, float] = {}
+    for s in stats:
+        for phase, ms in s.costs.items():
+            costs[phase] = round(costs.get(phase, 0.0) + ms, 3)
+    return EngineStats(
+        num_queries=sum(s.num_queries for s in stats),
+        num_templates=sum(templates) if templates else None,
+        num_documents_processed=doc_agg(s.num_documents_processed for s in stats),
+        num_matches=sum(s.num_matches for s in stats),
+        state_documents=doc_agg(s.state_documents for s in stats),
+        costs=costs,
+    )
 
 
 class _BaseEngine:
     """Shared machinery of the MMQJP and Sequential engines."""
 
-    def __init__(self, store_documents: bool = True, auto_timestamp: bool = True):
+    def __init__(
+        self,
+        store_documents: bool = True,
+        auto_timestamp: bool = True,
+        auto_prune: bool = True,
+    ):
         self.evaluator = XPathEvaluator()
         self.catalog = VariableCatalog()
         self.store_documents = store_documents
         self.auto_timestamp = auto_timestamp
+        self.auto_prune = auto_prune
         self.documents: dict[str, XmlDocument] = {}
         self._qid_counter = itertools.count(1)
         self._clock = itertools.count(1)
@@ -164,13 +201,25 @@ class _BaseEngine:
 
     def _after_state_maintenance(self, document: XmlDocument) -> None:
         """Window-based pruning of state (only when every window is finite)."""
+        if not self.auto_prune:
+            return
         if self._has_infinite_window or self._max_finite_window <= 0:
             return
-        horizon = document.timestamp - self._max_finite_window
-        removed = self._prune(horizon)
+        self.prune(document.timestamp - self._max_finite_window)
+
+    def prune(self, min_timestamp: float) -> int:
+        """Drop state (and stored documents) older than ``min_timestamp``.
+
+        Called automatically after every document when ``auto_prune`` is on
+        and all registered windows are finite; exposed publicly so brokers
+        can prune on demand (e.g. with ``auto_prune=False``).  Returns the
+        number of documents removed from the join state.
+        """
+        removed = self._prune(min_timestamp)
         if removed and self.store_documents:
             alive = {row[0] for row in self._processor().state.rdocts.rows}
             self.documents = {d: doc for d, doc in self.documents.items() if d in alive}
+        return removed
 
     def _prune(self, min_timestamp: float) -> int:
         return self._processor().state.prune(min_timestamp)
@@ -283,6 +332,9 @@ class MMQJPEngine(_BaseEngine):
     auto_timestamp:
         Assign monotonically increasing timestamps to documents that arrive
         with timestamp 0.
+    auto_prune:
+        Prune the join state by window horizon after every document (only
+        effective while every registered window is finite).
     """
 
     def __init__(
@@ -291,8 +343,13 @@ class MMQJPEngine(_BaseEngine):
         view_cache_size: Optional[int] = None,
         store_documents: bool = True,
         auto_timestamp: bool = True,
+        auto_prune: bool = True,
     ):
-        super().__init__(store_documents=store_documents, auto_timestamp=auto_timestamp)
+        super().__init__(
+            store_documents=store_documents,
+            auto_timestamp=auto_timestamp,
+            auto_prune=auto_prune,
+        )
         self.registry = TemplateRegistry()
         view_cache = None
         if view_cache_size is not None:
@@ -324,8 +381,17 @@ class MMQJPEngine(_BaseEngine):
 class SequentialEngine(_BaseEngine):
     """The baseline: per-query join evaluation behind the same interface."""
 
-    def __init__(self, store_documents: bool = True, auto_timestamp: bool = True):
-        super().__init__(store_documents=store_documents, auto_timestamp=auto_timestamp)
+    def __init__(
+        self,
+        store_documents: bool = True,
+        auto_timestamp: bool = True,
+        auto_prune: bool = True,
+    ):
+        super().__init__(
+            store_documents=store_documents,
+            auto_timestamp=auto_timestamp,
+            auto_prune=auto_prune,
+        )
         self.processor = SequentialJoinProcessor(state=JoinState())
 
     def _processor(self) -> SequentialJoinProcessor:
@@ -335,3 +401,41 @@ class SequentialEngine(_BaseEngine):
         self.processor.add_query(qid, query)
         record = self.processor._queries[qid]
         self._register_stage1(query, record[1])
+
+
+def make_engine(
+    engine: str,
+    view_cache_size: Optional[int] = None,
+    store_documents: bool = True,
+    auto_timestamp: bool = True,
+    auto_prune: bool = True,
+) -> _BaseEngine:
+    """Construct an engine from its selection keyword (see :data:`ENGINES`).
+
+    ``"mmqjp"`` is the paper's system, ``"mmqjp-vm"`` adds the Section 5
+    view materialization (with an optional ``RL``-slice cache), and
+    ``"sequential"`` is the one-query-at-a-time baseline.  This is the single
+    factory used by :class:`repro.pubsub.Broker` and by every shard of
+    :class:`repro.runtime.ShardedBroker`.
+    """
+    if engine == "mmqjp":
+        return MMQJPEngine(
+            store_documents=store_documents,
+            auto_timestamp=auto_timestamp,
+            auto_prune=auto_prune,
+        )
+    if engine == "mmqjp-vm":
+        return MMQJPEngine(
+            use_view_materialization=True,
+            view_cache_size=view_cache_size,
+            store_documents=store_documents,
+            auto_timestamp=auto_timestamp,
+            auto_prune=auto_prune,
+        )
+    if engine == "sequential":
+        return SequentialEngine(
+            store_documents=store_documents,
+            auto_timestamp=auto_timestamp,
+            auto_prune=auto_prune,
+        )
+    raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")

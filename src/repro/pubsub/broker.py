@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Optional, Union
 
-from repro.core.engine import MMQJPEngine, SequentialEngine, _BaseEngine
+from repro.core.engine import ENGINES, make_engine
 from repro.pubsub.stream import StreamRegistry
 from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
 from repro.xmlmodel.document import XmlDocument
@@ -26,21 +26,35 @@ from repro.xpath.evaluator import XPathEvaluator
 from repro.xscl.ast import XsclQuery
 from repro.xscl.parser import parse_query
 
-#: Engine selection keywords accepted by :class:`Broker`.
-ENGINES = ("mmqjp", "mmqjp-vm", "sequential")
+__all__ = ["Broker", "ENGINES", "deliver_filter_matches"]
 
 
-def _make_engine(engine: str, view_cache_size: Optional[int]) -> _BaseEngine:
-    if engine == "mmqjp":
-        return MMQJPEngine()
-    if engine == "mmqjp-vm":
-        return MMQJPEngine(
-            use_view_materialization=True,
-            view_cache_size=view_cache_size,
-        )
-    if engine == "sequential":
-        return SequentialEngine()
-    raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+def deliver_filter_matches(
+    evaluator: XPathEvaluator,
+    filter_subscriptions: dict[str, Subscription],
+    document: XmlDocument,
+) -> list[SubscriptionResult]:
+    """Evaluate all single-block filter subscriptions against one document.
+
+    Shared by :class:`Broker` and :class:`repro.runtime.ShardedBroker`
+    (filters are evaluated once at the front end; only join subscriptions
+    are sharded).
+    """
+    if not filter_subscriptions:
+        return []
+    witnesses = evaluator.evaluate(document)
+    deliveries: list[SubscriptionResult] = []
+    for sid, subscription in filter_subscriptions.items():
+        if not subscription.active:
+            continue
+        root_var = subscription.query.left.root_variable
+        block_vars = subscription.query.left.variables()
+        matched_var = root_var if root_var is not None else (block_vars[0] if block_vars else None)
+        if matched_var is not None and witnesses.var_nodes.get(matched_var):
+            result = SubscriptionResult(subscription_id=sid, document=document)
+            subscription.deliver(result)
+            deliveries.append(result)
+    return deliveries
 
 
 class Broker:
@@ -59,7 +73,25 @@ class Broker:
         for throughput measurements).
     stream_history:
         How many recent documents each stream keeps for inspection.
+    auto_prune:
+        Prune the engine's join state by window horizon on the publish path
+        (effective while every registered window is finite).  Disable to
+        keep all state and prune manually via :meth:`prune`.
+    shards:
+        Escape hatch to the sharded runtime: with ``shards`` > 1 the
+        constructor returns a :class:`repro.runtime.ShardedBroker` instead
+        (same leading parameters, plus ``partitioner=`` / ``executor=`` and
+        the other :class:`~repro.runtime.sharded_broker.ShardedBroker`
+        keyword options).
     """
+
+    def __new__(cls, *args, **kwargs):
+        shards = kwargs.get("shards")
+        if cls is Broker and shards is not None and shards > 1:
+            from repro.runtime.sharded_broker import ShardedBroker
+
+            return ShardedBroker(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -67,9 +99,22 @@ class Broker:
         view_cache_size: Optional[int] = None,
         construct_outputs: bool = True,
         stream_history: int = 0,
+        *,
+        auto_prune: bool = True,
+        shards: Optional[int] = None,
     ):
+        if shards is not None and shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if shards is not None and shards > 1:
+            # Only reachable when __new__ did not reroute to the sharded
+            # runtime (i.e. from a Broker subclass): refuse rather than
+            # silently running everything on one engine.
+            raise ValueError(
+                f"{type(self).__name__} cannot honor shards={shards}; construct "
+                "repro.runtime.ShardedBroker (or plain Broker) directly"
+            )
         self.engine_name = engine
-        self.engine = _make_engine(engine, view_cache_size)
+        self.engine = make_engine(engine, view_cache_size=view_cache_size, auto_prune=auto_prune)
         self.construct_outputs = construct_outputs
         self.streams = StreamRegistry(history_size=stream_history)
         self._subscriptions: dict[str, Subscription] = {}
@@ -169,32 +214,43 @@ class Broker:
             out.extend(self.publish(document))
         return out
 
+    def publish_many(
+        self,
+        documents: Iterable[Union[str, XmlDocument]],
+        timestamp: Optional[float] = None,
+        stream: Optional[str] = None,
+    ) -> list[SubscriptionResult]:
+        """Publish a batch of documents; returns all deliveries.
+
+        On the unsharded broker this is a convenience loop; on the sharded
+        runtime (``shards=N``) the same call dispatches the whole batch to
+        every shard in one task each.
+        """
+        out: list[SubscriptionResult] = []
+        for document in documents:
+            out.extend(self.publish(document, timestamp=timestamp, stream=stream))
+        return out
+
     def _deliver_filters(self, document: XmlDocument) -> list[SubscriptionResult]:
-        if not self._filter_subscriptions:
-            return []
-        witnesses = self._filter_evaluator.evaluate(document)
-        deliveries: list[SubscriptionResult] = []
-        for sid, subscription in self._filter_subscriptions.items():
-            if not subscription.active:
-                continue
-            root_var = subscription.query.left.root_variable
-            block_vars = subscription.query.left.variables()
-            matched_var = root_var if root_var is not None else (block_vars[0] if block_vars else None)
-            if matched_var is not None and witnesses.var_nodes.get(matched_var):
-                result = SubscriptionResult(subscription_id=sid, document=document)
-                subscription.deliver(result)
-                deliveries.append(result)
-        return deliveries
+        return deliver_filter_matches(
+            self._filter_evaluator, self._filter_subscriptions, document
+        )
 
     # ------------------------------------------------------------------ #
-    # stats
+    # state management and stats
     # ------------------------------------------------------------------ #
+    def prune(self, min_timestamp: float) -> int:
+        """Prune join state older than ``min_timestamp``; returns documents removed."""
+        return self.engine.prune(min_timestamp)
+
     def stats(self) -> dict:
-        """Broker-level statistics (streams, subscriptions, engine stats)."""
+        """Broker-level statistics: per-stream counts alongside engine stats."""
+        stream_counts = self.streams.stats()
         return {
             "engine": self.engine_name,
-            "streams": self.streams.stats(),
+            "streams": stream_counts,
             "num_subscriptions": len(self._subscriptions),
             "num_filter_subscriptions": len(self._filter_subscriptions),
+            "num_documents_published": sum(stream_counts.values()),
             "engine_stats": self.engine.stats().__dict__,
         }

@@ -1,0 +1,51 @@
+"""The sharded parallel runtime: scale-out of the broker across engine shards.
+
+The paper's engine is a single shared pipeline; this package is the layer
+that takes it from one core to many.  It partitions join subscriptions
+across N independent :class:`~repro.runtime.shard.EngineShard` instances
+(template-cohesively, so the CQT sharing of Section 4 survives inside every
+shard), fans each published document out to all shards through a pluggable
+executor, and merges matches, statistics and cost breakdowns back into one
+broker-level view.
+
+* :class:`~repro.runtime.sharded_broker.ShardedBroker` — the drop-in broker
+  (also reachable as ``repro.pubsub.Broker(..., shards=N)``).
+* :mod:`~repro.runtime.partition` — hash-by-template and least-loaded
+  placement strategies.
+* :mod:`~repro.runtime.executor` — serial (deterministic) and thread-pool
+  execution of the per-shard tasks.
+"""
+
+from repro.runtime.executor import (
+    EXECUTORS,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
+from repro.runtime.partition import (
+    PARTITIONERS,
+    HashTemplatePartitioner,
+    LeastLoadedPartitioner,
+    Partitioner,
+    make_partitioner,
+    template_key,
+)
+from repro.runtime.shard import EngineShard
+from repro.runtime.sharded_broker import ShardedBroker
+
+__all__ = [
+    "ShardedBroker",
+    "EngineShard",
+    "Partitioner",
+    "HashTemplatePartitioner",
+    "LeastLoadedPartitioner",
+    "PARTITIONERS",
+    "make_partitioner",
+    "template_key",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "EXECUTORS",
+    "make_executor",
+]

@@ -1,0 +1,103 @@
+"""Shard executors: how per-shard work is scheduled.
+
+The sharded broker expresses every publish as *one task per shard* and hands
+the task list to a :class:`ShardExecutor`.  Executors differ only in how the
+tasks run; all of them return the results in shard order, so downstream
+merging is deterministic regardless of scheduling.
+
+* :class:`SerialExecutor` — runs tasks in a plain loop on the calling
+  thread.  Fully deterministic, zero scheduling overhead; the default and
+  the reference for equivalence tests.
+* :class:`ThreadedExecutor` — a :class:`concurrent.futures.ThreadPoolExecutor`
+  with one worker per shard.  Under CPython's GIL the pure-Python engines
+  gain little wall-clock from threads, but the executor exercises the real
+  concurrent dispatch path and keeps the door open to process pools: the
+  shard tasks are self-contained closures over (shard, document batch), so a
+  ``ProcessPoolExecutor`` variant only needs picklable shards.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ShardExecutor:
+    """Base class: run one task per shard, return results in shard order."""
+
+    #: Keyword under which the executor is selectable (``executor=...``).
+    name = "base"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item; results are ordered like ``items``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(ShardExecutor):
+    """In-process, in-order execution (deterministic; used by the tests)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadedExecutor(ShardExecutor):
+    """Thread-pool execution with one worker per shard by default."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self, num_tasks: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self._max_workers if self._max_workers is not None else max(num_tasks, 1)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        pool = self._ensure_pool(len(items))
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Keyword -> executor class.
+EXECUTORS = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadedExecutor.name: ThreadedExecutor,
+}
+
+
+def make_executor(
+    spec: Union[str, ShardExecutor], max_workers: Optional[int] = None
+) -> ShardExecutor:
+    """Resolve an executor keyword (or pass through an instance)."""
+    if isinstance(spec, ShardExecutor):
+        return spec
+    if spec == ThreadedExecutor.name:
+        return ThreadedExecutor(max_workers=max_workers)
+    cls = EXECUTORS.get(spec)
+    if cls is None:
+        raise ValueError(f"unknown executor {spec!r}; choose one of {sorted(EXECUTORS)}")
+    return cls()

@@ -1,0 +1,64 @@
+"""One engine shard: an independent two-stage engine plus its bookkeeping.
+
+A shard owns a disjoint subset of the registered join subscriptions but sees
+*every* published document (subscription-partitioned, document-replicated
+parallelism — the natural decomposition for a pub/sub join system, where
+any subscription may pair the current document with any earlier one).  Each
+shard therefore maintains its own Stage 1 evaluator, template registry and
+join state, and shards never need to communicate during processing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.core.engine import EngineStats, _BaseEngine
+from repro.core.results import Match
+from repro.xmlmodel.document import XmlDocument
+from repro.xscl.ast import XsclQuery
+
+
+class EngineShard:
+    """A shard id, its engine, and the subscription ids it owns."""
+
+    def __init__(self, shard_id: int, engine: _BaseEngine):
+        self.shard_id = shard_id
+        self.engine = engine
+        self.qids: list[str] = []
+
+    def register(self, qid: str, query: Union[str, XsclQuery]) -> None:
+        """Register one join subscription with this shard's engine."""
+        self.engine.register_query(query, qid=qid)
+        self.qids.append(qid)
+
+    def process_batch(self, documents: Sequence[XmlDocument]) -> list[list[Match]]:
+        """Process a batch of documents in order; one match list per document.
+
+        This is the unit of work the executors schedule: batching amortizes
+        one dispatch (and, for pool executors, one task handoff) over the
+        whole batch instead of paying it per document.
+
+        A shard without subscriptions skips processing outright.  This is
+        safe: Stage 1 witnesses are computed at arrival time, so a document
+        processed before a query registers can never join with it — an empty
+        shard would only accumulate dead ``RdocTS`` state.
+        """
+        if not self.qids:
+            return [[] for _ in documents]
+        return [self.engine.process_document(document) for document in documents]
+
+    def prune(self, min_timestamp: float) -> int:
+        """Prune this shard's join state; returns documents removed."""
+        return self.engine.prune(min_timestamp)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of subscriptions owned by this shard."""
+        return len(self.qids)
+
+    def stats(self) -> EngineStats:
+        """This shard's engine statistics."""
+        return self.engine.stats()
+
+    def __repr__(self) -> str:
+        return f"<EngineShard {self.shard_id} queries={self.num_queries}>"

@@ -1,0 +1,337 @@
+"""The sharded broker: N independent engine shards behind one broker API.
+
+:class:`ShardedBroker` is a drop-in replacement for
+:class:`repro.pubsub.Broker` that partitions join subscriptions across
+several independent Stage 1 + Stage 2 engines:
+
+* **Subscriptions are partitioned** by a :class:`~repro.runtime.partition.Partitioner`
+  that keeps all queries of one template (same CQT) on the same shard, so
+  the paper's template sharing is preserved inside every shard.
+* **Documents are replicated**: every published document is fanned out to
+  all shards (any subscription may join the current document with any
+  earlier one, so no shard can skip a document).  Per-shard work shrinks
+  roughly with the shard's share of templates; the shard tasks are
+  independent and are scheduled by a pluggable
+  :class:`~repro.runtime.executor.ShardExecutor`.
+* **Results are merged** in shard order: matches are unioned (shards own
+  disjoint query ids, and every shard assigns the same timestamps because
+  the broker stamps documents centrally before the fan-out), statistics via
+  :func:`repro.core.engine.merge_engine_stats`, costs by per-phase summing.
+
+Filter (single-block) subscriptions are evaluated once at the front end by
+a shared Stage 1 evaluator, exactly like the unsharded broker.
+
+Batched ingestion (:meth:`ShardedBroker.publish_many`) dispatches one task
+per shard for a whole batch of documents, amortizing executor handoff over
+the batch — the intended path for high-rate streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.engine import EngineStats, make_engine, merge_engine_stats
+from repro.core.results import Match
+from repro.pubsub.broker import deliver_filter_matches
+from repro.pubsub.stream import StreamRegistry
+from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
+from repro.runtime.executor import ShardExecutor, make_executor
+from repro.runtime.partition import Partitioner, make_partitioner
+from repro.runtime.shard import EngineShard
+from repro.xmlmodel.document import XmlDocument
+from repro.xmlmodel.parser import parse_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xscl.ast import XsclQuery
+from repro.xscl.parser import parse_query
+
+
+class ShardedBroker:
+    """A publish/subscribe broker running N parallel engine shards.
+
+    Accepts the same leading parameters as :class:`repro.pubsub.Broker`
+    (``engine``, ``view_cache_size``, ``construct_outputs``,
+    ``stream_history``) so ``Broker(..., shards=N)`` can transparently
+    construct one.
+
+    Parameters
+    ----------
+    shards:
+        Number of engine shards (``>= 1``).
+    partitioner:
+        ``"hash"`` (deterministic hash-by-template, default),
+        ``"least-loaded"``, or a :class:`~repro.runtime.partition.Partitioner`
+        instance.
+    executor:
+        ``"serial"`` (default, deterministic), ``"threads"``, or a
+        :class:`~repro.runtime.executor.ShardExecutor` instance.
+    auto_prune:
+        Prune each shard's join state by window horizon on the publish path
+        (effective while every registered window is finite); disable to keep
+        all state and prune manually via :meth:`prune`.
+    store_documents:
+        Keep processed documents on every shard so output XML can be
+        constructed.  Defaults to ``construct_outputs``; throughput runs use
+        ``construct_outputs=False`` which then also drops document storage.
+    max_workers:
+        Worker cap for the ``"threads"`` executor (default: one per shard).
+    """
+
+    def __init__(
+        self,
+        engine: str = "mmqjp",
+        view_cache_size: Optional[int] = None,
+        construct_outputs: bool = True,
+        stream_history: int = 0,
+        *,
+        shards: int = 2,
+        partitioner: Union[str, Partitioner] = "hash",
+        executor: Union[str, ShardExecutor] = "serial",
+        auto_prune: bool = True,
+        auto_timestamp: bool = True,
+        store_documents: Optional[bool] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if store_documents is None:
+            store_documents = construct_outputs
+        if construct_outputs and not store_documents:
+            raise ValueError("construct_outputs=True requires store_documents=True")
+
+        self.engine_name = engine
+        self.construct_outputs = construct_outputs
+        self.auto_timestamp = auto_timestamp
+        self.shards = [
+            EngineShard(
+                shard_id,
+                make_engine(
+                    engine,
+                    view_cache_size=view_cache_size,
+                    store_documents=store_documents,
+                    # The broker stamps documents centrally (one clock for
+                    # all shards) so that every shard sees identical
+                    # timestamps; per-engine auto-stamping would let shard
+                    # clocks drift on streams mixing stamped and unstamped
+                    # documents.
+                    auto_timestamp=False,
+                    auto_prune=auto_prune,
+                ),
+            )
+            for shard_id in range(shards)
+        ]
+        self._partitioner = make_partitioner(partitioner, shards)
+        self._executor = make_executor(executor, max_workers=max_workers)
+        self.streams = StreamRegistry(history_size=stream_history)
+        self._subscriptions: dict[str, Subscription] = {}
+        self._shard_of: dict[str, EngineShard] = {}
+        self._filter_evaluator = XPathEvaluator()
+        self._filter_subscriptions: dict[str, Subscription] = {}
+        self._sub_counter = itertools.count(1)
+        self._clock = itertools.count(1)
+        self._num_published = 0
+
+    # ------------------------------------------------------------------ #
+    # subscriptions
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        query: Union[str, XsclQuery],
+        callback: Optional[Callback] = None,
+        window_symbols: Optional[dict[str, float]] = None,
+        subscription_id: Optional[str] = None,
+    ) -> Subscription:
+        """Register a subscription and return its :class:`Subscription` handle.
+
+        Join subscriptions are placed on one engine shard by the partitioner;
+        filter subscriptions stay on the broker's shared front-end evaluator.
+        """
+        if isinstance(query, str):
+            query = parse_query(query, window_symbols=window_symbols)
+        sid = subscription_id if subscription_id is not None else f"sub{next(self._sub_counter)}"
+        if sid in self._subscriptions:
+            raise ValueError(f"subscription id {sid!r} already exists")
+        subscription = Subscription(subscription_id=sid, query=query, callback=callback)
+
+        if query.is_join_query:
+            shard = self.shards[self._partitioner.shard_for(query)]
+            shard.register(sid, query)
+            self._shard_of[sid] = shard
+        else:
+            self._filter_evaluator.register_pattern(query.left.pattern)
+            self._filter_subscriptions[sid] = subscription
+        self._subscriptions[sid] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        """Deactivate a subscription (its query stays registered but is muted)."""
+        subscription = self._subscriptions.get(subscription_id)
+        if subscription is not None:
+            subscription.active = False
+
+    def subscription(self, subscription_id: str) -> Subscription:
+        """Return a subscription handle by id."""
+        return self._subscriptions[subscription_id]
+
+    @property
+    def subscriptions(self) -> list[Subscription]:
+        """All subscriptions, in registration order."""
+        return list(self._subscriptions.values())
+
+    @property
+    def num_shards(self) -> int:
+        """Number of engine shards."""
+        return len(self.shards)
+
+    def shard_of(self, subscription_id: str) -> Optional[int]:
+        """The shard id owning a join subscription (``None`` for filters)."""
+        shard = self._shard_of.get(subscription_id)
+        return shard.shard_id if shard is not None else None
+
+    # ------------------------------------------------------------------ #
+    # publishing
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        document: Union[str, XmlDocument],
+        timestamp: Optional[float] = None,
+        stream: Optional[str] = None,
+    ) -> list[SubscriptionResult]:
+        """Publish one document and deliver all resulting matches."""
+        return self.publish_many([document], timestamp=timestamp, stream=stream)
+
+    def publish_many(
+        self,
+        documents: Iterable[Union[str, XmlDocument]],
+        timestamp: Optional[float] = None,
+        stream: Optional[str] = None,
+    ) -> list[SubscriptionResult]:
+        """Publish a batch of documents with one fan-out per shard.
+
+        The whole batch is prepared (parsed, stamped, recorded on its
+        streams) up front, then each shard processes it in one task, so the
+        per-document dispatch overhead is paid once per batch per shard.
+        Deliveries are returned in arrival order (per document: filter
+        deliveries first, then join matches in shard order).
+        """
+        batch = [self._prepare(document, timestamp, stream) for document in documents]
+        if not batch:
+            return []
+
+        per_shard = self._executor.map(
+            lambda shard: shard.process_batch(batch), self.shards
+        )
+
+        # Filters are evaluated in the merge loop (they do not depend on the
+        # shard results) so subscriber callbacks fire in the same per-document
+        # order as the unsharded broker: filters for document i, then its
+        # join matches, then document i+1.
+        deliveries: list[SubscriptionResult] = []
+        for index, document in enumerate(batch):
+            deliveries.extend(self._deliver_filters(document))
+            for shard_matches in per_shard:
+                deliveries.extend(self._deliver_matches(shard_matches[index]))
+        return deliveries
+
+    def publish_stream(
+        self, documents: Iterable[Union[str, XmlDocument]]
+    ) -> list[SubscriptionResult]:
+        """Publish a sequence of documents (batched); returns all deliveries."""
+        return self.publish_many(documents)
+
+    def _prepare(
+        self,
+        document: Union[str, XmlDocument],
+        timestamp: Optional[float],
+        stream: Optional[str],
+    ) -> XmlDocument:
+        if isinstance(document, str):
+            document = parse_document(document)
+        if stream is not None:
+            document.stream = stream
+        if timestamp is not None:
+            document.timestamp = float(timestamp)
+        elif self.auto_timestamp and document.timestamp == 0.0:
+            document.timestamp = float(next(self._clock))
+        self.streams.get_or_create(document.stream).record(document)
+        self._num_published += 1
+        return document
+
+    def _deliver_filters(self, document: XmlDocument) -> list[SubscriptionResult]:
+        return deliver_filter_matches(
+            self._filter_evaluator, self._filter_subscriptions, document
+        )
+
+    def _deliver_matches(self, matches: Sequence[Match]) -> list[SubscriptionResult]:
+        deliveries: list[SubscriptionResult] = []
+        for match in matches:
+            subscription = self._subscriptions.get(match.qid)
+            if subscription is None or not subscription.active:
+                continue
+            output = self.output_document(match) if self.construct_outputs else None
+            result = SubscriptionResult(
+                subscription_id=match.qid, match=match, output=output
+            )
+            subscription.deliver(result)
+            deliveries.append(result)
+        return deliveries
+
+    def output_document(self, match: Match) -> XmlDocument:
+        """Construct the output XML document of a match (on its owning shard)."""
+        shard = self._shard_of.get(match.qid)
+        if shard is None:
+            raise KeyError(f"no shard owns query id {match.qid!r}")
+        return shard.engine.output_document(match)
+
+    # ------------------------------------------------------------------ #
+    # state management and stats
+    # ------------------------------------------------------------------ #
+    def prune(self, min_timestamp: float) -> int:
+        """Prune every shard's join state; returns total documents removed.
+
+        (Per shard, not distinct documents: a document surviving on one
+        shard and removed on another counts once.)
+        """
+        return sum(shard.prune(min_timestamp) for shard in self.shards)
+
+    def merged_engine_stats(self) -> EngineStats:
+        """All shards' engine statistics merged into one."""
+        return merge_engine_stats([shard.stats() for shard in self.shards])
+
+    def stats(self) -> dict:
+        """Broker statistics: streams, subscriptions, merged + per-shard engines."""
+        return {
+            "engine": self.engine_name,
+            "shards": self.num_shards,
+            "executor": self._executor.name,
+            "streams": self.streams.stats(),
+            "num_subscriptions": len(self._subscriptions),
+            "num_filter_subscriptions": len(self._filter_subscriptions),
+            "num_documents_published": self._num_published,
+            "engine_stats": self.merged_engine_stats().__dict__,
+            "per_shard": [
+                {"shard": shard.shard_id, **shard.stats().__dict__}
+                for shard in self.shards
+            ],
+            "partition": self._partitioner.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the executor's workers (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedBroker engine={self.engine_name!r} shards={self.num_shards} "
+            f"executor={self._executor.name!r} "
+            f"subscriptions={len(self._subscriptions)}>"
+        )

@@ -47,6 +47,17 @@ def _signature(graph: nx.MultiDiGraph) -> tuple:
     return tuple(sorted(descriptors))
 
 
+def reduced_graph_signature(reduced: ReducedJoinGraph) -> tuple:
+    """The isomorphism-invariant signature of a reduced join graph.
+
+    Queries belonging to the same template always produce the same signature
+    (the converse may rarely fail — the signature only buckets candidates),
+    which makes it a cheap, stable *template key*: the sharded runtime hashes
+    it to keep every member of a template on the same shard.
+    """
+    return _signature(_reduced_to_nx(reduced))
+
+
 def _node_match(a: dict, b: dict) -> bool:
     return a["side"] == b["side"]
 

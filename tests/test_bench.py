@@ -100,6 +100,20 @@ def test_experiment_fig16_tiny():
     assert all(row["events_per_second"] > 0 for row in rows)
 
 
+def test_experiment_sharded_throughput_tiny():
+    rows = experiments.sharded_throughput(
+        shard_counts=(1, 2), executors=("serial",), num_queries=30, num_items=20
+    )
+    assert [row["approach"] for row in rows] == [
+        "mmqjp",
+        "mmqjp-sharded1-serial",
+        "mmqjp-sharded2-serial",
+    ]
+    # Sharding must not change the match set (the acceptance criterion).
+    assert len({row["num_matches"] for row in rows}) == 1
+    assert all(row["events_per_second"] > 0 for row in rows)
+
+
 def test_experiment_ablation_graph_minor_tiny():
     rows = experiments.ablation_graph_minor(num_queries=40)
     by_flag = {row["graph_minor"]: row for row in rows}

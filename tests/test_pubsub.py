@@ -137,3 +137,27 @@ def test_broker_subscription_lookup():
     sub = broker.subscribe(CROSS_POST)
     assert broker.subscription(sub.subscription_id) is sub
     assert broker.subscriptions == [sub]
+
+
+def test_broker_stats_aggregates_per_stream_counts():
+    broker = Broker()
+    broker.subscribe(CROSS_POST)
+    broker.publish(make_blog_article(docid="b1", timestamp=1.0), stream="blogs")
+    broker.publish(make_book_announcement(docid="k1", timestamp=2.0), stream="books")
+    broker.publish(make_blog_article(docid="b2", timestamp=3.0), stream="blogs")
+    stats = broker.stats()
+    assert stats["streams"] == {"blogs": 2, "books": 1}
+    assert stats["num_documents_published"] == 3
+    assert stats["engine_stats"]["num_documents_processed"] == 3
+
+
+def test_broker_publish_many_matches_publish_loop():
+    batched = Broker()
+    looped = Broker()
+    batched.subscribe(CROSS_POST)
+    looped.subscribe(CROSS_POST)
+    documents = [make_blog_article(docid=f"b{i}", timestamp=float(i + 1)) for i in range(3)]
+    many = [r.match.key() for r in batched.publish_many(documents)]
+    copies = [make_blog_article(docid=f"b{i}", timestamp=float(i + 1)) for i in range(3)]
+    one_by_one = [r.match.key() for d in copies for r in looped.publish(d)]
+    assert many == one_by_one and len(many) == 3
