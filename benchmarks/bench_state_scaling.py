@@ -1,0 +1,165 @@
+"""State scaling: per-document join cost vs. retained state × indexing mode.
+
+The incremental indexed join pipeline maintains persistent hash indexes over
+the docid-partitioned state relations, so the per-document Stage 2 work
+scales with the *matching* witnesses; ``indexing="off"`` reproduces the old
+snapshot-rehashing behavior (per-document cost O(templates × total state))
+as the baseline.  Expected shape: at 1000 retained state documents with 200
+queries, ``eager`` beats ``off`` by well over 3× per-document throughput
+(``extra_info["docs_per_second"]``), with ``lazy`` in between.
+
+Every timed configuration is checked for exact match-set equivalence
+against the ``off`` baseline, and a small cross-engine / cross-shard sweep
+(both engines; 1, 2 and 4 shards; all indexing modes) asserts the same —
+this is the CI correctness gate for the indexed path.
+
+Set ``REPRO_BENCH_TINY=1`` to run the whole file at smoke scale (CI).
+"""
+
+import functools
+import os
+
+import pytest
+
+from repro.bench.harness import run_state_scaling
+from repro.pubsub import Broker
+from repro.runtime import ShardedBroker
+from repro.workloads.querygen import QueryWorkloadConfig, generate_queries
+from repro.workloads.rss import RssStreamConfig, generate_rss_queries, generate_rss_stream
+from repro.workloads.synthetic import build_state_scaling_data
+from repro.xmlmodel.schema import three_level_schema
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+STATE_SIZES = (40,) if TINY else (250, 1000)
+NUM_QUERIES = 30 if TINY else 200
+NUM_PROBES = 3 if TINY else 5
+INDEXING_MODES = ("eager", "lazy", "off")
+
+SCHEMA = three_level_schema(branching=4)
+
+
+@functools.lru_cache(maxsize=None)
+def _workload(num_state_docs):
+    queries = tuple(
+        generate_queries(
+            QueryWorkloadConfig(
+                schema=SCHEMA,
+                num_queries=NUM_QUERIES,
+                zipf_theta=0.8,
+                max_value_joins=4,
+                window=float("inf"),
+                seed=7,
+            )
+        )
+    )
+    data = build_state_scaling_data(SCHEMA, num_state_docs, num_probe_docs=NUM_PROBES)
+    return queries, data
+
+
+@functools.lru_cache(maxsize=None)
+def _off_reference(num_state_docs):
+    """The unindexed baseline: (docs_per_second, match keys) per state size."""
+    queries, data = _workload(num_state_docs)
+    result, keys = run_state_scaling(queries, data, indexing="off")
+    return result.extra["docs_per_second"], keys
+
+
+@pytest.mark.parametrize("num_state_docs", STATE_SIZES)
+@pytest.mark.parametrize("indexing", INDEXING_MODES)
+def bench_state_scaling(benchmark, indexing, num_state_docs):
+    queries, data = _workload(num_state_docs)
+
+    def run_once():
+        return run_state_scaling(queries, data, indexing=indexing)
+
+    result, keys = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    baseline_dps, baseline_keys = _off_reference(num_state_docs)
+    assert keys == baseline_keys, (
+        f"indexed path lost match-equivalence: indexing={indexing!r} at "
+        f"{num_state_docs} state docs"
+    )
+    speedup = result.extra["docs_per_second"] / baseline_dps if baseline_dps else 0.0
+    if indexing == "eager" and not TINY and num_state_docs >= 1000:
+        # The acceptance bar for the incremental pipeline (measured margin
+        # is far larger; 3× tolerates machine noise).
+        assert speedup >= 3.0, f"eager indexing only {speedup:.2f}x over 'off'"
+    benchmark.extra_info["figure"] = "state_scaling"
+    benchmark.extra_info["indexing"] = indexing
+    benchmark.extra_info["num_state_docs"] = num_state_docs
+    benchmark.extra_info["num_queries"] = NUM_QUERIES
+    benchmark.extra_info["num_templates"] = result.num_templates
+    benchmark.extra_info["docs_per_second"] = result.extra["docs_per_second"]
+    benchmark.extra_info["speedup_vs_off"] = round(speedup, 2)
+    benchmark.extra_info["num_matches"] = result.num_matches
+
+
+def _stream_match_keys(broker, queries, documents):
+    try:
+        for i, query in enumerate(queries):
+            broker.subscribe(query, subscription_id=f"q{i}")
+        keys = set()
+        for document in documents:
+            # Documents carry the generator's timestamps; every broker
+            # configuration must see identical ones.
+            for delivery in broker.publish(document):
+                if delivery.match is not None:
+                    keys.add(delivery.match.key())
+        return keys
+    finally:
+        if hasattr(broker, "close"):
+            broker.close()
+
+
+def bench_state_scaling_equivalence(benchmark):
+    """Match-set equivalence across engines, shard counts and indexing modes.
+
+    Runs at smoke scale regardless of ``REPRO_BENCH_TINY`` — it gates
+    correctness, not speed.
+    """
+    num_docs = 12 if TINY else 30
+    # One hand-written subscription guaranteed to fire (two items from the
+    # same channel) plus a generated workload.  Variable names match the
+    # generator's so canonicalization is identical on every shard layout.
+    same_channel = (
+        "S//item->v_item[.//channel_url->v_channel_url] "
+        "FOLLOWED BY{v_channel_url=v_channel_url, INF} "
+        "S//item->v_item[.//channel_url->v_channel_url]"
+    )
+    queries = [same_channel] + generate_rss_queries(40, seed=3)
+
+    def sweep():
+        reference = None
+        for engine in ("mmqjp", "sequential"):
+            for indexing in INDEXING_MODES:
+                for shards in (1, 2, 4):
+                    documents = list(
+                        generate_rss_stream(
+                            RssStreamConfig(num_items=num_docs, num_channels=4, seed=2)
+                        )
+                    )
+                    if shards == 1:
+                        broker = Broker(
+                            engine, construct_outputs=False, indexing=indexing
+                        )
+                    else:
+                        broker = ShardedBroker(
+                            engine,
+                            construct_outputs=False,
+                            shards=shards,
+                            indexing=indexing,
+                            store_documents=False,
+                        )
+                    keys = _stream_match_keys(broker, queries, documents)
+                    if reference is None:
+                        reference = keys
+                    assert keys == reference, (
+                        f"match-set mismatch for engine={engine!r} "
+                        f"indexing={indexing!r} shards={shards}"
+                    )
+        return len(reference)
+
+    num_matches = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "state_scaling_equivalence"
+    benchmark.extra_info["num_matches"] = num_matches
+    assert num_matches > 0

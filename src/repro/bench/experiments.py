@@ -21,6 +21,7 @@ from repro.bench.harness import (
     register_mmqjp,
     run_rss_throughput,
     run_sharded_rss_throughput,
+    run_state_scaling,
     run_technical_benchmark,
 )
 from repro.core.processor import MMQJPJoinProcessor
@@ -29,7 +30,10 @@ from repro.templates.join_graph import JoinGraph
 from repro.templates.registry import TemplateRegistry
 from repro.workloads.querygen import QueryWorkloadConfig, generate_queries
 from repro.workloads.rss import RssStreamConfig, generate_rss_queries, generate_rss_stream
-from repro.workloads.synthetic import build_technical_benchmark_data
+from repro.workloads.synthetic import (
+    build_state_scaling_data,
+    build_technical_benchmark_data,
+)
 from repro.xmlmodel.schema import three_level_schema, two_level_schema
 
 # Default parameter values of Table 5.
@@ -292,6 +296,64 @@ def sharded_throughput(
 
 
 # --------------------------------------------------------------------------- #
+# State scaling: incremental indexed join state (beyond the paper)
+# --------------------------------------------------------------------------- #
+def state_scaling(
+    state_sizes: Sequence[int] = (100, 300, 1000),
+    num_queries_list: Sequence[int] = (50, 200),
+    indexing_modes: Sequence[str] = ("eager", "lazy", "off"),
+    num_probe_docs: int = 5,
+    max_value_joins: int = 4,
+    zipf: float = DEFAULT_ZIPF,
+) -> list[dict]:
+    """Per-document join throughput vs. retained state size and indexing mode.
+
+    With ``indexing="off"`` (the snapshot-rehashing baseline) the
+    per-document cost grows with templates × total state; the eager and
+    lazy incremental-index modes keep it proportional to the matching
+    witnesses.  Every configuration is checked for exact match-set
+    equivalence against the ``off`` baseline; a mismatch raises.
+    """
+    schema = three_level_schema(branching=4)
+    rows = []
+    for num_queries in num_queries_list:
+        queries = generate_queries(
+            QueryWorkloadConfig(
+                schema=schema,
+                num_queries=num_queries,
+                zipf_theta=zipf,
+                max_value_joins=max_value_joins,
+                window=float("inf"),
+                seed=7,
+            )
+        )
+        for num_state_docs in state_sizes:
+            data = build_state_scaling_data(
+                schema, num_state_docs, num_probe_docs=num_probe_docs
+            )
+            off_result, baseline_keys = run_state_scaling(queries, data, indexing="off")
+            baseline_dps = off_result.extra["docs_per_second"]
+            for indexing in indexing_modes:
+                if indexing == "off":
+                    result, keys = off_result, baseline_keys
+                else:
+                    result, keys = run_state_scaling(queries, data, indexing=indexing)
+                if keys != baseline_keys:
+                    raise AssertionError(
+                        f"match-set mismatch: indexing={indexing!r} disagrees with "
+                        f"'off' at {num_state_docs} state docs / {num_queries} queries"
+                    )
+                row = result.as_row()
+                row["figure"] = "state_scaling"
+                if baseline_dps:
+                    row["speedup_vs_off"] = round(
+                        result.extra["docs_per_second"] / baseline_dps, 2
+                    )
+                rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
 # Ablation studies (DESIGN.md Section 5)
 # --------------------------------------------------------------------------- #
 def ablation_graph_minor(
@@ -422,6 +484,7 @@ ALL_EXPERIMENTS = {
     "fig15": fig15,
     "fig16": fig16,
     "sharded_throughput": sharded_throughput,
+    "state_scaling": state_scaling,
     "ablation_graph_minor": ablation_graph_minor,
     "ablation_view_cache": ablation_view_cache,
     "ablation_witness_representation": ablation_witness_representation,

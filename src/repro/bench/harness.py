@@ -17,9 +17,14 @@ from typing import Iterable, Optional, Sequence
 from repro.core.engine import make_engine
 from repro.core.materialize import ViewCache
 from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
+from repro.core.state import JoinState
 from repro.runtime.sharded_broker import ShardedBroker
 from repro.templates.registry import TemplateRegistry
-from repro.workloads.synthetic import TechnicalBenchmarkData, build_technical_benchmark_data
+from repro.workloads.synthetic import (
+    StateScalingData,
+    TechnicalBenchmarkData,
+    build_technical_benchmark_data,
+)
 from repro.xmlmodel.document import XmlDocument
 from repro.xmlmodel.schema import DocumentSchema
 from repro.xscl.ast import XsclQuery
@@ -150,6 +155,7 @@ def run_rss_throughput(
     documents: Iterable[XmlDocument],
     approach: str,
     view_cache_size: Optional[int] = 4096,
+    indexing: str = "eager",
 ) -> ApproachResult:
     """Stream feed items through a full two-stage engine and report throughput.
 
@@ -163,6 +169,7 @@ def run_rss_throughput(
         view_cache_size=view_cache_size,
         store_documents=False,
         auto_timestamp=False,
+        indexing=indexing,
     )
     for i, query in enumerate(queries):
         engine.register_query(query, qid=f"q{i}")
@@ -186,6 +193,66 @@ def run_rss_throughput(
 
 
 # --------------------------------------------------------------------------- #
+# the state-scaling benchmark (incremental indexed join state)
+# --------------------------------------------------------------------------- #
+def run_state_scaling(
+    queries: Sequence[XsclQuery],
+    data: StateScalingData,
+    approach: str = APPROACH_MMQJP,
+    indexing: str = "eager",
+) -> tuple[ApproachResult, frozenset]:
+    """Per-document join cost against a large preloaded state.
+
+    The state documents are loaded directly (the technical-benchmark path),
+    so the timing isolates exactly the per-document Stage 2 work the
+    incremental indexing targets: the probe documents are processed — and
+    merged into the state — one after another against ``num_state_docs``
+    retained documents.  Per-document throughput is reported in
+    ``extra["docs_per_second"]``; the second return value is the frozen set
+    of match keys, which must be identical across every ``indexing`` mode,
+    engine and shard count (the benchmark and CI smoke assert this).
+    """
+    state = JoinState(indexing=indexing)
+    data.load_state(state)
+    if approach == APPROACH_SEQUENTIAL:
+        processor = register_sequential(queries, state=state)
+        num_templates = None
+    elif approach == APPROACH_MMQJP:
+        registry = register_mmqjp(queries)
+        processor = MMQJPJoinProcessor(registry, state=state)
+        num_templates = registry.num_templates
+    else:
+        raise ValueError(f"unsupported state-scaling approach {approach!r}")
+
+    start = time.perf_counter()
+    match_keys: set[tuple] = set()
+    num_matches = 0
+    for witness in data.probes:
+        matches = processor.process(witness)
+        processor.maintain_state(witness)
+        num_matches += len(matches)
+        match_keys.update(m.key() for m in matches)
+    elapsed = time.perf_counter() - start
+
+    throughput = len(data.probes) / elapsed if elapsed > 0 else float("inf")
+    result = ApproachResult(
+        approach=f"{approach}-{indexing}",
+        num_queries=len(queries),
+        elapsed_ms=elapsed * 1000.0,
+        num_matches=num_matches,
+        num_templates=num_templates,
+        breakdown_ms=processor.costs.as_milliseconds(),
+        extra={
+            "indexing": indexing,
+            "num_state_docs": len(data.state_docs),
+            "num_probe_docs": len(data.probes),
+            "docs_per_second": round(throughput, 3),
+        },
+    )
+    return result, frozenset(match_keys)
+
+
+# --------------------------------------------------------------------------- #
 # the sharded-runtime throughput benchmark
 # --------------------------------------------------------------------------- #
 def run_sharded_rss_throughput(
@@ -197,6 +264,7 @@ def run_sharded_rss_throughput(
     executor: str = "serial",
     batch_size: Optional[int] = None,
     view_cache_size: Optional[int] = 4096,
+    indexing: str = "eager",
 ) -> ApproachResult:
     """Stream feed items through a :class:`~repro.runtime.ShardedBroker`.
 
@@ -217,6 +285,7 @@ def run_sharded_rss_throughput(
         executor=executor,
         store_documents=False,
         auto_timestamp=False,
+        indexing=indexing,
     )
     try:
         for i, query in enumerate(queries):

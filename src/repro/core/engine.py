@@ -283,6 +283,11 @@ class _BaseEngine:
         """The processor's accumulated cost breakdown."""
         return self._processor().costs
 
+    @property
+    def indexing(self) -> str:
+        """The join-state indexing mode (``"eager"`` / ``"lazy"`` / ``"off"``)."""
+        return self._processor().indexing
+
     def stats(self) -> EngineStats:
         """Summary statistics for dashboards, examples and tests."""
         return EngineStats(
@@ -335,6 +340,11 @@ class MMQJPEngine(_BaseEngine):
     auto_prune:
         Prune the join state by window horizon after every document (only
         effective while every registered window is finite).
+    indexing:
+        Join-state index maintenance: ``"eager"`` (default) keeps the
+        persistent join indexes current on every merge/prune, ``"lazy"``
+        rebuilds them on first use after a mutation, ``"off"`` disables
+        them (per-call hashing, the pre-incremental behavior).
     """
 
     def __init__(
@@ -344,6 +354,7 @@ class MMQJPEngine(_BaseEngine):
         store_documents: bool = True,
         auto_timestamp: bool = True,
         auto_prune: bool = True,
+        indexing: str = "eager",
     ):
         super().__init__(
             store_documents=store_documents,
@@ -357,7 +368,7 @@ class MMQJPEngine(_BaseEngine):
             view_cache = ViewCache(max_entries=view_cache_size)
         self.processor = MMQJPJoinProcessor(
             registry=self.registry,
-            state=JoinState(),
+            state=JoinState(indexing=indexing),
             use_view_materialization=use_view_materialization,
             view_cache=view_cache,
         )
@@ -386,21 +397,21 @@ class SequentialEngine(_BaseEngine):
         store_documents: bool = True,
         auto_timestamp: bool = True,
         auto_prune: bool = True,
+        indexing: str = "eager",
     ):
         super().__init__(
             store_documents=store_documents,
             auto_timestamp=auto_timestamp,
             auto_prune=auto_prune,
         )
-        self.processor = SequentialJoinProcessor(state=JoinState())
+        self.processor = SequentialJoinProcessor(state=JoinState(indexing=indexing))
 
     def _processor(self) -> SequentialJoinProcessor:
         return self.processor
 
     def _register_with_processor(self, qid: str, query: XsclQuery) -> None:
         self.processor.add_query(qid, query)
-        record = self.processor._queries[qid]
-        self._register_stage1(query, record[1])
+        self._register_stage1(query, self.processor.reduced_graph(qid))
 
 
 def make_engine(
@@ -409,20 +420,24 @@ def make_engine(
     store_documents: bool = True,
     auto_timestamp: bool = True,
     auto_prune: bool = True,
+    indexing: str = "eager",
 ) -> _BaseEngine:
     """Construct an engine from its selection keyword (see :data:`ENGINES`).
 
     ``"mmqjp"`` is the paper's system, ``"mmqjp-vm"`` adds the Section 5
     view materialization (with an optional ``RL``-slice cache), and
-    ``"sequential"`` is the one-query-at-a-time baseline.  This is the single
-    factory used by :class:`repro.pubsub.Broker` and by every shard of
-    :class:`repro.runtime.ShardedBroker`.
+    ``"sequential"`` is the one-query-at-a-time baseline.  ``indexing``
+    selects the join-state index maintenance (``"eager"`` / ``"lazy"`` /
+    ``"off"``; see :class:`~repro.core.state.JoinState`).  This is the
+    single factory used by :class:`repro.pubsub.Broker` and by every shard
+    of :class:`repro.runtime.ShardedBroker`.
     """
     if engine == "mmqjp":
         return MMQJPEngine(
             store_documents=store_documents,
             auto_timestamp=auto_timestamp,
             auto_prune=auto_prune,
+            indexing=indexing,
         )
     if engine == "mmqjp-vm":
         return MMQJPEngine(
@@ -431,11 +446,13 @@ def make_engine(
             store_documents=store_documents,
             auto_timestamp=auto_timestamp,
             auto_prune=auto_prune,
+            indexing=indexing,
         )
     if engine == "sequential":
         return SequentialEngine(
             store_documents=store_documents,
             auto_timestamp=auto_timestamp,
             auto_prune=auto_prune,
+            indexing=indexing,
         )
     raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")

@@ -138,9 +138,18 @@ def compute_materialized_views(
         for node, value in witnesses.rdocw.rows:
             current_by_value[value].append(node)
         previous_by_value: dict[str, list[tuple[str, int]]] = defaultdict(list)
-        for docid, node, value in state.rdoc.rows:
-            previous_by_value[value].append((docid, node))
-        common_values = set(current_by_value) & set(previous_by_value)
+        rdoc_index = state.index_on("Rdoc", ("strVal",))
+        if rdoc_index is not None:
+            # Persistent index: only the current document's values are probed,
+            # so the semi-join never scans the full Rdoc state.
+            common_values = {v for v in current_by_value if v in rdoc_index}
+            for value in common_values:
+                for docid, node, _ in rdoc_index.lookup(value):
+                    previous_by_value[value].append((docid, node))
+        else:
+            for docid, node, value in state.rdoc.rows:
+                previous_by_value[value].append((docid, node))
+            common_values = set(current_by_value) & set(previous_by_value)
         for value in common_values:
             for docid, prev_node in previous_by_value[value]:
                 for cur_node in current_by_value[value]:
@@ -185,6 +194,28 @@ def compute_materialized_views(
     )
 
 
+def _rbin_leaf_lookup(state: JoinState):
+    """Rbin rows by (docid, leaf node): shared live index, or a per-call hash."""
+    index = state.index_on("Rbin", ("docid", "node2"))
+    if index is not None:
+        return index.lookup
+    by_leaf: dict[tuple[str, int], list[tuple]] = defaultdict(list)
+    for row in state.rbin.rows:
+        by_leaf[(row[0], row[4])].append(row)
+    return lambda docid, node: by_leaf.get((docid, node), ())
+
+
+def _rvar_node_lookup(state: JoinState):
+    """Rvar rows by (docid, node): shared live index, or a per-call hash."""
+    index = state.index_on("Rvar", ("docid", "node"))
+    if index is not None:
+        return index.lookup
+    by_node: dict[tuple[str, int], list[tuple]] = defaultdict(list)
+    for row in state.rvar.rows:
+        by_node[(row[0], row[2])].append(row)
+    return lambda docid, node: by_node.get((docid, node), ())
+
+
 def _compute_rl_direct(
     state: JoinState,
     common_values: set[str],
@@ -193,17 +224,13 @@ def _compute_rl_direct(
     rlvar: Relation,
 ) -> None:
     """Compute RL/RLvar from scratch for every common string value."""
-    rbin_by_leaf: dict[tuple[str, int], list[tuple]] = defaultdict(list)
-    for row in state.rbin.rows:
-        rbin_by_leaf[(row[0], row[4])].append(row)  # keyed on (docid, node2)
-    rvar_by_node: dict[tuple[str, int], list[tuple]] = defaultdict(list)
-    for row in state.rvar.rows:
-        rvar_by_node[(row[0], row[2])].append(row)
+    rbin_of = _rbin_leaf_lookup(state)
+    rvar_of = _rvar_node_lookup(state)
     for value in common_values:
         for docid, prev_node in previous_by_value[value]:
-            for _, var1, var2, node1, node2 in rbin_by_leaf.get((docid, prev_node), ()):
+            for _, var1, var2, node1, node2 in rbin_of(docid, prev_node):
                 rl.insert((docid, var1, var2, node1, node2, value))
-            for _, var, node in rvar_by_node.get((docid, prev_node), ()):
+            for _, var, node in rvar_of(docid, prev_node):
                 rlvar.insert((docid, var, node, value))
 
 
@@ -220,27 +247,23 @@ def _compute_rl_cached(
     ``RLvar`` is always recomputed — it is tiny compared to ``RL`` and keeping
     it out of the cache keeps Algorithm 5 identical to the paper.
     """
-    rbin_by_leaf: Optional[dict[tuple[str, int], list[tuple]]] = None
-    rvar_by_node: dict[tuple[str, int], list[tuple]] = defaultdict(list)
-    for row in state.rvar.rows:
-        rvar_by_node[(row[0], row[2])].append(row)
+    rbin_of = None
+    rvar_of = _rvar_node_lookup(state)
 
     for value in sorted(common_values):
         cached = view_cache.get(value)
         if cached is None:
-            if rbin_by_leaf is None:
-                rbin_by_leaf = defaultdict(list)
-                for row in state.rbin.rows:
-                    rbin_by_leaf[(row[0], row[4])].append(row)
+            if rbin_of is None:
+                rbin_of = _rbin_leaf_lookup(state)
             slice_rows: list[tuple] = []
             for docid, prev_node in previous_by_value[value]:
-                for _, var1, var2, node1, node2 in rbin_by_leaf.get((docid, prev_node), ()):
+                for _, var1, var2, node1, node2 in rbin_of(docid, prev_node):
                     slice_rows.append((docid, var1, var2, node1, node2, value))
             view_cache.put(value, slice_rows)
             cached = slice_rows
         rl.insert_many(cached)
         for docid, prev_node in previous_by_value[value]:
-            for _, var, node in rvar_by_node.get((docid, prev_node), ()):
+            for _, var, node in rvar_of(docid, prev_node):
                 rlvar.insert((docid, var, node, value))
 
 

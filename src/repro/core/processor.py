@@ -28,6 +28,7 @@ from repro.core.results import Match
 from repro.core.state import JoinState
 from repro.core.witnesses import WitnessRelations
 from repro.relational.conjunctive import ConjunctiveQuery, evaluate_conjunctive
+from repro.relational.database import IndexedDatabase
 from repro.relational.relation import Relation
 from repro.relational.terms import Const, Var
 from repro.templates.join_graph import JoinGraph, Side
@@ -47,8 +48,48 @@ def window_satisfied(operator: JoinOperator, delta: float, window: float) -> boo
     return 0 <= delta <= window
 
 
+def _resolve_state(state: Optional[JoinState], indexing: Optional[str]) -> JoinState:
+    """Resolve a processor's (state, indexing) constructor pair.
+
+    Builds a fresh state with the requested mode when none is given;
+    otherwise the mode, if specified, must agree with the state's.
+    """
+    if state is None:
+        return JoinState(indexing=indexing if indexing is not None else "eager")
+    if indexing is not None and indexing != state.indexing:
+        raise ValueError(
+            f"indexing={indexing!r} conflicts with the given state's "
+            f"indexing={state.indexing!r}"
+        )
+    return state
+
+
+def _build_state_env(state: JoinState) -> IndexedDatabase:
+    """The shared evaluation environment over a join state.
+
+    The state relations are bound as *indexed* — their join keys resolve
+    against live, incrementally maintained hash indexes (unless the state's
+    indexing mode is ``"off"``).  The per-document witness and view
+    relations are rebound ephemerally each document.
+    """
+    env = IndexedDatabase(indexing=state.indexing)
+    for name, relation in state.relations().items():
+        env.bind(name, relation, indexed=True)
+    return env
+
+
 class MMQJPJoinProcessor:
-    """Template-based multi-query join processing (Algorithms 1, 2 and 4)."""
+    """Template-based multi-query join processing (Algorithms 1, 2 and 4).
+
+    Parameters
+    ----------
+    registry / state / use_view_materialization / view_cache:
+        As before; the state's ``indexing`` mode determines how the shared
+        evaluation environment resolves join keys.
+    indexing:
+        Convenience: construct the (defaulted) state with this indexing
+        mode.  Must agree with ``state.indexing`` when both are given.
+    """
 
     def __init__(
         self,
@@ -56,29 +97,35 @@ class MMQJPJoinProcessor:
         state: Optional[JoinState] = None,
         use_view_materialization: bool = False,
         view_cache: Optional[ViewCache] = None,
+        indexing: Optional[str] = None,
     ):
         self.registry = registry
-        self.state = state if state is not None else JoinState()
+        self.state = _resolve_state(state, indexing)
         self.use_view_materialization = use_view_materialization
         self.view_cache = view_cache
         self.costs = CostBreakdown()
+        self.env = _build_state_env(self.state)
         self._last_views: Optional[MaterializedViews] = None
+
+    @property
+    def indexing(self) -> str:
+        """The indexing mode of the join state / evaluation environment."""
+        return self.state.indexing
 
     # ------------------------------------------------------------------ #
     # Algorithm 1 / Algorithm 4
     # ------------------------------------------------------------------ #
     def process(self, witnesses: WitnessRelations) -> list[Match]:
         """Evaluate all registered queries against the current document's witnesses."""
-        env: dict[str, Relation] = {}
-        env.update(self.state.relations())
-        env.update(witnesses.relations())
+        env = self.env
+        env.bind_all(witnesses.relations())
 
         if self.use_view_materialization:
             views = compute_materialized_views(
                 self.state, witnesses, view_cache=self.view_cache, costs=self.costs
             )
             self._last_views = views
-            env.update(views.relations())
+            env.bind_all(views.relations())
 
         matches: list[Match] = []
         seen: set[tuple] = set()
@@ -86,7 +133,7 @@ class MMQJPJoinProcessor:
             rt = self.registry.rt_relation(template)
             if not rt.rows:
                 continue
-            env[template.rt_relation_name()] = rt
+            env.bind(template.rt_relation_name(), rt, indexed=True)
             cq = self.registry.cqt(template, materialized=self.use_view_materialization)
             with self.costs.measure("conjunctive_query"):
                 rout = evaluate_conjunctive(cq, env)
@@ -206,10 +253,16 @@ def build_per_query_cq(qid: str, query: XsclQuery, reduced: ReducedJoinGraph) ->
 class SequentialJoinProcessor:
     """The paper's baseline: evaluate every query's join operator separately."""
 
-    def __init__(self, state: Optional[JoinState] = None):
-        self.state = state if state is not None else JoinState()
+    def __init__(self, state: Optional[JoinState] = None, indexing: Optional[str] = None):
+        self.state = _resolve_state(state, indexing)
         self.costs = CostBreakdown()
+        self.env = _build_state_env(self.state)
         self._queries: dict[str, tuple[XsclQuery, ReducedJoinGraph, ConjunctiveQuery]] = {}
+
+    @property
+    def indexing(self) -> str:
+        """The indexing mode of the join state / evaluation environment."""
+        return self.state.indexing
 
     # ------------------------------------------------------------------ #
     # registration
@@ -227,14 +280,25 @@ class SequentialJoinProcessor:
         """Number of registered queries."""
         return len(self._queries)
 
+    def query_ids(self) -> list[str]:
+        """The registered query ids, in registration order."""
+        return list(self._queries)
+
+    def reduced_graph(self, qid: str) -> ReducedJoinGraph:
+        """The reduced join graph of a registered query.
+
+        Public accessor for the engine layer (which registers the graph's
+        variables and edges with the Stage 1 evaluator).
+        """
+        return self._queries[qid][1]
+
     # ------------------------------------------------------------------ #
     # per-document evaluation (one query at a time)
     # ------------------------------------------------------------------ #
     def process(self, witnesses: WitnessRelations) -> list[Match]:
         """Evaluate each registered query separately against the current witnesses."""
-        env: dict[str, Relation] = {}
-        env.update(self.state.relations())
-        env.update(witnesses.relations())
+        env = self.env
+        env.bind_all(witnesses.relations())
 
         matches: list[Match] = []
         seen: set[tuple] = set()

@@ -5,23 +5,55 @@ The state consists of the relations ``Rbin``, ``Rdoc``, ``Rvar`` and
 in the current document's witnesses after it has been processed.  The state
 additionally supports window-based pruning: documents older than the largest
 registered window can never contribute to a future match and may be dropped.
+
+The state relations are :class:`~repro.relational.relation.PartitionedRelation`
+instances partitioned on ``docid``, so :meth:`JoinState.prune` drops whole
+documents in one dictionary pop per document instead of rewriting every row
+list, and they carry live hash indexes (see
+:meth:`~repro.relational.relation.Relation.index_on`) maintained according
+to the state's ``indexing`` mode:
+
+* ``"eager"`` (default) — indexes are updated inline on every merge/prune,
+* ``"lazy"`` — indexes go stale on mutation and are rebuilt on first use,
+* ``"off"`` — no persistent indexes; every consumer falls back to
+  per-call hashing (the pre-incremental behavior, kept for ablation and
+  equivalence testing).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.witnesses import WitnessRelations
-from repro.relational.relation import Relation
+from repro.relational.database import INDEXING_MODES
+from repro.relational.index import HashIndex
+from repro.relational.relation import PartitionedRelation, Relation
 from repro.templates.cqt import RELATION_SCHEMAS
 
 
 class JoinState:
     """Witness relations of all previously processed documents."""
 
-    def __init__(self) -> None:
-        self.rbin = Relation(RELATION_SCHEMAS["Rbin"], name="Rbin")
-        self.rdoc = Relation(RELATION_SCHEMAS["Rdoc"], name="Rdoc")
-        self.rvar = Relation(RELATION_SCHEMAS["Rvar"], name="Rvar")
-        self.rdocts = Relation(RELATION_SCHEMAS["RdocTS"], name="RdocTS")
+    def __init__(self, indexing: str = "eager") -> None:
+        if indexing not in INDEXING_MODES:
+            raise ValueError(
+                f"unknown indexing mode {indexing!r}; choose one of {INDEXING_MODES}"
+            )
+        self.indexing = indexing
+        maintenance = "lazy" if indexing == "lazy" else "eager"
+
+        def _relation(name: str) -> PartitionedRelation:
+            return PartitionedRelation(
+                RELATION_SCHEMAS[name],
+                name=name,
+                partition_attribute="docid",
+                index_maintenance=maintenance,
+            )
+
+        self.rbin = _relation("Rbin")
+        self.rdoc = _relation("Rdoc")
+        self.rvar = _relation("Rvar")
+        self.rdocts = _relation("RdocTS")
         self._timestamps: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
@@ -68,14 +100,15 @@ class JoinState:
         """Drop every document with ``timestamp < min_timestamp``.
 
         Returns the number of documents removed.  With a finite maximum
-        window ``W`` the engine calls this with ``current_ts - W``.
+        window ``W`` the engine calls this with ``current_ts - W``.  Each
+        state relation drops the stale documents' partitions wholesale, so
+        the cost scales with the rows removed, not the rows retained.
         """
         stale = {d for d, ts in self._timestamps.items() if ts < min_timestamp}
         if not stale:
             return 0
         for relation in (self.rbin, self.rdoc, self.rvar, self.rdocts):
-            docid_idx = relation.schema.index_of("docid")
-            relation.rows = [row for row in relation.rows if row[docid_idx] not in stale]
+            relation.drop_partitions(stale)
         for docid in stale:
             del self._timestamps[docid]
         return len(stale)
@@ -101,6 +134,17 @@ class JoinState:
             "RdocTS": self.rdocts,
         }
 
+    def index_on(self, relation_name: str, columns) -> Optional[HashIndex]:
+        """A live index on a state relation, or ``None`` with indexing ``"off"``.
+
+        Consumers outside the conjunctive evaluator (e.g. the Section 5 view
+        materialization) use this to share the state's persistent indexes,
+        falling back to their own per-call hashing when it returns ``None``.
+        """
+        if self.indexing == "off":
+            return None
+        return self.relations()[relation_name].index_on(columns)
+
     def clear(self) -> None:
         """Remove all state (used between benchmark runs)."""
         self.rbin.clear()
@@ -112,5 +156,6 @@ class JoinState:
     def __repr__(self) -> str:
         return (
             f"<JoinState docs={self.num_documents} |Rbin|={len(self.rbin)} "
-            f"|Rdoc|={len(self.rdoc)} |Rvar|={len(self.rvar)}>"
+            f"|Rdoc|={len(self.rdoc)} |Rvar|={len(self.rvar)} "
+            f"indexing={self.indexing!r}>"
         )

@@ -77,6 +77,10 @@ class Broker:
         Prune the engine's join state by window horizon on the publish path
         (effective while every registered window is finite).  Disable to
         keep all state and prune manually via :meth:`prune`.
+    indexing:
+        Join-state index maintenance of the underlying engine: ``"eager"``
+        (default), ``"lazy"``, or ``"off"`` (per-call hashing, the
+        pre-incremental behavior kept for ablation/equivalence runs).
     shards:
         Escape hatch to the sharded runtime: with ``shards`` > 1 the
         constructor returns a :class:`repro.runtime.ShardedBroker` instead
@@ -101,6 +105,7 @@ class Broker:
         stream_history: int = 0,
         *,
         auto_prune: bool = True,
+        indexing: str = "eager",
         shards: Optional[int] = None,
     ):
         if shards is not None and shards < 1:
@@ -114,7 +119,12 @@ class Broker:
                 "repro.runtime.ShardedBroker (or plain Broker) directly"
             )
         self.engine_name = engine
-        self.engine = make_engine(engine, view_cache_size=view_cache_size, auto_prune=auto_prune)
+        self.engine = make_engine(
+            engine,
+            view_cache_size=view_cache_size,
+            auto_prune=auto_prune,
+            indexing=indexing,
+        )
         self.construct_outputs = construct_outputs
         self.streams = StreamRegistry(history_size=stream_history)
         self._subscriptions: dict[str, Subscription] = {}
@@ -248,6 +258,7 @@ class Broker:
         stream_counts = self.streams.stats()
         return {
             "engine": self.engine_name,
+            "indexing": self.engine.indexing,
             "streams": stream_counts,
             "num_subscriptions": len(self._subscriptions),
             "num_filter_subscriptions": len(self._filter_subscriptions),

@@ -10,10 +10,16 @@ replacement with exactly the pieces the paper needs:
   relations over Python tuples.
 * :mod:`~repro.relational.operators` — selection, projection, natural and
   equi hash joins, semi/anti joins, set operations.
-* :class:`~repro.relational.index.HashIndex` — hash indexes on attribute
-  subsets, used for witness lookup and the view cache.
+* :class:`~repro.relational.index.HashIndex` — live hash indexes on
+  attribute subsets, maintained incrementally by their owning relation;
+  used by the join pipeline, witness lookup and the view cache.
+* :class:`~repro.relational.relation.PartitionedRelation` — a relation
+  whose rows are grouped by a partition attribute (``docid`` for the join
+  state) so pruning drops whole documents at once.
 * :class:`~repro.relational.database.Database` — a tiny catalog of named
-  relations (the join state lives here).
+  relations (the join state lives here) — and
+  :class:`~repro.relational.database.IndexedDatabase`, the index-aware
+  evaluation environment of the incremental join pipeline.
 * :mod:`~repro.relational.conjunctive` — Datalog-style conjunctive queries
   and their evaluator; the per-template queries ``CQT`` of Section 4.4 are
   instances of :class:`~repro.relational.conjunctive.ConjunctiveQuery`.
@@ -22,9 +28,9 @@ replacement with exactly the pieces the paper needs:
 """
 
 from repro.relational.schema import RelationSchema, SchemaError
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, PartitionedRelation
 from repro.relational.index import HashIndex
-from repro.relational.database import Database
+from repro.relational.database import Database, IndexedDatabase, INDEXING_MODES
 from repro.relational.terms import Var, Const, term
 from repro.relational.conjunctive import Atom, ConjunctiveQuery, evaluate_conjunctive
 from repro.relational import operators
@@ -34,8 +40,11 @@ __all__ = [
     "RelationSchema",
     "SchemaError",
     "Relation",
+    "PartitionedRelation",
     "HashIndex",
     "Database",
+    "IndexedDatabase",
+    "INDEXING_MODES",
     "Var",
     "Const",
     "term",

@@ -160,8 +160,18 @@ def _join_atom(
     var_order: list[str],
     atom: Atom,
     relation: Relation,
+    index_for=None,
 ) -> tuple[list[tuple], list[str]]:
-    """Join the current solution set with one atom (hash join)."""
+    """Join the current solution set with one atom (hash join).
+
+    ``index_for(relation_name, key_columns)`` — when provided, e.g. by an
+    :class:`~repro.relational.database.IndexedDatabase` — may return a
+    persistent, incrementally maintained hash index on the atom's key
+    columns (join columns plus constant columns).  With an index, each
+    partial solution probes the prebuilt buckets directly, so per-call work
+    scales with the *matching* rows; without one, the relation is hashed
+    per call (ad-hoc relations such as the current document's witnesses).
+    """
     var_pos = {v: i for i, v in enumerate(var_order)}
 
     const_checks: list[tuple[int, object]] = []
@@ -183,7 +193,38 @@ def _join_atom(
                 seen_new[name] = col
                 new_vars.append((col, name))
 
-    # Hash the relation rows by the join-key columns.
+    new_var_order = var_order + [name for _, name in new_vars]
+    new_solutions: list[tuple] = []
+    new_var_cols = tuple(c for c, _ in new_vars)
+
+    # Persistent-index path: probe a live index keyed on the join columns
+    # followed by the constant columns; only the within-atom equality of
+    # repeated fresh variables still needs a per-row check.
+    key_cols = tuple(c for c, _ in join_cols) + tuple(c for c, _ in const_checks)
+    index = index_for(atom.relation, key_cols) if (index_for and key_cols) else None
+    if index is not None:
+        const_suffix = tuple(v for _, v in const_checks)
+        if not var_order and not join_cols:
+            # First atom: one lookup on the constant key serves every base.
+            rows = index.lookup_key(const_suffix)
+            if within_atom_eq:
+                rows = [r for r in rows if all(r[c] == r[c2] for c, c2 in within_atom_eq)]
+            base = solutions if solutions else [()]
+            for sol in base:
+                for row in rows:
+                    new_solutions.append(sol + tuple(row[c] for c in new_var_cols))
+            return new_solutions, new_var_order
+        for sol in solutions:
+            key = tuple(sol[pos] for _, pos in join_cols) + const_suffix
+            for row in index.lookup_key(key):
+                if within_atom_eq and not all(
+                    row[c] == row[c2] for c, c2 in within_atom_eq
+                ):
+                    continue
+                new_solutions.append(sol + tuple(row[c] for c in new_var_cols))
+        return new_solutions, new_var_order
+
+    # Ad-hoc path: hash the relation rows by the join-key columns.
     buckets: dict[tuple, list[tuple]] = {}
     for row in relation.rows:
         ok = all(row[c] == v for c, v in const_checks)
@@ -194,21 +235,19 @@ def _join_atom(
         key = tuple(row[c] for c, _ in join_cols)
         buckets.setdefault(key, []).append(row)
 
-    new_var_order = var_order + [name for _, name in new_vars]
-    new_solutions: list[tuple] = []
     if not var_order and not join_cols:
         # First atom (or a cartesian step against an empty binding set).
         base = solutions if solutions else [()]
         for sol in base:
             for rows in buckets.values():
                 for row in rows:
-                    new_solutions.append(sol + tuple(row[c] for c, _ in new_vars))
+                    new_solutions.append(sol + tuple(row[c] for c in new_var_cols))
         return new_solutions, new_var_order
 
     for sol in solutions:
         key = tuple(sol[pos] for _, pos in join_cols)
         for row in buckets.get(key, ()):
-            new_solutions.append(sol + tuple(row[c] for c, _ in new_vars))
+            new_solutions.append(sol + tuple(row[c] for c in new_var_cols))
     return new_solutions, new_var_order
 
 
@@ -230,11 +269,17 @@ def evaluate_conjunctive(
         ``"greedy"`` (default) for the built-in size-driven greedy join
         order, ``"given"`` to join atoms in the order they appear in the
         body, or an explicit sequence of the body's atoms.
+
+    When ``relations`` is an
+    :class:`~repro.relational.database.IndexedDatabase`, atoms over its
+    indexed relations are joined by probing persistent hash indexes instead
+    of rehashing the relation per call.
     """
     lookup = relations.get if hasattr(relations, "get") else relations.__getitem__
+    index_for = getattr(relations, "index_for", None)
 
     def rel_of(atom: Atom) -> Relation:
-        rel = lookup(atom.relation) if hasattr(relations, "get") else lookup(atom.relation)
+        rel = lookup(atom.relation)
         if rel is None:
             raise SchemaError(f"unknown relation {atom.relation!r} in conjunctive query")
         _atom_matches(atom, rel)
@@ -256,21 +301,16 @@ def evaluate_conjunctive(
 
     solutions: list[tuple] = []
     var_order: list[str] = []
-    first = True
     for atom in ordered:
         relation = rel_map[atom.relation]
-        if first:
-            solutions, var_order = _join_atom([], [], atom, relation)
-            first = False
-        else:
-            solutions, var_order = _join_atom(solutions, var_order, atom, relation)
+        solutions, var_order = _join_atom(solutions, var_order, atom, relation, index_for)
         if not solutions:
             break
 
     # Project the head.
     var_pos = {v: i for i, v in enumerate(var_order)}
     out = Relation(RelationSchema(query.head_schema), name=query.head_name)
-    if first:
+    if not ordered:
         # Empty body: the head is a single row of constants (if all terms are consts).
         if all(isinstance(t, Const) for t in query.head_terms):
             out.rows.append(tuple(t.value for t in query.head_terms))

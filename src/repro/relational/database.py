@@ -1,16 +1,24 @@
-"""A minimal catalog of named relations.
+"""Catalogs of named relations.
 
 The MMQJP join state (``Rbin``, ``Rdoc``, ``RdocTS``) and the per-template
 relations (``RT``) live in a :class:`Database`, mirroring how the paper keeps
-them as SQL Server tables.
+them as SQL Server tables.  :class:`IndexedDatabase` is the evaluation
+environment of the incremental join pipeline: a mapping from relation names
+to relations that additionally resolves an atom's join-key columns against
+persistent, incrementally maintained hash indexes.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
+from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, SchemaError
+
+#: Indexing modes of :class:`IndexedDatabase` (and everything layered on it:
+#: the join state, the engines, the brokers).
+INDEXING_MODES = ("eager", "lazy", "off")
 
 
 class Database:
@@ -57,3 +65,104 @@ class Database:
     def total_rows(self) -> int:
         """Total number of stored rows across all relations (for stats/tests)."""
         return sum(len(r) for r in self._relations.values())
+
+
+class IndexedDatabase:
+    """An evaluation environment with persistent per-relation hash indexes.
+
+    Looks like a mapping from relation names to :class:`Relation` (so
+    :func:`~repro.relational.conjunctive.evaluate_conjunctive` accepts it
+    directly) and additionally answers :meth:`index_for`, which the
+    evaluator calls to resolve an atom's join-key columns:
+
+    * Relations bound as **indexed** (the long-lived join state and the
+      per-template ``RT`` relations) answer with a live
+      :class:`~repro.relational.index.HashIndex`, built and memoized once
+      per (relation, key columns) and maintained incrementally under
+      inserts and prunes.
+    * Relations bound as **ephemeral** (the current document's witnesses and
+      the per-document materialized views) answer ``None``, making the
+      evaluator fall back to its per-call hashing.
+
+    ``indexing="off"`` answers ``None`` for everything, reproducing the
+    snapshot-rehashing behavior exactly (the ablation/equivalence baseline);
+    ``"eager"`` updates indexes inline on every mutation; ``"lazy"`` lets
+    them go stale and rebuilds on first use after a mutation.
+    """
+
+    def __init__(self, indexing: str = "eager"):
+        if indexing not in INDEXING_MODES:
+            raise ValueError(
+                f"unknown indexing mode {indexing!r}; choose one of {INDEXING_MODES}"
+            )
+        self.indexing = indexing
+        self._relations: dict[str, Relation] = {}
+        self._indexed: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # binding
+    # ------------------------------------------------------------------ #
+    def bind(self, name: str, relation: Relation, indexed: bool = False) -> Relation:
+        """Bind ``relation`` under ``name`` (replacing any previous binding).
+
+        With ``indexed=True`` (and indexing not ``"off"``) the relation's
+        join keys are served from persistent indexes and its maintenance
+        mode is aligned with this environment's indexing mode.
+        """
+        self._relations[name] = relation
+        if indexed and self.indexing != "off":
+            self._indexed.add(name)
+            relation.index_maintenance = "lazy" if self.indexing == "lazy" else "eager"
+        else:
+            self._indexed.discard(name)
+        return relation
+
+    def bind_all(self, relations: Mapping[str, Relation], indexed: bool = False) -> None:
+        """Bind many relations at once."""
+        for name, relation in relations.items():
+            self.bind(name, relation, indexed=indexed)
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding if present."""
+        self._relations.pop(name, None)
+        self._indexed.discard(name)
+
+    # ------------------------------------------------------------------ #
+    # mapping protocol (what the evaluator needs)
+    # ------------------------------------------------------------------ #
+    def get(self, name: str, default: Optional[Relation] = None) -> Optional[Relation]:
+        """Return the relation bound under ``name`` (or ``default``)."""
+        return self._relations.get(name, default)
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> list[str]:
+        """All bound relation names."""
+        return list(self._relations)
+
+    def is_indexed(self, name: str) -> bool:
+        """Whether ``name`` is served from persistent indexes."""
+        return name in self._indexed
+
+    # ------------------------------------------------------------------ #
+    # index resolution
+    # ------------------------------------------------------------------ #
+    def index_for(self, name: str, key_columns: Sequence) -> Optional[HashIndex]:
+        """A live index on ``key_columns`` of relation ``name``, or ``None``.
+
+        ``None`` (unknown/ephemeral relation, or indexing ``"off"``) tells
+        the evaluator to hash the relation per call instead.
+        """
+        if name not in self._indexed:
+            return None
+        return self._relations[name].index_on(key_columns)

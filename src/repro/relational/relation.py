@@ -1,9 +1,25 @@
-"""Relations: a schema plus a bag of tuples.
+"""Relations: a schema plus a bag of tuples, with live hash indexes.
 
 Relations are deliberately simple — a list of plain Python tuples — because
 the join state of the MMQJP engine (``Rbin``, ``Rdoc``, ``RdocTS`` and the
-per-document witness relations) is rebuilt and scanned constantly; plain
+per-document witness relations) is scanned and probed constantly; plain
 tuples keep that cheap and keep hashing (for joins and distinct) trivial.
+
+Two features support the incremental join pipeline:
+
+* Every relation carries a **mutation counter** and an attached registry of
+  :class:`~repro.relational.index.HashIndex` objects (:meth:`Relation.index_on`).
+  Indexes are built once per key-column set and then maintained under
+  mutations — eagerly (updated inline on every insert/drop) or lazily
+  (rebuilt on first use after a mutation), per the relation's
+  ``index_maintenance`` mode.
+* :class:`PartitionedRelation` additionally groups its rows by one
+  partition attribute (``docid`` for the join-state relations), so that
+  window pruning can drop all rows of a document in one dictionary pop
+  (:meth:`PartitionedRelation.drop_partitions`) instead of rewriting the
+  whole row list, and maintains per-column distinct-value counters so the
+  join-order optimizer's NDV estimates are O(1) instead of a full column
+  scan.
 """
 
 from __future__ import annotations
@@ -11,6 +27,9 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.relational.schema import RelationSchema, SchemaError
+
+#: Index-maintenance modes accepted by :class:`Relation`.
+INDEX_MAINTENANCE_MODES = ("eager", "lazy")
 
 
 class Relation:
@@ -27,22 +46,43 @@ class Relation:
         Optional initial rows.  Each row must have the schema's arity.
     name:
         Optional relation name used in error messages and SQL rendering.
+    index_maintenance:
+        ``"eager"`` (default) keeps attached indexes up to date on every
+        mutation; ``"lazy"`` lets them go stale and rebuilds them on the
+        next :meth:`index_on` call.
     """
 
-    __slots__ = ("schema", "rows", "name", "_ndv_cache")
+    __slots__ = (
+        "schema",
+        "rows",
+        "name",
+        "index_maintenance",
+        "_ndv_cache",
+        "_version",
+        "_indexes",
+    )
 
     def __init__(
         self,
         schema: RelationSchema | Sequence[str],
         rows: Iterable[Sequence] = (),
         name: str = "",
+        index_maintenance: str = "eager",
     ):
         if not isinstance(schema, RelationSchema):
             schema = RelationSchema(schema)
+        if index_maintenance not in INDEX_MAINTENANCE_MODES:
+            raise ValueError(
+                f"unknown index maintenance mode {index_maintenance!r}; "
+                f"choose one of {INDEX_MAINTENANCE_MODES}"
+            )
         self.schema = schema
         self.name = name
+        self.index_maintenance = index_maintenance
+        self._ndv_cache: dict[int, tuple[tuple[int, int], int]] = {}
+        self._version = 0
+        self._indexes: dict[tuple[int, ...], "HashIndex"] = {}
         self.rows: list[tuple] = []
-        self._ndv_cache: dict[int, tuple[int, int]] = {}
         for row in rows:
             self.insert(row)
 
@@ -56,7 +96,7 @@ class Relation:
         return iter(self.rows)
 
     def __bool__(self) -> bool:
-        return bool(self.rows)
+        return len(self) > 0
 
     def __eq__(self, other: object) -> bool:
         """Two relations are equal when schema and the *set* of rows agree."""
@@ -71,7 +111,7 @@ class Relation:
 
     def __repr__(self) -> str:
         label = self.name or "Relation"
-        return f"<{label}{list(self.schema.attributes)} with {len(self.rows)} rows>"
+        return f"<{label}{list(self.schema.attributes)} with {len(self)} rows>"
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -84,7 +124,7 @@ class Relation:
                 f"row arity {len(t)} does not match schema arity {len(self.schema)} "
                 f"for relation {self.name or '<anonymous>'}"
             )
-        self.rows.append(t)
+        self._append(t)
 
     def insert_many(self, rows: Iterable[Sequence]) -> None:
         """Append many rows."""
@@ -97,11 +137,15 @@ class Relation:
             row = tuple(values[a] for a in self.schema.attributes)
         except KeyError as exc:
             raise SchemaError(f"missing attribute {exc.args[0]!r} in row values") from None
-        self.rows.append(row)
+        self._append(row)
 
     def clear(self) -> None:
         """Remove all rows."""
         self.rows.clear()
+        self._version += 1
+        for index in self._indexes.values():
+            index.clear()
+            index.version = self._version
 
     def extend(self, other: "Relation") -> None:
         """Append all rows of ``other`` (schemas must match exactly)."""
@@ -110,7 +154,60 @@ class Relation:
                 f"cannot extend relation with schema {self.schema} "
                 f"from relation with schema {other.schema}"
             )
-        self.rows.extend(other.rows)
+        for row in other.rows:
+            self._append(row)
+
+    def _append(self, t: tuple) -> None:
+        """Append one validated tuple, keeping indexes and counters current."""
+        self.rows.append(t)
+        self._row_added(t)
+
+    def _row_added(self, t: tuple) -> None:
+        previous = self._version
+        self._version += 1
+        if self._indexes and self.index_maintenance == "eager":
+            for index in self._indexes.values():
+                # Only indexes that were in sync before this mutation are
+                # updated inline; an already-stale index (e.g. after a
+                # wholesale ``rows`` assignment, or built under lazy
+                # maintenance) stays stale so index_on() rebuilds it.
+                if index.version == previous:
+                    index.add_row(t)
+                    index.version = self._version
+
+    # ------------------------------------------------------------------ #
+    # live indexes
+    # ------------------------------------------------------------------ #
+    def _resolve_columns(self, columns: Sequence) -> tuple[int, ...]:
+        return tuple(
+            self.schema.index_of(c) if isinstance(c, str) else int(c) for c in columns
+        )
+
+    def index_on(self, columns: Sequence) -> "HashIndex":
+        """Return the live hash index on ``columns`` (names or positions).
+
+        The index is built on first use, memoized per key-column set, and
+        maintained under subsequent mutations: inline under ``"eager"``
+        maintenance, or by rebuilding here once the relation has changed
+        under ``"lazy"`` maintenance.
+        """
+        from repro.relational.index import HashIndex
+
+        key_cols = self._resolve_columns(columns)
+        index = self._indexes.get(key_cols)
+        if index is None:
+            index = HashIndex(self, key_cols)
+            index.version = self._version
+            self._indexes[key_cols] = index
+        elif index.version != self._version:
+            index.rebuild(self.rows)
+            index.version = self._version
+        return index
+
+    @property
+    def num_indexes(self) -> int:
+        """Number of attached live indexes (stats/tests)."""
+        return len(self._indexes)
 
     # ------------------------------------------------------------------ #
     # row access helpers
@@ -131,17 +228,20 @@ class Relation:
         return row[self.schema.index_of(attribute)]
 
     def distinct_count(self, column_index: int) -> int:
-        """Number of distinct values in one column (cached per row count).
+        """Number of distinct values in one column (cached per mutation).
 
         Used by the conjunctive-query optimizer to estimate join fan-out.
-        The cache entry is invalidated whenever the row count changes, which
-        is sufficient for the append-only relations the engine maintains.
+        The cache entry is keyed on the relation's mutation counter (plus
+        the row count, to also catch legacy direct ``rows`` manipulation),
+        so it survives any mix of inserts and prunes — a prune followed by
+        equal-size inserts invalidates it where a row-count key would not.
         """
+        stamp = (self._version, len(self.rows))
         cached = self._ndv_cache.get(column_index)
-        if cached is not None and cached[0] == len(self.rows):
+        if cached is not None and cached[0] == stamp:
             return cached[1]
         count = len({row[column_index] for row in self.rows})
-        self._ndv_cache[column_index] = (len(self.rows), count)
+        self._ndv_cache[column_index] = (stamp, count)
         return count
 
     # ------------------------------------------------------------------ #
@@ -180,3 +280,185 @@ class Relation:
     def empty_like(cls, other: "Relation", name: str | None = None) -> "Relation":
         """Return an empty relation with the same schema as ``other``."""
         return cls(other.schema, name=name if name is not None else other.name)
+
+
+class PartitionedRelation(Relation):
+    """A relation whose rows are additionally grouped by one partition attribute.
+
+    The join-state relations are partitioned on ``docid``: all rows of one
+    previously processed document form one partition, so window pruning can
+    drop entire documents in one dictionary pop per document
+    (:meth:`drop_partitions`) instead of filtering every row.  The flat
+    ``rows`` list is kept in sync incrementally on inserts and re-stitched
+    lazily from the surviving partitions after a drop, so steady-state
+    processing (which reads the state through the live indexes) never pays
+    for pruned rows again.
+
+    Per-column distinct-value counters back :meth:`distinct_count` in O(1)
+    once a column has been asked about, surviving any interleaving of
+    inserts and partition drops.
+    """
+
+    __slots__ = (
+        "partition_attribute",
+        "_pcol",
+        "_partitions",
+        "_flat",
+        "_flat_dirty",
+        "_size",
+        "_ndv_counters",
+    )
+
+    def __init__(
+        self,
+        schema: RelationSchema | Sequence[str],
+        rows: Iterable[Sequence] = (),
+        name: str = "",
+        partition_attribute: str = "docid",
+        index_maintenance: str = "eager",
+    ):
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        self.partition_attribute = partition_attribute
+        self._pcol = schema.index_of(partition_attribute)
+        self._partitions: dict[object, list[tuple]] = {}
+        self._flat: list[tuple] = []
+        self._flat_dirty = False
+        self._size = 0
+        self._ndv_counters: dict[int, dict[object, int]] = {}
+        super().__init__(schema, rows, name, index_maintenance=index_maintenance)
+
+    # ------------------------------------------------------------------ #
+    # the flat row view
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> list[tuple]:
+        if self._flat_dirty:
+            flat: list[tuple] = []
+            for part in self._partitions.values():
+                flat.extend(part)
+            self._flat = flat
+            self._flat_dirty = False
+        return self._flat
+
+    @rows.setter
+    def rows(self, new_rows: list[tuple]) -> None:
+        # Wholesale replacement (base-class init and legacy callers): rebuild
+        # the partitions; attached indexes catch up on their next use via the
+        # version bump.
+        self._partitions = {}
+        self._flat = []
+        self._flat_dirty = False
+        self._size = 0
+        self._ndv_counters = {}
+        self._version += 1
+        for t in new_rows:
+            self._partitions.setdefault(t[self._pcol], []).append(t)
+            self._flat.append(t)
+            self._size += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[tuple]:
+        if self._flat_dirty:
+            for part in self._partitions.values():
+                yield from part
+        else:
+            yield from self._flat
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def _append(self, t: tuple) -> None:
+        key = t[self._pcol]
+        part = self._partitions.get(key)
+        if part is None:
+            part = self._partitions[key] = []
+        part.append(t)
+        if not self._flat_dirty:
+            self._flat.append(t)
+        self._size += 1
+        for col, counter in self._ndv_counters.items():
+            v = t[col]
+            counter[v] = counter.get(v, 0) + 1
+        self._row_added(t)
+
+    def clear(self) -> None:
+        self._partitions.clear()
+        self._flat = []
+        self._flat_dirty = False
+        self._size = 0
+        self._ndv_counters = {}
+        self._version += 1
+        for index in self._indexes.values():
+            index.clear()
+            index.version = self._version
+
+    def drop_partitions(self, keys: Iterable[object]) -> int:
+        """Drop every row of the given partitions; returns rows removed.
+
+        The cost is proportional to the rows *dropped* (plus, for eagerly
+        maintained indexes, their bucket updates); surviving rows are not
+        touched.  The flat ``rows`` view is re-stitched lazily on its next
+        access.
+        """
+        dropped: list[list[tuple]] = []
+        removed = 0
+        for key in keys:
+            part = self._partitions.pop(key, None)
+            if part:
+                dropped.append(part)
+                removed += len(part)
+        if not removed:
+            return 0
+        self._size -= removed
+        self._flat_dirty = True
+        previous = self._version
+        self._version += 1
+        if self._ndv_counters:
+            for part in dropped:
+                for row in part:
+                    for col, counter in self._ndv_counters.items():
+                        v = row[col]
+                        left = counter[v] - 1
+                        if left:
+                            counter[v] = left
+                        else:
+                            del counter[v]
+        if self._indexes and self.index_maintenance == "eager":
+            for index in self._indexes.values():
+                if index.version != previous:
+                    continue  # stale already; index_on() will rebuild it
+                for part in dropped:
+                    index.remove_rows(part)
+                index.version = self._version
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # partition access and statistics
+    # ------------------------------------------------------------------ #
+    def partition_keys(self) -> list[object]:
+        """All partition keys currently present."""
+        return list(self._partitions)
+
+    def partition(self, key: object) -> list[tuple]:
+        """The rows of one partition (empty list if absent)."""
+        return list(self._partitions.get(key, ()))
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of non-empty partitions."""
+        return len(self._partitions)
+
+    def distinct_count(self, column_index: int) -> int:
+        """O(1) NDV from an incrementally maintained per-column counter."""
+        counter = self._ndv_counters.get(column_index)
+        if counter is None:
+            counter = {}
+            for part in self._partitions.values():
+                for row in part:
+                    v = row[column_index]
+                    counter[v] = counter.get(v, 0) + 1
+            self._ndv_counters[column_index] = counter
+        return len(counter)

@@ -69,6 +69,9 @@ class ShardedBroker:
         Prune each shard's join state by window horizon on the publish path
         (effective while every registered window is finite); disable to keep
         all state and prune manually via :meth:`prune`.
+    indexing:
+        Join-state index maintenance of every shard engine: ``"eager"``
+        (default), ``"lazy"``, or ``"off"``.
     store_documents:
         Keep processed documents on every shard so output XML can be
         constructed.  Defaults to ``construct_outputs``; throughput runs use
@@ -89,6 +92,7 @@ class ShardedBroker:
         executor: Union[str, ShardExecutor] = "serial",
         auto_prune: bool = True,
         auto_timestamp: bool = True,
+        indexing: str = "eager",
         store_documents: Optional[bool] = None,
         max_workers: Optional[int] = None,
     ):
@@ -100,6 +104,7 @@ class ShardedBroker:
             raise ValueError("construct_outputs=True requires store_documents=True")
 
         self.engine_name = engine
+        self.indexing = indexing
         self.construct_outputs = construct_outputs
         self.auto_timestamp = auto_timestamp
         self.shards = [
@@ -116,6 +121,7 @@ class ShardedBroker:
                     # documents.
                     auto_timestamp=False,
                     auto_prune=auto_prune,
+                    indexing=indexing,
                 ),
             )
             for shard_id in range(shards)
@@ -302,6 +308,7 @@ class ShardedBroker:
         """Broker statistics: streams, subscriptions, merged + per-shard engines."""
         return {
             "engine": self.engine_name,
+            "indexing": self.indexing,
             "shards": self.num_shards,
             "executor": self._executor.name,
             "streams": self.streams.stats(),

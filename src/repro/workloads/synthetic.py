@@ -185,6 +185,78 @@ def _var_rows(schema: DocumentSchema) -> list[tuple[str, int]]:
     return rows
 
 
+@dataclass
+class StateScalingData:
+    """Workload of the state-scaling benchmark: a large retained state plus probes.
+
+    ``state_docs`` holds one entry per previously processed document —
+    ``(docid, timestamp, rbin_rows, rdoc_rows, rvar_rows)``, rows without the
+    ``docid`` column — ready for
+    :meth:`~repro.core.state.JoinState.insert_document_rows`.  ``probes`` are
+    the current documents whose per-document join cost the benchmark times.
+    Leaf values are drawn from a shared pool so that a controlled fraction of
+    the retained state joins with every probe.
+    """
+
+    schema: DocumentSchema
+    state_docs: list[tuple[str, float, list[tuple], list[tuple], list[tuple]]]
+    probes: list[WitnessRelations]
+
+    def load_state(self, state: JoinState) -> None:
+        """Load every retained document into a join state."""
+        for docid, timestamp, rbin_rows, rdoc_rows, rvar_rows in self.state_docs:
+            state.insert_document_rows(
+                docid, timestamp, rbin_rows=rbin_rows, rdoc_rows=rdoc_rows, rvar_rows=rvar_rows
+            )
+
+
+def build_state_scaling_data(
+    schema: DocumentSchema,
+    num_state_docs: int,
+    num_probe_docs: int = 5,
+    value_pool: int = 400,
+    seed: int = 13,
+) -> StateScalingData:
+    """Construct the retained-state workload for the state-scaling benchmark.
+
+    Every document carries the schema's full witness structure (like the
+    technical benchmark), but leaf values are drawn randomly from a pool of
+    ``value_pool`` strings, so value joins hit a bounded number of witnesses
+    regardless of how many documents the state retains — exactly the regime
+    in which indexed join state pays off.
+    """
+    import random
+
+    rng = random.Random(seed)
+    root_id, group_ids, leaf_ids = node_ids(schema)
+    edges = _edge_rows(schema)
+    var_rows = _var_rows(schema)
+
+    def value_rows(tag: str) -> list[tuple[int, str]]:
+        rows = [(root_id, f"{tag}-root")]
+        for g, gid in enumerate(group_ids):
+            rows.append((gid, f"{tag}-group{g}"))
+        for i in range(schema.num_leaves):
+            rows.append((leaf_ids[i], f"val{rng.randrange(value_pool)}"))
+        return rows
+
+    state_docs = [
+        (f"s{i}", float(i + 1), edges, value_rows(f"s{i}"), var_rows)
+        for i in range(num_state_docs)
+    ]
+    probes = [
+        WitnessRelations.from_rows(
+            docid=f"p{j}",
+            timestamp=float(num_state_docs + j + 1),
+            rbinw_rows=edges,
+            rdocw_rows=value_rows(f"p{j}"),
+            rvarw_rows=var_rows,
+        )
+        for j in range(num_probe_docs)
+    ]
+    return StateScalingData(schema=schema, state_docs=state_docs, probes=probes)
+
+
 def build_technical_benchmark_data(schema: DocumentSchema) -> TechnicalBenchmarkData:
     """Construct the Section 6.1 witness relations for documents ``d1`` and ``d2``."""
     data = TechnicalBenchmarkData(schema=schema)
