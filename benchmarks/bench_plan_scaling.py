@@ -1,0 +1,230 @@
+"""Plan scaling: compiled plans + relevance-pruned dispatch vs. the PR-2 path.
+
+The workload is *topic-sharded*: the registry splits into topics with
+disjoint variable namespaces and distinct template shapes, and every
+document carries the witnesses of exactly one topic — so a document is
+relevant to ≈ ``1 / num_topics`` of the registered templates.  The timed
+quantity is the per-document Stage 2 cost against a preloaded state, under
+the four combinations of ``plan_cache`` × ``prune_dispatch``;
+``False/False`` reproduces the pre-compiled-plan behavior (the PR-2
+baseline).  Expected shape: at 1000 registered queries over 10 topics (10%
+of templates relevant per document) the full path beats the baseline by
+well over 5× per-document throughput.
+
+Every timed configuration is checked for exact match-set equivalence
+against the baseline, and a cross-engine / cross-shard sweep (both engines;
+1, 2 and 4 shards; plan cache and relevance pruning on/off) asserts the
+same — the CI correctness gate for the compiled-plan path.
+
+Results are also written to ``BENCH_plan_scaling.json`` (repo root, or
+``$REPRO_BENCH_JSON_DIR``) through :func:`repro.bench.reporting.rows_to_json`
+so the perf trajectory is tracked from this PR onward.
+
+Set ``REPRO_BENCH_TINY=1`` to run the whole file at smoke scale (CI).
+"""
+
+import functools
+import os
+
+import pytest
+
+from repro.bench.harness import register_mmqjp, run_plan_scaling
+from repro.bench.reporting import rows_to_json
+from repro.pubsub import Broker
+from repro.runtime import ShardedBroker
+from repro.workloads.querygen import generate_topic_queries
+from repro.workloads.synthetic import (
+    build_document,
+    build_plan_scaling_data,
+    topic_schemas,
+)
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+NUM_QUERIES = 40 if TINY else 1000
+TOPIC_COUNTS = (3,) if TINY else (4, 10)
+NUM_STATE_DOCS = 24 if TINY else 200
+# Enough probes that every topic is probed repeatedly, so cached plans get
+# reused rather than compiled once and abandoned.
+NUM_PROBES = 3 if TINY else 20
+
+#: (plan_cache, prune_dispatch) knob combinations; False/False is the
+#: PR-2 baseline every other combination is compared against.
+MODES = ((False, False), (True, False), (False, True), (True, True))
+
+_ROWS: list[dict] = []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_json():
+    """Write the collected rows as BENCH_plan_scaling.json after the run."""
+    yield
+    if not _ROWS:
+        return
+    out_dir = os.environ.get(
+        "REPRO_BENCH_JSON_DIR", os.path.dirname(os.path.dirname(__file__))
+    )
+    rows_to_json(
+        _ROWS,
+        path=os.path.join(out_dir, "BENCH_plan_scaling.json"),
+        meta={
+            "experiment": "plan_scaling",
+            "tiny": TINY,
+            "num_queries": NUM_QUERIES,
+            "num_state_docs": NUM_STATE_DOCS,
+            "num_probe_docs": NUM_PROBES,
+        },
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _workload(num_topics):
+    schemas = topic_schemas(num_topics)
+    queries = tuple(
+        generate_topic_queries(schemas, NUM_QUERIES, window=float("inf"), seed=7)
+    )
+    data = build_plan_scaling_data(
+        schemas, NUM_STATE_DOCS, num_probe_docs=NUM_PROBES
+    )
+    # Registration (template isomorphism matching) is excluded from the
+    # timing; share it across the knob configurations.
+    registry = register_mmqjp(queries)
+    return queries, data, registry
+
+
+@functools.lru_cache(maxsize=None)
+def _baseline(num_topics):
+    """The PR-2 path (no compiled plans, no pruning): (dps, match keys)."""
+    queries, data, registry = _workload(num_topics)
+    result, keys = run_plan_scaling(
+        queries, data, plan_cache=False, prune_dispatch=False, registry=registry
+    )
+    return result.extra["docs_per_second"], keys
+
+
+@pytest.mark.parametrize("num_topics", TOPIC_COUNTS)
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: f"plan{int(m[0])}-prune{int(m[1])}")
+def bench_plan_scaling(benchmark, mode, num_topics):
+    plan_cache, prune_dispatch = mode
+    queries, data, registry = _workload(num_topics)
+
+    def run_once():
+        return run_plan_scaling(
+            queries,
+            data,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
+            registry=registry,
+        )
+
+    result, keys = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    baseline_dps, baseline_keys = _baseline(num_topics)
+    assert keys == baseline_keys, (
+        f"compiled/pruned path lost match-equivalence: plan_cache={plan_cache} "
+        f"prune_dispatch={prune_dispatch} at {num_topics} topics"
+    )
+    speedup = result.extra["docs_per_second"] / baseline_dps if baseline_dps else 0.0
+    if plan_cache and prune_dispatch and not TINY and num_topics >= 10:
+        # The acceptance bar: ≥ 5× over the PR-2 path at 1000 registered
+        # queries with ≤ 10% of templates relevant per document.
+        assert speedup >= 5.0, f"compiled+pruned only {speedup:.2f}x over baseline"
+    row = result.as_row()
+    row["figure"] = "plan_scaling"
+    row["relevance_fraction"] = round(1.0 / num_topics, 3)
+    row["speedup_vs_baseline"] = round(speedup, 2)
+    _ROWS.append(row)
+    benchmark.extra_info.update(
+        {
+            "figure": "plan_scaling",
+            "plan_cache": plan_cache,
+            "prune_dispatch": prune_dispatch,
+            "num_topics": num_topics,
+            "num_queries": NUM_QUERIES,
+            "docs_per_second": result.extra["docs_per_second"],
+            "speedup_vs_baseline": round(speedup, 2),
+            "num_matches": result.num_matches,
+        }
+    )
+
+
+def _topic_documents(num_topics, num_docs, values_per_topic=2):
+    """One-topic XML documents with a shared per-document leaf value."""
+    schemas = topic_schemas(num_topics)
+    documents = []
+    for i in range(num_docs):
+        schema = schemas[i % num_topics]
+        value = f"t{i % num_topics}v{(i // num_topics) % values_per_topic}"
+        documents.append(
+            build_document(
+                schema,
+                docid=f"doc{i}",
+                timestamp=float(i + 1),
+                leaf_values=[value] * schema.num_leaves,
+                internal_marker=f"doc{i}",
+            )
+        )
+    return documents
+
+
+def _stream_match_keys(broker, queries, documents):
+    try:
+        for i, query in enumerate(queries):
+            broker.subscribe(query, subscription_id=f"q{i}")
+        keys = set()
+        for document in documents:
+            for delivery in broker.publish(document):
+                if delivery.match is not None:
+                    keys.add(delivery.match.key())
+        return keys
+    finally:
+        if hasattr(broker, "close"):
+            broker.close()
+
+
+def bench_plan_scaling_equivalence(benchmark):
+    """Match-set equivalence across engines, shard counts and plan knobs.
+
+    Runs at smoke scale regardless of ``REPRO_BENCH_TINY`` — it gates
+    correctness, not speed.
+    """
+    num_topics = 3
+    num_docs = 12 if TINY else 24
+    schemas = topic_schemas(num_topics)
+    queries = generate_topic_queries(schemas, 24, window=float("inf"), seed=3)
+
+    def sweep():
+        reference = None
+        for engine in ("mmqjp", "sequential"):
+            for plan_cache, prune_dispatch in MODES:
+                for shards in (1, 2, 4):
+                    documents = _topic_documents(num_topics, num_docs)
+                    if shards == 1:
+                        broker = Broker(
+                            engine,
+                            construct_outputs=False,
+                            plan_cache=plan_cache,
+                            prune_dispatch=prune_dispatch,
+                        )
+                    else:
+                        broker = ShardedBroker(
+                            engine,
+                            construct_outputs=False,
+                            shards=shards,
+                            plan_cache=plan_cache,
+                            prune_dispatch=prune_dispatch,
+                            store_documents=False,
+                        )
+                    keys = _stream_match_keys(broker, queries, documents)
+                    if reference is None:
+                        reference = keys
+                    assert keys == reference, (
+                        f"match-set mismatch for engine={engine!r} "
+                        f"plan_cache={plan_cache} prune_dispatch={prune_dispatch} "
+                        f"shards={shards}"
+                    )
+        return len(reference)
+
+    num_matches = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "plan_scaling_equivalence"
+    benchmark.extra_info["num_matches"] = num_matches
+    assert num_matches > 0

@@ -16,21 +16,24 @@ from repro.bench.harness import (
     ApproachResult,
     run_technical_benchmark,
     run_rss_throughput,
+    run_plan_scaling,
     run_sharded_rss_throughput,
     register_mmqjp,
     register_sequential,
 )
 from repro.bench import experiments
-from repro.bench.reporting import format_table, rows_to_csv
+from repro.bench.reporting import format_table, rows_to_csv, rows_to_json
 
 __all__ = [
     "ApproachResult",
     "run_technical_benchmark",
     "run_rss_throughput",
+    "run_plan_scaling",
     "run_sharded_rss_throughput",
     "register_mmqjp",
     "register_sequential",
     "experiments",
     "format_table",
     "rows_to_csv",
+    "rows_to_json",
 ]

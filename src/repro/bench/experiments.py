@@ -19,6 +19,7 @@ from repro.bench.harness import (
     APPROACH_MMQJP_VM,
     APPROACH_SEQUENTIAL,
     register_mmqjp,
+    run_plan_scaling,
     run_rss_throughput,
     run_sharded_rss_throughput,
     run_state_scaling,
@@ -354,6 +355,75 @@ def state_scaling(
 
 
 # --------------------------------------------------------------------------- #
+# Plan scaling: compiled plans + relevance-pruned dispatch (beyond the paper)
+# --------------------------------------------------------------------------- #
+def plan_scaling(
+    num_queries_list: Sequence[int] = (250, 1000),
+    num_topics_list: Sequence[int] = (4, 10),
+    num_state_docs: int = 200,
+    num_probe_docs: int = 5,
+    json_path: Optional[str] = None,
+) -> list[dict]:
+    """Per-document join throughput vs. registry size and relevance fraction.
+
+    The workload is topic-sharded (each document is relevant to
+    ``1 / num_topics`` of the templates); the four knob combinations of
+    ``plan_cache`` × ``prune_dispatch`` are timed, with ``False/False``
+    reproducing the pre-compiled-plan (PR-2) behavior as the baseline.
+    Every configuration is checked for exact match-set equivalence against
+    that baseline; a mismatch raises.  With ``json_path`` the rows are also
+    written through :func:`repro.bench.reporting.rows_to_json`.
+    """
+    from repro.bench.reporting import rows_to_json
+    from repro.workloads.querygen import generate_topic_queries
+    from repro.workloads.synthetic import build_plan_scaling_data, topic_schemas
+
+    rows = []
+    for num_topics in num_topics_list:
+        schemas = topic_schemas(num_topics)
+        data = build_plan_scaling_data(
+            schemas, num_state_docs, num_probe_docs=num_probe_docs
+        )
+        for num_queries in num_queries_list:
+            queries = generate_topic_queries(
+                schemas, num_queries, window=float("inf"), seed=7
+            )
+            registry = register_mmqjp(queries)
+            baseline, baseline_keys = run_plan_scaling(
+                queries, data, plan_cache=False, prune_dispatch=False,
+                registry=registry,
+            )
+            baseline_dps = baseline.extra["docs_per_second"]
+            for plan_cache, prune_dispatch in (
+                (False, False), (True, False), (False, True), (True, True)
+            ):
+                if not plan_cache and not prune_dispatch:
+                    result, keys = baseline, baseline_keys
+                else:
+                    result, keys = run_plan_scaling(
+                        queries, data, plan_cache=plan_cache,
+                        prune_dispatch=prune_dispatch, registry=registry,
+                    )
+                if keys != baseline_keys:
+                    raise AssertionError(
+                        f"match-set mismatch: plan_cache={plan_cache} "
+                        f"prune_dispatch={prune_dispatch} disagrees with the "
+                        f"baseline at {num_queries} queries / {num_topics} topics"
+                    )
+                row = result.as_row()
+                row["figure"] = "plan_scaling"
+                row["relevance_fraction"] = round(1.0 / num_topics, 3)
+                if baseline_dps:
+                    row["speedup_vs_baseline"] = round(
+                        result.extra["docs_per_second"] / baseline_dps, 2
+                    )
+                rows.append(row)
+    if json_path is not None:
+        rows_to_json(rows, path=json_path, meta={"experiment": "plan_scaling"})
+    return rows
+
+
+# --------------------------------------------------------------------------- #
 # Ablation studies (DESIGN.md Section 5)
 # --------------------------------------------------------------------------- #
 def ablation_graph_minor(
@@ -485,6 +555,7 @@ ALL_EXPERIMENTS = {
     "fig16": fig16,
     "sharded_throughput": sharded_throughput,
     "state_scaling": state_scaling,
+    "plan_scaling": plan_scaling,
     "ablation_graph_minor": ablation_graph_minor,
     "ablation_view_cache": ablation_view_cache,
     "ablation_witness_representation": ablation_witness_representation,

@@ -21,6 +21,7 @@ from repro.core.state import JoinState
 from repro.runtime.sharded_broker import ShardedBroker
 from repro.templates.registry import TemplateRegistry
 from repro.workloads.synthetic import (
+    PlanScalingData,
     StateScalingData,
     TechnicalBenchmarkData,
     build_technical_benchmark_data,
@@ -248,6 +249,93 @@ def run_state_scaling(
             "num_probe_docs": len(data.probes),
             "docs_per_second": round(throughput, 3),
         },
+    )
+    return result, frozenset(match_keys)
+
+
+# --------------------------------------------------------------------------- #
+# the plan-scaling benchmark (compiled plans + relevance-pruned dispatch)
+# --------------------------------------------------------------------------- #
+def run_plan_scaling(
+    queries: Sequence[XsclQuery],
+    data: PlanScalingData,
+    approach: str = APPROACH_MMQJP,
+    indexing: str = "eager",
+    plan_cache: bool = True,
+    prune_dispatch: bool = True,
+    registry: Optional[TemplateRegistry] = None,
+) -> tuple[ApproachResult, frozenset]:
+    """Per-document join cost on the topic-sharded relevance workload.
+
+    Identical in shape to :func:`run_state_scaling` — the probes are
+    processed and merged against a preloaded state and only that loop is
+    timed — but over the :class:`~repro.workloads.synthetic.PlanScalingData`
+    workload, where each probe is relevant to ≈ ``1 / num_topics`` of the
+    registered templates.  ``plan_cache=False, prune_dispatch=False``
+    reproduces the pre-compiled-plan behavior (the PR-2 baseline); the
+    returned match-key set must be identical across every knob combination,
+    engine and shard count.
+
+    Registration (template matching) is excluded from the timing, so a
+    prebuilt ``registry`` over the same ``queries`` may be passed to share
+    that cost across knob configurations (MMQJP only).
+    """
+    state = JoinState(indexing=indexing)
+    data.load_state(state)
+    if approach == APPROACH_SEQUENTIAL:
+        processor = SequentialJoinProcessor(
+            state=state, plan_cache=plan_cache, prune_dispatch=prune_dispatch
+        )
+        for i, query in enumerate(queries):
+            processor.add_query(f"q{i}", query)
+        num_templates = None
+    elif approach == APPROACH_MMQJP:
+        if registry is None:
+            registry = register_mmqjp(queries)
+        processor = MMQJPJoinProcessor(
+            registry, state=state, plan_cache=plan_cache, prune_dispatch=prune_dispatch
+        )
+        num_templates = registry.num_templates
+    else:
+        raise ValueError(f"unsupported plan-scaling approach {approach!r}")
+
+    start = time.perf_counter()
+    match_keys: set[tuple] = set()
+    num_matches = 0
+    for witness in data.probes:
+        matches = processor.process(witness)
+        processor.maintain_state(witness)
+        num_matches += len(matches)
+        match_keys.update(m.key() for m in matches)
+    elapsed = time.perf_counter() - start
+
+    throughput = len(data.probes) / elapsed if elapsed > 0 else float("inf")
+    label = "compiled" if plan_cache else "plan-per-call"
+    if prune_dispatch:
+        label += "+pruned"
+    extra = {
+        "plan_cache": plan_cache,
+        "prune_dispatch": prune_dispatch,
+        "indexing": indexing,
+        "num_topics": data.num_topics,
+        "num_state_docs": len(data.state_docs),
+        "num_probe_docs": len(data.probes),
+        "docs_per_second": round(throughput, 3),
+    }
+    if isinstance(processor, MMQJPJoinProcessor):
+        extra["templates_skipped"] = processor.templates_skipped
+    if processor.plan_cache is not None:
+        extra.update(
+            {f"plan_{k}": v for k, v in processor.plan_cache.stats().items()}
+        )
+    result = ApproachResult(
+        approach=f"{approach}-{label}",
+        num_queries=len(queries),
+        elapsed_ms=elapsed * 1000.0,
+        num_matches=num_matches,
+        num_templates=num_templates,
+        breakdown_ms=processor.costs.as_milliseconds(),
+        extra=extra,
     )
     return result, frozenset(match_keys)
 

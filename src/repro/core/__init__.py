@@ -20,6 +20,7 @@ from repro.core.witnesses import WitnessRelations
 from repro.core.results import Match
 from repro.core.materialize import ViewCache, MaterializedViews, compute_materialized_views
 from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
+from repro.core.relevance import RelevanceIndex
 from repro.core.engine import (
     ENGINES,
     EngineStats,
@@ -43,6 +44,7 @@ __all__ = [
     "compute_materialized_views",
     "MMQJPJoinProcessor",
     "SequentialJoinProcessor",
+    "RelevanceIndex",
     "MMQJPEngine",
     "SequentialEngine",
 ]

@@ -217,12 +217,12 @@ class _BaseEngine:
         """
         removed = self._prune(min_timestamp)
         if removed and self.store_documents:
-            alive = {row[0] for row in self._processor().state.rdocts.rows}
+            alive = self._processor().state.document_ids()
             self.documents = {d: doc for d, doc in self.documents.items() if d in alive}
         return removed
 
     def _prune(self, min_timestamp: float) -> int:
-        return self._processor().state.prune(min_timestamp)
+        return self._processor().prune_state(min_timestamp)
 
     def _normalize_matches(self, matches: list[Match]) -> list[Match]:
         """Strip the internal swap suffix and de-duplicate symmetric JOIN matches."""
@@ -288,6 +288,16 @@ class _BaseEngine:
         """The join-state indexing mode (``"eager"`` / ``"lazy"`` / ``"off"``)."""
         return self._processor().indexing
 
+    @property
+    def plan_cache(self):
+        """The processor's compiled-plan cache (``None`` when disabled)."""
+        return self._processor().plan_cache
+
+    @property
+    def prune_dispatch(self) -> bool:
+        """Whether relevance-pruned dispatch is enabled."""
+        return self._processor().relevance is not None
+
     def stats(self) -> EngineStats:
         """Summary statistics for dashboards, examples and tests."""
         return EngineStats(
@@ -345,6 +355,14 @@ class MMQJPEngine(_BaseEngine):
         persistent join indexes current on every merge/prune, ``"lazy"``
         rebuilds them on first use after a mutation, ``"off"`` disables
         them (per-call hashing, the pre-incremental behavior).
+    plan_cache:
+        Evaluate the per-template conjunctive queries through compiled,
+        cached plans (default).  ``False`` re-plans on every call
+        (ablation/equivalence baseline).
+    prune_dispatch:
+        Skip templates irrelevant to the current document — none of their
+        member queries has all RHS variables bound (default).  ``False``
+        visits every template.
     """
 
     def __init__(
@@ -355,6 +373,8 @@ class MMQJPEngine(_BaseEngine):
         auto_timestamp: bool = True,
         auto_prune: bool = True,
         indexing: str = "eager",
+        plan_cache: bool = True,
+        prune_dispatch: bool = True,
     ):
         super().__init__(
             store_documents=store_documents,
@@ -371,6 +391,8 @@ class MMQJPEngine(_BaseEngine):
             state=JoinState(indexing=indexing),
             use_view_materialization=use_view_materialization,
             view_cache=view_cache,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
         )
 
     def _processor(self) -> MMQJPJoinProcessor:
@@ -379,9 +401,6 @@ class MMQJPEngine(_BaseEngine):
     def _register_with_processor(self, qid: str, query: XsclQuery) -> None:
         record = self.registry.add_query(qid, query)
         self._register_stage1(query, record.reduced)
-
-    def _prune(self, min_timestamp: float) -> int:
-        return self.processor.prune_state(min_timestamp)
 
     @property
     def num_templates(self) -> int:
@@ -398,13 +417,19 @@ class SequentialEngine(_BaseEngine):
         auto_timestamp: bool = True,
         auto_prune: bool = True,
         indexing: str = "eager",
+        plan_cache: bool = True,
+        prune_dispatch: bool = True,
     ):
         super().__init__(
             store_documents=store_documents,
             auto_timestamp=auto_timestamp,
             auto_prune=auto_prune,
         )
-        self.processor = SequentialJoinProcessor(state=JoinState(indexing=indexing))
+        self.processor = SequentialJoinProcessor(
+            state=JoinState(indexing=indexing),
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
+        )
 
     def _processor(self) -> SequentialJoinProcessor:
         return self.processor
@@ -421,6 +446,8 @@ def make_engine(
     auto_timestamp: bool = True,
     auto_prune: bool = True,
     indexing: str = "eager",
+    plan_cache: bool = True,
+    prune_dispatch: bool = True,
 ) -> _BaseEngine:
     """Construct an engine from its selection keyword (see :data:`ENGINES`).
 
@@ -428,9 +455,12 @@ def make_engine(
     view materialization (with an optional ``RL``-slice cache), and
     ``"sequential"`` is the one-query-at-a-time baseline.  ``indexing``
     selects the join-state index maintenance (``"eager"`` / ``"lazy"`` /
-    ``"off"``; see :class:`~repro.core.state.JoinState`).  This is the
-    single factory used by :class:`repro.pubsub.Broker` and by every shard
-    of :class:`repro.runtime.ShardedBroker`.
+    ``"off"``; see :class:`~repro.core.state.JoinState`); ``plan_cache``
+    and ``prune_dispatch`` toggle compiled query plans and relevance-pruned
+    dispatch (both on by default; off reproduces the plan-per-call,
+    visit-every-template behavior for ablation and equivalence runs).  This
+    is the single factory used by :class:`repro.pubsub.Broker` and by every
+    shard of :class:`repro.runtime.ShardedBroker`.
     """
     if engine == "mmqjp":
         return MMQJPEngine(
@@ -438,6 +468,8 @@ def make_engine(
             auto_timestamp=auto_timestamp,
             auto_prune=auto_prune,
             indexing=indexing,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
         )
     if engine == "mmqjp-vm":
         return MMQJPEngine(
@@ -447,6 +479,8 @@ def make_engine(
             auto_timestamp=auto_timestamp,
             auto_prune=auto_prune,
             indexing=indexing,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
         )
     if engine == "sequential":
         return SequentialEngine(
@@ -454,5 +488,7 @@ def make_engine(
             auto_timestamp=auto_timestamp,
             auto_prune=auto_prune,
             indexing=indexing,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
         )
     raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")

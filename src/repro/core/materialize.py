@@ -130,6 +130,14 @@ def compute_materialized_views(
     rlvar = Relation(RELATION_SCHEMAS["RLvar"], name="RLvar")
     rrvar = Relation(RELATION_SCHEMAS["RRvar"], name="RRvar")
 
+    if not witnesses.rdocw.rows:
+        # A document without string-value witnesses can share no value with
+        # the state: every view is empty, and probing (or building) the
+        # state's Rdoc index would be wasted work.
+        return MaterializedViews(
+            rvj=rvj, rl=rl, rr=rr, rlvar=rlvar, rrvar=rrvar, common_values=set()
+        )
+
     # ------------------------------------------------------------------ #
     # Rvj: semi-join on string values, then the value-pair relation.
     # ------------------------------------------------------------------ #

@@ -11,6 +11,16 @@ Both processors consume the same inputs — the join state (previous
 documents) and the current document's witness relations — and produce the
 same :class:`~repro.core.results.Match` records, which is what the
 equivalence tests in ``tests/`` check.
+
+Two knobs keep the per-document hot path proportional to the *relevant*
+work (both default on; off reproduces the previous behavior for ablation):
+
+* ``plan_cache`` — conjunctive queries are evaluated through compiled,
+  cached plans (:mod:`repro.relational.plan`) instead of being re-planned
+  on every call;
+* ``prune_dispatch`` — templates (MMQJP) / queries (Sequential) whose
+  right-hand-side variables the current document did not bind are skipped
+  outright via an inverted index (:mod:`repro.core.relevance`).
 """
 
 from __future__ import annotations
@@ -24,11 +34,13 @@ from repro.core.materialize import (
     compute_materialized_views,
     maintain_view_cache,
 )
+from repro.core.relevance import RelevanceIndex
 from repro.core.results import Match
 from repro.core.state import JoinState
 from repro.core.witnesses import WitnessRelations
 from repro.relational.conjunctive import ConjunctiveQuery, evaluate_conjunctive
 from repro.relational.database import IndexedDatabase
+from repro.relational.plan import PlanCache
 from repro.relational.relation import Relation
 from repro.relational.terms import Const, Var
 from repro.templates.join_graph import JoinGraph, Side
@@ -64,6 +76,13 @@ def _resolve_state(state: Optional[JoinState], indexing: Optional[str]) -> JoinS
     return state
 
 
+def _resolve_plan_cache(plan_cache: "bool | PlanCache") -> Optional[PlanCache]:
+    """Resolve the ``plan_cache`` knob: bool toggle or a preconfigured cache."""
+    if isinstance(plan_cache, PlanCache):
+        return plan_cache
+    return PlanCache() if plan_cache else None
+
+
 def _build_state_env(state: JoinState) -> IndexedDatabase:
     """The shared evaluation environment over a join state.
 
@@ -89,6 +108,19 @@ class MMQJPJoinProcessor:
     indexing:
         Convenience: construct the (defaulted) state with this indexing
         mode.  Must agree with ``state.indexing`` when both are given.
+    plan_cache:
+        Evaluate the per-template conjunctive queries through compiled
+        plans (:class:`~repro.relational.plan.PlanCache`): the join order
+        and all per-atom metadata are computed once per template and reused
+        until the state statistics drift.  ``False`` falls back to the
+        plan-per-call evaluator (ablation/equivalence baseline); a
+        :class:`~repro.relational.plan.PlanCache` instance is used as-is
+        (e.g. to configure its growth budget).
+    prune_dispatch:
+        Skip every template none of whose member queries has all its
+        right-hand-side variables bound by the current document
+        (relevance-pruned dispatch).  ``False`` visits every template (the
+        pre-pruning behavior).
     """
 
     def __init__(
@@ -98,6 +130,8 @@ class MMQJPJoinProcessor:
         use_view_materialization: bool = False,
         view_cache: Optional[ViewCache] = None,
         indexing: Optional[str] = None,
+        plan_cache: "bool | PlanCache" = True,
+        prune_dispatch: bool = True,
     ):
         self.registry = registry
         self.state = _resolve_state(state, indexing)
@@ -106,11 +140,47 @@ class MMQJPJoinProcessor:
         self.costs = CostBreakdown()
         self.env = _build_state_env(self.state)
         self._last_views: Optional[MaterializedViews] = None
+        self.plan_cache: Optional[PlanCache] = _resolve_plan_cache(plan_cache)
+        self.relevance: Optional[RelevanceIndex] = (
+            RelevanceIndex() if prune_dispatch else None
+        )
+        self._relevance_synced = 0
+        self.templates_skipped = 0
+        self._match_positions: dict[int, tuple] = {}
 
     @property
     def indexing(self) -> str:
         """The indexing mode of the join state / evaluation environment."""
         return self.state.indexing
+
+    # ------------------------------------------------------------------ #
+    # relevance dispatch
+    # ------------------------------------------------------------------ #
+    def _sync_relevance(self) -> None:
+        """Index queries registered since the last document (incremental)."""
+        new_records = self.registry.records(self._relevance_synced)
+        if not new_records:
+            return
+        for record in new_records:
+            template = record.template
+            sides = template.node_sides
+            assignment = record.assignment.assignment
+            self.relevance.add(
+                template.template_id,
+                (
+                    assignment[meta]
+                    for meta in template.meta_order
+                    if sides[meta] is Side.RIGHT
+                ),
+            )
+        self._relevance_synced += len(new_records)
+
+    def _relevant_templates(self, witnesses: WitnessRelations) -> Optional[set]:
+        """Template ids worth dispatching, or ``None`` when pruning is off."""
+        if self.relevance is None:
+            return None
+        self._sync_relevance()
+        return self.relevance.relevant(witnesses.bound_variables())
 
     # ------------------------------------------------------------------ #
     # Algorithm 1 / Algorithm 4
@@ -119,8 +189,15 @@ class MMQJPJoinProcessor:
         """Evaluate all registered queries against the current document's witnesses."""
         env = self.env
         env.bind_all(witnesses.relations())
+        relevant = self._relevant_templates(witnesses)
 
-        if self.use_view_materialization:
+        if self.use_view_materialization and (
+            relevant is None or relevant or self.view_cache is not None
+        ):
+            # With a view cache the views must be computed even when no
+            # template is relevant: Algorithm 5 folds the current document's
+            # RR slices into cached RL slices, and skipping that would leave
+            # the cache missing this document's rows for future lookups.
             views = compute_materialized_views(
                 self.state, witnesses, view_cache=self.view_cache, costs=self.costs
             )
@@ -130,28 +207,58 @@ class MMQJPJoinProcessor:
         matches: list[Match] = []
         seen: set[tuple] = set()
         for template in self.registry.templates:
+            if relevant is not None and template.template_id not in relevant:
+                self.templates_skipped += 1
+                continue
             rt = self.registry.rt_relation(template)
             if not rt.rows:
                 continue
             env.bind(template.rt_relation_name(), rt, indexed=True)
             cq = self.registry.cqt(template, materialized=self.use_view_materialization)
             with self.costs.measure("conjunctive_query"):
-                rout = evaluate_conjunctive(cq, env)
+                if self.plan_cache is not None:
+                    rout = self.plan_cache.evaluate(cq, env)
+                else:
+                    rout = evaluate_conjunctive(cq, env)
+            if not rout.rows:
+                continue
             with self.costs.measure("window_check"):
+                positions = self._positions_of(template, rout)
                 for row in rout.rows:
-                    match = self._row_to_match(template, rout, row, witnesses)
+                    match = self._row_to_match(template, positions, row, witnesses)
                     if match is not None and match.key() not in seen:
                         seen.add(match.key())
                         matches.append(match)
         return matches
 
+    def _positions_of(self, template, rout: Relation) -> tuple:
+        """Column positions of the RoutT schema, computed once per template.
+
+        The head schema of a template's conjunctive query is fixed, so the
+        per-row attribute lookups of Algorithm 3 reduce to tuple indexing.
+        """
+        positions = self._match_positions.get(template.template_id)
+        if positions is None:
+            index_of = rout.schema.index_of
+            positions = (
+                index_of("qid"),
+                index_of("docid1"),
+                index_of("wl"),
+                tuple(
+                    (meta, index_of(f"node_{meta}")) for meta in template.meta_order
+                ),
+            )
+            self._match_positions[template.template_id] = positions
+        return positions
+
     def _row_to_match(
-        self, template, rout: Relation, row: tuple, witnesses: WitnessRelations
+        self, template, positions: tuple, row: tuple, witnesses: WitnessRelations
     ) -> Optional[Match]:
         """Algorithm 3: window check plus conversion of a RoutT row to a Match."""
-        qid = rout.value(row, "qid")
-        lhs_docid = rout.value(row, "docid1")
-        window = rout.value(row, "wl")
+        qid_pos, docid_pos, wl_pos, node_positions = positions
+        qid = row[qid_pos]
+        lhs_docid = row[docid_pos]
+        window = row[wl_pos]
         record = self.registry.query(qid)
         lhs_ts = self.state.timestamp_of(lhs_docid)
         delta = witnesses.timestamp - lhs_ts
@@ -160,10 +267,12 @@ class MMQJPJoinProcessor:
 
         lhs_bindings: dict[str, int] = {}
         rhs_bindings: dict[str, int] = {}
-        for meta in template.meta_order:
-            node = rout.value(row, f"node_{meta}")
-            variable = record.assignment.assignment[meta]
-            if template.node_sides[meta] is Side.LEFT:
+        node_sides = template.node_sides
+        assignment = record.assignment.assignment
+        for meta, node_pos in node_positions:
+            node = row[node_pos]
+            variable = assignment[meta]
+            if node_sides[meta] is Side.LEFT:
                 lhs_bindings[variable] = node
             else:
                 rhs_bindings[variable] = node
@@ -191,13 +300,11 @@ class MMQJPJoinProcessor:
 
     def prune_state(self, min_timestamp: float) -> int:
         """Drop state older than ``min_timestamp`` (documents and cached slices)."""
-        stale = {
-            docid
-            for docid, ts in [(row[0], row[1]) for row in self.state.rdocts.rows]
-            if ts < min_timestamp
-        }
-        removed = self.state.prune(min_timestamp)
-        if self.view_cache is not None and stale:
+        stale = self.state.stale_docids(min_timestamp)
+        if not stale:
+            return 0
+        removed = self.state.drop_documents(stale)
+        if self.view_cache is not None:
             self.view_cache.remove_documents(stale)
         return removed
 
@@ -251,13 +358,31 @@ def build_per_query_cq(qid: str, query: XsclQuery, reduced: ReducedJoinGraph) ->
 
 
 class SequentialJoinProcessor:
-    """The paper's baseline: evaluate every query's join operator separately."""
+    """The paper's baseline: evaluate every query's join operator separately.
 
-    def __init__(self, state: Optional[JoinState] = None, indexing: Optional[str] = None):
+    ``plan_cache`` and ``prune_dispatch`` mirror the MMQJP processor's
+    knobs, at per-query granularity: each query's conjunctive query is
+    compiled once, and queries whose RHS variables the current document did
+    not bind are skipped entirely.
+    """
+
+    def __init__(
+        self,
+        state: Optional[JoinState] = None,
+        indexing: Optional[str] = None,
+        plan_cache: "bool | PlanCache" = True,
+        prune_dispatch: bool = True,
+    ):
         self.state = _resolve_state(state, indexing)
         self.costs = CostBreakdown()
         self.env = _build_state_env(self.state)
         self._queries: dict[str, tuple[XsclQuery, ReducedJoinGraph, ConjunctiveQuery]] = {}
+        self.plan_cache: Optional[PlanCache] = _resolve_plan_cache(plan_cache)
+        self.relevance: Optional[RelevanceIndex] = (
+            RelevanceIndex() if prune_dispatch else None
+        )
+        self.queries_skipped = 0
+        self._match_positions: dict[str, tuple] = {}
 
     @property
     def indexing(self) -> str:
@@ -274,6 +399,10 @@ class SequentialJoinProcessor:
         reduced = reduce_join_graph(JoinGraph.from_query(query))
         cq = build_per_query_cq(qid, query, reduced)
         self._queries[qid] = (query, reduced, cq)
+        if self.relevance is not None:
+            self.relevance.add(
+                qid, (key[1] for key in reduced.nodes if key[0] is Side.RIGHT)
+            )
 
     @property
     def num_queries(self) -> int:
@@ -299,30 +428,57 @@ class SequentialJoinProcessor:
         """Evaluate each registered query separately against the current witnesses."""
         env = self.env
         env.bind_all(witnesses.relations())
+        relevant: Optional[set] = None
+        if self.relevance is not None:
+            relevant = self.relevance.relevant(witnesses.bound_variables())
 
         matches: list[Match] = []
         seen: set[tuple] = set()
         for qid, (query, reduced, cq) in self._queries.items():
+            if relevant is not None and qid not in relevant:
+                self.queries_skipped += 1
+                continue
             with self.costs.measure("conjunctive_query"):
-                rout = evaluate_conjunctive(cq, env)
+                if self.plan_cache is not None:
+                    rout = self.plan_cache.evaluate(cq, env)
+                else:
+                    rout = evaluate_conjunctive(cq, env)
+            if not rout.rows:
+                continue
             with self.costs.measure("window_check"):
+                positions = self._positions_of(qid, reduced, rout)
                 for row in rout.rows:
-                    match = self._row_to_match(qid, query, reduced, rout, row, witnesses)
+                    match = self._row_to_match(qid, query, positions, row, witnesses)
                     if match is not None and match.key() not in seen:
                         seen.add(match.key())
                         matches.append(match)
         return matches
 
+    def _positions_of(self, qid: str, reduced: ReducedJoinGraph, rout: Relation) -> tuple:
+        """Column positions of the per-query output schema, computed once per query."""
+        positions = self._match_positions.get(qid)
+        if positions is None:
+            index_of = rout.schema.index_of
+            positions = (
+                index_of("docid1"),
+                tuple(
+                    (key, index_of(f"node_{key[0].value}_{key[1]}"))
+                    for key in reduced.nodes
+                ),
+            )
+            self._match_positions[qid] = positions
+        return positions
+
     def _row_to_match(
         self,
         qid: str,
         query: XsclQuery,
-        reduced: ReducedJoinGraph,
-        rout: Relation,
+        positions: tuple,
         row: tuple,
         witnesses: WitnessRelations,
     ) -> Optional[Match]:
-        lhs_docid = rout.value(row, "docid1")
+        docid_pos, node_positions = positions
+        lhs_docid = row[docid_pos]
         window = query.join.window
         lhs_ts = self.state.timestamp_of(lhs_docid)
         delta = witnesses.timestamp - lhs_ts
@@ -330,8 +486,8 @@ class SequentialJoinProcessor:
             return None
         lhs_bindings: dict[str, int] = {}
         rhs_bindings: dict[str, int] = {}
-        for key in reduced.nodes:
-            node = rout.value(row, f"node_{key[0].value}_{key[1]}")
+        for key, node_pos in node_positions:
+            node = row[node_pos]
             if key[0] is Side.LEFT:
                 lhs_bindings[key[1]] = node
             else:
@@ -354,3 +510,12 @@ class SequentialJoinProcessor:
         """Fold the current document into the join state."""
         with self.costs.measure("state_maintenance"):
             self.state.merge(witnesses)
+
+    def prune_state(self, min_timestamp: float) -> int:
+        """Drop state older than ``min_timestamp``.
+
+        Same entry point as the MMQJP processor's (the engines prune through
+        it), built on the public :meth:`~repro.core.state.JoinState.stale_docids`
+        accessor rather than reaching into the state relations.
+        """
+        return self.state.drop_documents(self.state.stale_docids(min_timestamp))

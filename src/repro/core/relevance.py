@@ -1,0 +1,86 @@
+"""Relevance-pruned dispatch: from bound Stage-1 variables to the work to do.
+
+The paper's central scaling claim is that per-document work must grow with
+the queries *relevant* to the event, not with the total registry.  Stage 1
+already tells us exactly which (canonical) variables the current document
+bound; every conjunctive query whose right-hand-side (current-document)
+variables are not all among them is guaranteed to evaluate to the empty
+relation, because each RHS variable's name is constrained by an ``RbinW`` /
+``RvarW`` (or ``RR`` / ``RRvar``) atom that can have no matching witness
+row.
+
+:class:`RelevanceIndex` is the inverted index the processors consult per
+document: *members* (one per registered query, keyed by a caller-chosen
+*group* — the template id for MMQJP, the query id for the Sequential
+baseline) are posted under each of their required RHS variables, and
+:meth:`RelevanceIndex.relevant` returns the groups with at least one member
+whose required variables are all bound.  The per-document cost is
+proportional to the postings of the *bound* variables (≈ the relevant
+queries), never to the total registry.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class RelevanceIndex:
+    """Inverted index from required (RHS) variables to dispatch groups."""
+
+    def __init__(self) -> None:
+        # member index -> (group, required variable set)
+        self._members: list[tuple[Hashable, frozenset]] = []
+        # variable -> indexes of the members requiring it
+        self._postings: dict[str, list[int]] = {}
+        # groups with a member requiring nothing: always dispatched
+        self._always: set[Hashable] = set()
+
+    def add(self, group: Hashable, required_vars: Iterable[str]) -> None:
+        """Register one member of ``group`` requiring ``required_vars``.
+
+        A member with no required variables makes its group unconditionally
+        relevant (defensive: canonical join queries always bind at least one
+        RHS variable).
+        """
+        required = frozenset(required_vars)
+        if not required:
+            self._always.add(group)
+            return
+        member = len(self._members)
+        self._members.append((group, required))
+        for variable in required:
+            self._postings.setdefault(variable, []).append(member)
+
+    def relevant(self, bound_variables: set[str]) -> set[Hashable]:
+        """Groups with at least one member whose requirements are all bound."""
+        relevant = set(self._always)
+        if not self._members or not bound_variables:
+            return relevant
+        candidates: set[int] = set()
+        postings = self._postings
+        for variable in bound_variables:
+            members = postings.get(variable)
+            if members:
+                candidates.update(members)
+        members = self._members
+        for index in candidates:
+            group, required = members[index]
+            if group not in relevant and required <= bound_variables:
+                relevant.add(group)
+        return relevant
+
+    @property
+    def num_members(self) -> int:
+        """Number of registered members (queries)."""
+        return len(self._members) + len(self._always)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct dispatch groups."""
+        return len({group for group, _ in self._members} | self._always)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RelevanceIndex members={self.num_members} "
+            f"vars={len(self._postings)}>"
+        )

@@ -104,14 +104,27 @@ class JoinState:
         state relation drops the stale documents' partitions wholesale, so
         the cost scales with the rows removed, not the rows retained.
         """
-        stale = {d for d, ts in self._timestamps.items() if ts < min_timestamp}
-        if not stale:
+        return self.drop_documents(self.stale_docids(min_timestamp))
+
+    def stale_docids(self, min_timestamp: float) -> set[str]:
+        """Documents with ``timestamp < min_timestamp`` (what :meth:`prune` drops).
+
+        Public accessor so the processors can learn which documents a prune
+        is about to remove (e.g. to evict view-cache slices) without
+        reaching into the state relations' rows; pair with
+        :meth:`drop_documents` to avoid computing the set twice.
+        """
+        return {d for d, ts in self._timestamps.items() if ts < min_timestamp}
+
+    def drop_documents(self, docids: set[str]) -> int:
+        """Drop the given documents' partitions; returns documents removed."""
+        if not docids:
             return 0
         for relation in (self.rbin, self.rdoc, self.rvar, self.rdocts):
-            relation.drop_partitions(stale)
-        for docid in stale:
-            del self._timestamps[docid]
-        return len(stale)
+            relation.drop_partitions(docids)
+        for docid in docids:
+            self._timestamps.pop(docid, None)
+        return len(docids)
 
     # ------------------------------------------------------------------ #
     # access
@@ -119,6 +132,10 @@ class JoinState:
     def timestamp_of(self, docid: str) -> float:
         """Timestamp of a previously processed document."""
         return self._timestamps[docid]
+
+    def document_ids(self) -> set[str]:
+        """Ids of all documents currently held in the state."""
+        return set(self._timestamps)
 
     @property
     def num_documents(self) -> int:

@@ -103,6 +103,24 @@ class WitnessRelations:
         """True when no variable matched the current document."""
         return not (self.rbinw.rows or self.rdocw.rows or self.rvarw.rows)
 
+    def bound_variables(self) -> set[str]:
+        """Variables with at least one witness row for this document.
+
+        The union over ``RvarW`` and both variable columns of ``RbinW`` —
+        deliberately wider than Stage 1's
+        :meth:`~repro.xpath.evaluator.DocumentWitnesses.bound_variables`
+        (``RbinW`` may carry an edge whose descendant variable has no unary
+        binding).  A query whose RHS variables are not all in this set
+        cannot match the document: each RHS variable's name is constrained
+        by an ``RbinW``/``RvarW`` atom with no matching row.  This is what
+        relevance-pruned dispatch keys on.
+        """
+        bound = {row[0] for row in self.rvarw.rows}
+        for var1, var2, _node1, _node2 in self.rbinw.rows:
+            bound.add(var1)
+            bound.add(var2)
+        return bound
+
     def __repr__(self) -> str:
         return (
             f"<WitnessRelations doc={self.docid} ts={self.timestamp} "

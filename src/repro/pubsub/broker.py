@@ -81,6 +81,12 @@ class Broker:
         Join-state index maintenance of the underlying engine: ``"eager"``
         (default), ``"lazy"``, or ``"off"`` (per-call hashing, the
         pre-incremental behavior kept for ablation/equivalence runs).
+    plan_cache:
+        Evaluate conjunctive queries through compiled, cached plans
+        (default).  ``False`` re-plans per call — the ablation baseline.
+    prune_dispatch:
+        Skip templates/queries irrelevant to the published document
+        (default).  ``False`` visits every registered template/query.
     shards:
         Escape hatch to the sharded runtime: with ``shards`` > 1 the
         constructor returns a :class:`repro.runtime.ShardedBroker` instead
@@ -106,6 +112,8 @@ class Broker:
         *,
         auto_prune: bool = True,
         indexing: str = "eager",
+        plan_cache: bool = True,
+        prune_dispatch: bool = True,
         shards: Optional[int] = None,
     ):
         if shards is not None and shards < 1:
@@ -124,6 +132,8 @@ class Broker:
             view_cache_size=view_cache_size,
             auto_prune=auto_prune,
             indexing=indexing,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
         )
         self.construct_outputs = construct_outputs
         self.streams = StreamRegistry(history_size=stream_history)

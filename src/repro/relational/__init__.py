@@ -23,6 +23,11 @@ replacement with exactly the pieces the paper needs:
 * :mod:`~repro.relational.conjunctive` — Datalog-style conjunctive queries
   and their evaluator; the per-template queries ``CQT`` of Section 4.4 are
   instances of :class:`~repro.relational.conjunctive.ConjunctiveQuery`.
+* :mod:`~repro.relational.plan` — compiled query plans: a
+  :class:`~repro.relational.plan.CompiledPlan` freezes the greedy join
+  order and all per-step join metadata so repeated evaluations (the MMQJP
+  hot loop) are pure probe loops; :class:`~repro.relational.plan.PlanCache`
+  re-optimizes a plan only when the stable relations' statistics drift.
 * :mod:`~repro.relational.sql` — renders conjunctive queries as SQL text,
   mirroring the paper's "XSCL translator" that emitted SQL Server queries.
 """
@@ -33,6 +38,7 @@ from repro.relational.index import HashIndex
 from repro.relational.database import Database, IndexedDatabase, INDEXING_MODES
 from repro.relational.terms import Var, Const, term
 from repro.relational.conjunctive import Atom, ConjunctiveQuery, evaluate_conjunctive
+from repro.relational.plan import CompiledPlan, PlanCache, compile_plan
 from repro.relational import operators
 from repro.relational.sql import render_sql
 
@@ -51,6 +57,9 @@ __all__ = [
     "Atom",
     "ConjunctiveQuery",
     "evaluate_conjunctive",
+    "CompiledPlan",
+    "PlanCache",
+    "compile_plan",
     "operators",
     "render_sql",
 ]

@@ -155,25 +155,24 @@ def _choose_order(
     return ordered
 
 
-def _join_atom(
-    solutions: list[tuple],
-    var_order: list[str],
-    atom: Atom,
-    relation: Relation,
-    index_for=None,
-) -> tuple[list[tuple], list[str]]:
-    """Join the current solution set with one atom (hash join).
+def _analyze_atom(
+    atom: Atom, var_pos: Mapping[str, int]
+) -> tuple[
+    list[tuple[int, object]],
+    list[tuple[int, int]],
+    list[tuple[int, str]],
+    list[tuple[int, int]],
+]:
+    """Classify an atom's columns against the already-bound variables.
 
-    ``index_for(relation_name, key_columns)`` — when provided, e.g. by an
-    :class:`~repro.relational.database.IndexedDatabase` — may return a
-    persistent, incrementally maintained hash index on the atom's key
-    columns (join columns plus constant columns).  With an index, each
-    partial solution probes the prebuilt buckets directly, so per-call work
-    scales with the *matching* rows; without one, the relation is hashed
-    per call (ad-hoc relations such as the current document's witnesses).
+    Returns ``(const_checks, join_cols, new_vars, within_atom_eq)`` where
+    ``const_checks`` pairs a column with its required constant, ``join_cols``
+    pairs a column with the solution position of its (bound) variable,
+    ``new_vars`` pairs a column with the fresh variable it binds, and
+    ``within_atom_eq`` records equal-column constraints for repeated fresh
+    variables.  Shared by the per-call evaluator below and the plan compiler
+    (:mod:`repro.relational.plan`), which precomputes this once per query.
     """
-    var_pos = {v: i for i, v in enumerate(var_order)}
-
     const_checks: list[tuple[int, object]] = []
     join_cols: list[tuple[int, int]] = []      # (column in row, position in solution)
     new_vars: list[tuple[int, str]] = []       # (column in row, new variable name)
@@ -192,6 +191,28 @@ def _join_atom(
             else:
                 seen_new[name] = col
                 new_vars.append((col, name))
+    return const_checks, join_cols, new_vars, within_atom_eq
+
+
+def _join_atom(
+    solutions: list[tuple],
+    var_order: list[str],
+    atom: Atom,
+    relation: Relation,
+    index_for=None,
+) -> tuple[list[tuple], list[str]]:
+    """Join the current solution set with one atom (hash join).
+
+    ``index_for(relation_name, key_columns)`` — when provided, e.g. by an
+    :class:`~repro.relational.database.IndexedDatabase` — may return a
+    persistent, incrementally maintained hash index on the atom's key
+    columns (join columns plus constant columns).  With an index, each
+    partial solution probes the prebuilt buckets directly, so per-call work
+    scales with the *matching* rows; without one, the relation is hashed
+    per call (ad-hoc relations such as the current document's witnesses).
+    """
+    var_pos = {v: i for i, v in enumerate(var_order)}
+    const_checks, join_cols, new_vars, within_atom_eq = _analyze_atom(atom, var_pos)
 
     new_var_order = var_order + [name for _, name in new_vars]
     new_solutions: list[tuple] = []

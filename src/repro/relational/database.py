@@ -98,6 +98,7 @@ class IndexedDatabase:
         self.indexing = indexing
         self._relations: dict[str, Relation] = {}
         self._indexed: set[str] = set()
+        self._stable: set[str] = set()
 
     # ------------------------------------------------------------------ #
     # binding
@@ -107,9 +108,17 @@ class IndexedDatabase:
 
         With ``indexed=True`` (and indexing not ``"off"``) the relation's
         join keys are served from persistent indexes and its maintenance
-        mode is aligned with this environment's indexing mode.
+        mode is aligned with this environment's indexing mode.  Relations
+        requested as indexed are additionally remembered as **stable**
+        (regardless of the indexing mode): they are long-lived and mutate
+        incrementally, so compiled query plans may key their stats epoch on
+        them — as opposed to the ephemeral per-document bindings.
         """
         self._relations[name] = relation
+        if indexed:
+            self._stable.add(name)
+        else:
+            self._stable.discard(name)
         if indexed and self.indexing != "off":
             self._indexed.add(name)
             relation.index_maintenance = "lazy" if self.indexing == "lazy" else "eager"
@@ -126,6 +135,7 @@ class IndexedDatabase:
         """Remove a binding if present."""
         self._relations.pop(name, None)
         self._indexed.discard(name)
+        self._stable.discard(name)
 
     # ------------------------------------------------------------------ #
     # mapping protocol (what the evaluator needs)
@@ -153,6 +163,15 @@ class IndexedDatabase:
     def is_indexed(self, name: str) -> bool:
         """Whether ``name`` is served from persistent indexes."""
         return name in self._indexed
+
+    def is_stable(self, name: str) -> bool:
+        """Whether ``name`` is a long-lived (state/``RT``) binding.
+
+        Compiled plans track their stats epoch over stable relations only;
+        ephemeral per-document bindings (witnesses, materialized views) must
+        not invalidate a plan just because a new document arrived.
+        """
+        return name in self._stable
 
     # ------------------------------------------------------------------ #
     # index resolution

@@ -1,0 +1,468 @@
+"""Compiled query plans: plan a conjunctive query once, probe many times.
+
+:func:`~repro.relational.conjunctive.evaluate_conjunctive` re-derives the
+greedy join order and every atom's join metadata (constant checks, join-key
+columns, fresh-variable projections) on *every* call.  That is fine for
+ad-hoc queries, but the MMQJP hot loop evaluates the same per-template
+conjunctive queries for every incoming document — with massively many
+registered queries, the planning and term introspection dominate the actual
+probing.
+
+This module compiles a :class:`~repro.relational.conjunctive.ConjunctiveQuery`
+into a :class:`CompiledPlan`:
+
+* a **fixed join order** chosen once by the same greedy fan-out heuristic,
+* fully precomputed per-step metadata (:class:`PlanStep`) — probe-key
+  columns, constant keys, solution positions, fresh-column projections and
+  within-atom equality checks, and
+* precomputed **head projection** operations and the output schema object,
+
+so that :meth:`CompiledPlan.execute` is a tight probe loop with zero
+planning, schema lookup or term introspection per call.  The step's
+``key_cols`` are ordered exactly like the per-call evaluator's (join columns
+first, then constant columns), so compiled plans share the same persistent
+:class:`~repro.relational.index.HashIndex` objects through
+:meth:`~repro.relational.database.IndexedDatabase.index_for`.
+
+A plan's join order is only a heuristic — the *result set* is identical for
+any order — but it should track the statistics it was optimized against.
+:class:`PlanCache` therefore keys each cached plan on the query's identity
+plus a **stats epoch** over the stable (state/``RT``) relations the body
+references: the epoch check is O(atoms) using the relations' existing
+mutation counters (:attr:`~repro.relational.relation.Relation.version`) as a
+fast path, and a plan is re-optimized only when a stable relation's
+cardinality drifts across a power-of-two bucket — not on every insert, and
+never because the per-document witness relations changed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.relational.conjunctive import (
+    Atom,
+    ConjunctiveQuery,
+    _analyze_atom,
+    _atom_matches,
+    _choose_order,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, SchemaError
+from repro.relational.terms import Const
+
+
+def _lookup_of(relations: Mapping[str, Relation]):
+    return relations.get if hasattr(relations, "get") else relations.__getitem__
+
+
+#: Default cap on intermediate-solution growth when executing a *cached*
+#: plan.  A frozen join order is only a heuristic: a later document's
+#: witness statistics can be skewed enough that the frozen order builds a
+#: huge intermediate a fresh plan would avoid.  Exceeding the budget raises
+#: :class:`PlanBudgetExceeded`, and the cache reacts by re-planning against
+#: the *current* statistics and re-executing (classic reactive
+#: re-optimization) — so the worst case is bounded near the plan-per-call
+#: evaluator's cost instead of being exponential.
+DEFAULT_GROWTH_LIMIT = 100_000
+
+
+class PlanBudgetExceeded(Exception):
+    """Raised when a budgeted execution grows past its solution limit."""
+
+
+class PlanStep:
+    """One precompiled join step: everything :meth:`CompiledPlan.execute` needs.
+
+    Attributes
+    ----------
+    relation_name:
+        Name of the atom's relation, resolved against the evaluation
+        environment at execution time (witness relations are rebound per
+        document).
+    key_cols:
+        Probe-key columns for :meth:`IndexedDatabase.index_for` — join
+        columns followed by constant columns, matching the per-call
+        evaluator so persistent indexes are shared.
+    const_checks / const_key:
+        ``(column, value)`` constant constraints, and the values alone (the
+        key suffix for index probes).
+    join_cols / join_positions:
+        Columns joined against already-bound variables, and those variables'
+        positions in the partial-solution tuple.
+    new_var_cols:
+        Columns whose values extend the solution tuple (fresh variables).
+    within_eq:
+        Equal-column pairs for fresh variables repeated within the atom.
+    """
+
+    __slots__ = (
+        "relation_name",
+        "key_cols",
+        "const_checks",
+        "const_key",
+        "join_cols",
+        "join_positions",
+        "new_var_cols",
+        "within_eq",
+    )
+
+    def __init__(self, atom: Atom, var_pos: dict[str, int]):
+        const_checks, join_cols, new_vars, within_eq = _analyze_atom(atom, var_pos)
+        self.relation_name = atom.relation
+        self.const_checks = tuple(const_checks)
+        self.const_key = tuple(v for _, v in const_checks)
+        self.join_cols = tuple(c for c, _ in join_cols)
+        self.join_positions = tuple(p for _, p in join_cols)
+        self.new_var_cols = tuple(c for c, _ in new_vars)
+        self.within_eq = tuple(within_eq)
+        self.key_cols = self.join_cols + tuple(c for c, _ in const_checks)
+        for _, name in new_vars:
+            var_pos[name] = len(var_pos)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PlanStep {self.relation_name} key={self.key_cols} "
+            f"new={self.new_var_cols}>"
+        )
+
+
+class CompiledPlan:
+    """A conjunctive query compiled to a fixed join order with frozen metadata.
+
+    Build plans with :func:`compile_plan` (or let a :class:`PlanCache` do
+    it); :meth:`execute` evaluates the plan against an evaluation
+    environment and returns the head relation — always the exact same
+    result set as :func:`~repro.relational.conjunctive.evaluate_conjunctive`
+    on the same environment, since the join order only affects cost.
+    """
+
+    __slots__ = (
+        "query",
+        "steps",
+        "head_name",
+        "head_schema",
+        "head_ops",
+        "head_error",
+        "const_row",
+        "distinct",
+        "_stable_stats",
+    )
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        steps: Sequence[PlanStep],
+        head_ops: Optional[tuple],
+        head_error: Optional[str],
+        stable_stats: dict[str, list],
+    ):
+        self.query = query
+        self.steps = tuple(steps)
+        self.head_name = query.head_name
+        self.head_schema = RelationSchema(query.head_schema)
+        self.head_ops = head_ops
+        self.head_error = head_error
+        self.distinct = query.distinct
+        # Empty body: the head is a single constant row (matching the
+        # per-call evaluator), or empty if any head term is a variable.
+        self.const_row: Optional[tuple] = None
+        if not self.steps and all(isinstance(t, Const) for t in query.head_terms):
+            self.const_row = tuple(t.value for t in query.head_terms)
+        # name -> [version, size bucket] of every stable body relation.
+        self._stable_stats = stable_stats
+
+    # ------------------------------------------------------------------ #
+    # stats-epoch validity
+    # ------------------------------------------------------------------ #
+    def is_current(self, relations: Mapping[str, Relation]) -> bool:
+        """Whether the plan's stats epoch still matches ``relations``.
+
+        Unchanged mutation counters short-circuit to ``True``; a changed
+        counter only invalidates the plan when the relation's cardinality
+        crossed a power-of-two bucket since compilation (statistics drift
+        worth re-optimizing for, per the precomputation-for-updates idea).
+        """
+        lookup = _lookup_of(relations)
+        for name, stat in self._stable_stats.items():
+            relation = lookup(name)
+            if relation is None:
+                return False
+            version = relation.version
+            if version == stat[0]:
+                continue
+            bucket = len(relation).bit_length()
+            if bucket != stat[1]:
+                return False
+            stat[0] = version  # same magnitude: refresh the fast path
+        return True
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        relations: Mapping[str, Relation],
+        growth_limit: Optional[int] = None,
+    ) -> Relation:
+        """Evaluate the plan against ``relations`` and return the head relation.
+
+        ``growth_limit`` (used by :class:`PlanCache` for cached plans)
+        raises :class:`PlanBudgetExceeded` as soon as any step's
+        intermediate solution set exceeds the limit, so a frozen order that
+        turns pathological on the current statistics can be abandoned and
+        re-planned instead of running to completion.
+        """
+        out = Relation(self.head_schema, name=self.head_name)
+        if not self.steps:
+            if self.const_row is not None:
+                out.rows.append(self.const_row)
+            return out
+
+        lookup = _lookup_of(relations)
+        index_for = getattr(relations, "index_for", None)
+        limited = growth_limit is not None
+        solutions: list[tuple] = [()]
+        for step in self.steps:
+            new_vars = step.new_var_cols
+            eq = step.within_eq
+            positions = step.join_positions
+            index = (
+                index_for(step.relation_name, step.key_cols)
+                if (index_for is not None and step.key_cols)
+                else None
+            )
+            new_solutions: list[tuple] = []
+            if index is not None:
+                # Persistent-index path: probe prebuilt buckets directly.
+                const_key = step.const_key
+                lookup_key = index.lookup_key
+                if positions:
+                    for sol in solutions:
+                        if limited and len(new_solutions) > growth_limit:
+                            raise PlanBudgetExceeded(self._budget_message(step))
+                        key = tuple(sol[p] for p in positions) + const_key
+                        for row in lookup_key(key):
+                            if eq and not all(row[a] == row[b] for a, b in eq):
+                                continue
+                            new_solutions.append(
+                                sol + tuple(row[c] for c in new_vars)
+                            )
+                else:
+                    rows = lookup_key(const_key)
+                    if eq:
+                        rows = [
+                            r for r in rows if all(r[a] == r[b] for a, b in eq)
+                        ]
+                    if limited and len(solutions) * len(rows) > growth_limit:
+                        raise PlanBudgetExceeded(self._budget_message(step))
+                    extensions = [tuple(r[c] for c in new_vars) for r in rows]
+                    for sol in solutions:
+                        for extension in extensions:
+                            new_solutions.append(sol + extension)
+            else:
+                # Ad-hoc path (ephemeral witness/view relations): hash the
+                # relation's rows per call, keyed on the join columns.
+                relation = lookup(step.relation_name)
+                if relation is None:
+                    raise SchemaError(
+                        f"unknown relation {step.relation_name!r} in compiled plan"
+                    )
+                consts = step.const_checks
+                join_cols = step.join_cols
+                buckets: dict[tuple, list[tuple]] = {}
+                for row in relation.rows:
+                    if consts and not all(row[c] == v for c, v in consts):
+                        continue
+                    if eq and not all(row[a] == row[b] for a, b in eq):
+                        continue
+                    key = tuple(row[c] for c in join_cols)
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = bucket = []
+                    bucket.append(row)
+                if positions:
+                    for sol in solutions:
+                        if limited and len(new_solutions) > growth_limit:
+                            raise PlanBudgetExceeded(self._budget_message(step))
+                        key = tuple(sol[p] for p in positions)
+                        for row in buckets.get(key, ()):
+                            new_solutions.append(
+                                sol + tuple(row[c] for c in new_vars)
+                            )
+                else:
+                    matched = buckets.get((), ())
+                    if limited and len(solutions) * len(matched) > growth_limit:
+                        raise PlanBudgetExceeded(self._budget_message(step))
+                    extensions = [tuple(r[c] for c in new_vars) for r in matched]
+                    for sol in solutions:
+                        for extension in extensions:
+                            new_solutions.append(sol + extension)
+            solutions = new_solutions
+            if not solutions:
+                return out
+
+        if self.head_ops is None:
+            # Mirrors the per-call evaluator: the unbound-head error is only
+            # raised when there are solutions to project.
+            raise SchemaError(self.head_error)
+        rows = out.rows
+        if self.distinct:
+            seen: set[tuple] = set()
+            for sol in solutions:
+                row = tuple(v if const else sol[v] for const, v in self.head_ops)
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+        else:
+            for sol in solutions:
+                rows.append(tuple(v if const else sol[v] for const, v in self.head_ops))
+        return out
+
+    def _budget_message(self, step: PlanStep) -> str:
+        return (
+            f"{self.head_name}: intermediate solutions exceeded the growth "
+            f"limit while joining {step.relation_name}"
+        )
+
+    @property
+    def join_order(self) -> tuple[str, ...]:
+        """The relation names in compiled join order (introspection/tests)."""
+        return tuple(step.relation_name for step in self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledPlan {self.head_name} order={self.join_order}>"
+
+
+def compile_plan(
+    query: ConjunctiveQuery, relations: Mapping[str, Relation]
+) -> CompiledPlan:
+    """Compile ``query`` against the statistics of ``relations``.
+
+    The greedy join order and all per-step metadata are fixed here; the
+    returned plan can be executed against any later state of the same
+    environment (the result set never depends on the order — only the cost
+    does, which is what :meth:`CompiledPlan.is_current` tracks).
+    """
+    lookup = _lookup_of(relations)
+    rel_map: dict[str, Relation] = {}
+    for atom in query.body:
+        relation = lookup(atom.relation)
+        if relation is None:
+            raise SchemaError(
+                f"unknown relation {atom.relation!r} in conjunctive query"
+            )
+        _atom_matches(atom, relation)
+        rel_map[atom.relation] = relation
+
+    ordered = _choose_order(query.body, rel_map)
+    var_pos: dict[str, int] = {}
+    steps = [PlanStep(atom, var_pos) for atom in ordered]
+
+    head_ops: Optional[tuple] = None
+    head_error: Optional[str] = None
+    if ordered:
+        ops = []
+        for t in query.head_terms:
+            if isinstance(t, Const):
+                ops.append((True, t.value))
+            elif t.name in var_pos:
+                ops.append((False, var_pos[t.name]))
+            else:
+                head_error = f"head variable {t.name!r} is not bound by the body"
+                break
+        else:
+            head_ops = tuple(ops)
+
+    is_stable = getattr(relations, "is_stable", None)
+    stable_stats: dict[str, list] = {}
+    for name, relation in rel_map.items():
+        if is_stable is not None and not is_stable(name):
+            continue
+        stable_stats[name] = [relation.version, len(relation).bit_length()]
+
+    return CompiledPlan(query, steps, head_ops, head_error, stable_stats)
+
+
+class PlanCache:
+    """A cache of compiled plans keyed on query identity and stats epoch.
+
+    One cache per processor: plans are compiled against that processor's
+    evaluation environment.  ``hits`` / ``misses`` / ``replans`` /
+    ``aborts`` count, respectively, executions of a still-current plan,
+    first-time compilations, re-optimizations forced by stats-epoch drift,
+    and cached executions abandoned mid-flight because the frozen order
+    blew past ``growth_limit`` on the current statistics (each abort also
+    re-plans and re-executes, so results are never lost).
+    """
+
+    def __init__(self, growth_limit: Optional[int] = DEFAULT_GROWTH_LIMIT) -> None:
+        self._entries: dict[int, tuple[ConjunctiveQuery, CompiledPlan]] = {}
+        self.growth_limit = growth_limit
+        self.hits = 0
+        self.misses = 0
+        self.replans = 0
+        self.aborts = 0
+
+    def _current_plan(
+        self, query: ConjunctiveQuery, relations: Mapping[str, Relation]
+    ) -> tuple[CompiledPlan, bool]:
+        """``(plan, cached)`` — ``cached`` when a still-current plan was reused.
+
+        The cache keys on object identity (and keeps a strong reference, so
+        a recycled ``id`` can never alias a dead query): the registry and
+        the sequential processor hold one long-lived ``ConjunctiveQuery``
+        per template/query, which is exactly the sharing this exploits.
+        """
+        key = id(query)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is query:
+            plan = entry[1]
+            if plan.is_current(relations):
+                self.hits += 1
+                return plan, True
+            self.replans += 1
+        else:
+            self.misses += 1
+        plan = compile_plan(query, relations)
+        self._entries[key] = (query, plan)
+        return plan, False
+
+    def plan_for(
+        self, query: ConjunctiveQuery, relations: Mapping[str, Relation]
+    ) -> CompiledPlan:
+        """The current plan for ``query``, compiling or re-planning as needed."""
+        return self._current_plan(query, relations)[0]
+
+    def evaluate(
+        self, query: ConjunctiveQuery, relations: Mapping[str, Relation]
+    ) -> Relation:
+        """Evaluate ``query`` through the cache (plan, probe, adapt).
+
+        Cached plans run under the growth budget; on a budget breach the
+        plan is re-optimized against the *current* statistics and
+        re-executed — a fresh plan already carries the best order the
+        optimizer can produce for the current statistics, so fresh plans
+        (and the post-abort re-execution) run unbudgeted.
+        """
+        plan, cached = self._current_plan(query, relations)
+        if cached:
+            try:
+                return plan.execute(relations, growth_limit=self.growth_limit)
+            except PlanBudgetExceeded:
+                self.aborts += 1
+                plan = compile_plan(query, relations)
+                self._entries[id(query)] = (query, plan)
+        return plan.execute(relations)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/replan/abort counters plus the number of cached plans."""
+        return {
+            "plans": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "replans": self.replans,
+            "aborts": self.aborts,
+        }

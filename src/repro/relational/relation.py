@@ -209,6 +209,15 @@ class Relation:
         """Number of attached live indexes (stats/tests)."""
         return len(self._indexes)
 
+    @property
+    def version(self) -> int:
+        """The mutation counter (bumped on every insert/drop/clear).
+
+        Consumers that cache derived artifacts — live indexes, NDV counts,
+        compiled query plans — key their validity checks on this counter.
+        """
+        return self._version
+
     # ------------------------------------------------------------------ #
     # row access helpers
     # ------------------------------------------------------------------ #

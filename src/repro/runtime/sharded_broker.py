@@ -72,6 +72,12 @@ class ShardedBroker:
     indexing:
         Join-state index maintenance of every shard engine: ``"eager"``
         (default), ``"lazy"``, or ``"off"``.
+    plan_cache:
+        Compiled-plan evaluation on every shard engine (default); ``False``
+        re-plans per call (ablation baseline).
+    prune_dispatch:
+        Relevance-pruned dispatch on every shard engine (default);
+        ``False`` visits every template/query.
     store_documents:
         Keep processed documents on every shard so output XML can be
         constructed.  Defaults to ``construct_outputs``; throughput runs use
@@ -93,6 +99,8 @@ class ShardedBroker:
         auto_prune: bool = True,
         auto_timestamp: bool = True,
         indexing: str = "eager",
+        plan_cache: bool = True,
+        prune_dispatch: bool = True,
         store_documents: Optional[bool] = None,
         max_workers: Optional[int] = None,
     ):
@@ -122,6 +130,8 @@ class ShardedBroker:
                     auto_timestamp=False,
                     auto_prune=auto_prune,
                     indexing=indexing,
+                    plan_cache=plan_cache,
+                    prune_dispatch=prune_dispatch,
                 ),
             )
             for shard_id in range(shards)

@@ -72,6 +72,7 @@ class TemplateRegistry:
         self._entries: list[_TemplateEntry] = []
         self._by_signature: dict[tuple, list[_TemplateEntry]] = {}
         self._queries: dict[str, RegisteredQuery] = {}
+        self._ordered: list[RegisteredQuery] = []
 
     # ------------------------------------------------------------------ #
     # registration
@@ -96,6 +97,7 @@ class TemplateRegistry:
             qid=qid, query=query, assignment=assignment, reduced=reduced, window=window
         )
         self._queries[qid] = record
+        self._ordered.append(record)
         return record
 
     def _match_or_create(self, reduced: ReducedJoinGraph) -> TemplateAssignment:
@@ -142,6 +144,15 @@ class TemplateRegistry:
     def queries(self) -> list[RegisteredQuery]:
         """All registered query records."""
         return list(self._queries.values())
+
+    def records(self, start: int = 0) -> list[RegisteredQuery]:
+        """Registered query records in registration order, from index ``start``.
+
+        Incremental consumers (e.g. the Join Processor's relevance index)
+        remember how many records they have seen and pass that count here,
+        paying only for the queries registered since.
+        """
+        return self._ordered[start:]
 
     def query(self, qid: str) -> RegisteredQuery:
         """The record of one registered query."""

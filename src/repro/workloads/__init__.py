@@ -13,26 +13,37 @@
 
 from repro.workloads.zipf import ZipfSampler
 from repro.workloads.synthetic import (
+    PlanScalingData,
     TechnicalBenchmarkData,
     build_document,
+    build_plan_scaling_data,
     build_technical_benchmark_data,
     leaf_variable,
     group_variable,
     root_variable,
+    topic_schemas,
 )
-from repro.workloads.querygen import QueryWorkloadConfig, generate_queries
+from repro.workloads.querygen import (
+    QueryWorkloadConfig,
+    generate_queries,
+    generate_topic_queries,
+)
 from repro.workloads.rss import RssStreamConfig, generate_rss_stream, generate_rss_queries
 
 __all__ = [
     "ZipfSampler",
+    "PlanScalingData",
     "TechnicalBenchmarkData",
     "build_document",
+    "build_plan_scaling_data",
     "build_technical_benchmark_data",
     "leaf_variable",
     "group_variable",
     "root_variable",
+    "topic_schemas",
     "QueryWorkloadConfig",
     "generate_queries",
+    "generate_topic_queries",
     "RssStreamConfig",
     "generate_rss_stream",
     "generate_rss_queries",

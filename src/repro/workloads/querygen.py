@@ -146,3 +146,32 @@ def iter_queries(config: QueryWorkloadConfig) -> Iterator[XsclQuery]:
 def generate_queries(config: QueryWorkloadConfig) -> list[XsclQuery]:
     """Generate the full random query workload as a list."""
     return list(iter_queries(config))
+
+
+def generate_topic_queries(
+    schemas: list[DocumentSchema],
+    num_queries: int,
+    window: float = INFINITE_WINDOW,
+    stream: str = "S",
+    seed: int = 7,
+) -> list[XsclQuery]:
+    """Generate queries spread round-robin over topic-sharded schemas.
+
+    A query on topic ``t`` uses all of that schema's leaves as value joins,
+    so — together with the disjoint tag namespaces of
+    :func:`repro.workloads.synthetic.topic_schemas` — every topic owns its
+    query templates outright, and a document of one topic is relevant to
+    roughly ``1 / len(schemas)`` of the registered templates.  This is the
+    workload of the plan-scaling benchmark.
+    """
+    rng = random.Random(seed)
+    return [
+        generate_query(
+            schemas[i % len(schemas)],
+            schemas[i % len(schemas)].num_leaves,
+            rng,
+            window=window,
+            stream=stream,
+        )
+        for i in range(num_queries)
+    ]

@@ -257,6 +257,124 @@ def build_state_scaling_data(
     return StateScalingData(schema=schema, state_docs=state_docs, probes=probes)
 
 
+@dataclass
+class PlanScalingData:
+    """Workload of the plan-scaling benchmark: topic-sharded state plus probes.
+
+    The registry is split into *topics* with disjoint variable namespaces
+    and distinct template shapes (topic ``t`` uses ``t + 1`` value joins
+    over its own tag set), so each template belongs to exactly one topic.
+    Every retained document and every probe carries the witnesses of one
+    topic only — a probe is *relevant* to roughly ``1 / num_topics`` of the
+    templates, which is the regime relevance-pruned dispatch targets.
+
+    ``probe_topics[j]`` records which topic probe ``j`` belongs to.
+    """
+
+    schemas: list[DocumentSchema]
+    state_docs: list[tuple[str, float, list[tuple], list[tuple], list[tuple]]]
+    probes: list[WitnessRelations]
+    probe_topics: list[int]
+
+    @property
+    def num_topics(self) -> int:
+        """Number of topics (≈ 1 / relevance fraction)."""
+        return len(self.schemas)
+
+    def load_state(self, state: JoinState) -> None:
+        """Load every retained document into a join state."""
+        for docid, timestamp, rbin_rows, rdoc_rows, rvar_rows in self.state_docs:
+            state.insert_document_rows(
+                docid, timestamp, rbin_rows=rbin_rows, rdoc_rows=rdoc_rows, rvar_rows=rvar_rows
+            )
+
+
+def topic_schemas(num_topics: int) -> list[DocumentSchema]:
+    """Two-level schemas with disjoint tag namespaces, one per topic.
+
+    Topic ``t`` has ``t + 1`` leaves, so that queries with ``t + 1`` value
+    joins (one per leaf) have a reduced join graph shape no other topic
+    produces — each topic owns its templates outright.
+    """
+    if num_topics < 1:
+        raise ValueError("need at least one topic")
+    return [
+        DocumentSchema(
+            root_tag=f"topic{t}_root",
+            leaf_tags=tuple(f"topic{t}_leaf{i}" for i in range(t + 1)),
+        )
+        for t in range(num_topics)
+    ]
+
+
+def build_plan_scaling_data(
+    schemas: list[DocumentSchema],
+    num_state_docs: int,
+    num_probe_docs: int = 5,
+    value_pool: int = 20,
+    seed: int = 13,
+) -> PlanScalingData:
+    """Construct the topic-sharded workload for the plan-scaling benchmark.
+
+    Documents are assigned to topics round-robin.  All leaves of one
+    document share a single value drawn from a per-topic pool of
+    ``value_pool`` strings, so a probe satisfies *every* value join of a
+    same-topic query against ≈ ``1 / value_pool`` of its topic's retained
+    documents (and never joins across topics) — matches fire at a
+    controlled rate regardless of how many value joins a topic's queries
+    carry.
+    """
+    import random
+
+    rng = random.Random(seed)
+    num_topics = len(schemas)
+    per_topic = [
+        (_edge_rows(schema), _var_rows(schema), node_ids(schema))
+        for schema in schemas
+    ]
+
+    def value_rows(topic: int, tag: str) -> list[tuple[int, str]]:
+        schema = schemas[topic]
+        root_id, group_ids, leaf_ids = per_topic[topic][2]
+        rows = [(root_id, f"{tag}-root")]
+        for g, gid in enumerate(group_ids):
+            rows.append((gid, f"{tag}-group{g}"))
+        shared = f"t{topic}val{rng.randrange(value_pool)}"
+        for i in range(schema.num_leaves):
+            rows.append((leaf_ids[i], shared))
+        return rows
+
+    state_docs = []
+    for i in range(num_state_docs):
+        topic = i % num_topics
+        edges, var_rows, _ = per_topic[topic]
+        state_docs.append(
+            (f"s{i}", float(i + 1), edges, value_rows(topic, f"s{i}"), var_rows)
+        )
+
+    probes = []
+    probe_topics = []
+    for j in range(num_probe_docs):
+        topic = j % num_topics
+        edges, var_rows, _ = per_topic[topic]
+        probe_topics.append(topic)
+        probes.append(
+            WitnessRelations.from_rows(
+                docid=f"p{j}",
+                timestamp=float(num_state_docs + j + 1),
+                rbinw_rows=edges,
+                rdocw_rows=value_rows(topic, f"p{j}"),
+                rvarw_rows=var_rows,
+            )
+        )
+    return PlanScalingData(
+        schemas=list(schemas),
+        state_docs=state_docs,
+        probes=probes,
+        probe_topics=probe_topics,
+    )
+
+
 def build_technical_benchmark_data(schema: DocumentSchema) -> TechnicalBenchmarkData:
     """Construct the Section 6.1 witness relations for documents ``d1`` and ``d2``."""
     data = TechnicalBenchmarkData(schema=schema)

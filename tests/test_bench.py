@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.bench import format_table, rows_to_csv, run_rss_throughput, run_technical_benchmark
+import json
+
+from repro.bench import (
+    format_table,
+    rows_to_csv,
+    rows_to_json,
+    run_rss_throughput,
+    run_technical_benchmark,
+)
 from repro.bench import experiments
 from repro.bench.harness import APPROACH_MMQJP, APPROACH_MMQJP_VM, APPROACH_SEQUENTIAL
 from repro.core.costs import CostBreakdown
@@ -133,6 +141,30 @@ def test_experiment_ablation_view_cache_tiny():
     assert {row["cache_size"] for row in rows} == {0, 8}
 
 
+def test_experiment_plan_scaling_tiny(tmp_path):
+    path = tmp_path / "BENCH_plan_scaling.json"
+    rows = experiments.plan_scaling(
+        num_queries_list=(20,),
+        num_topics_list=(3,),
+        num_state_docs=12,
+        num_probe_docs=3,
+        json_path=str(path),
+    )
+    assert len(rows) == 4  # the plan_cache x prune_dispatch knob matrix
+    assert {(row["plan_cache"], row["prune_dispatch"]) for row in rows} == {
+        (False, False), (True, False), (False, True), (True, True)
+    }
+    # Equivalence is asserted inside the experiment; the baseline row is 1x.
+    baseline = next(
+        row for row in rows if not row["plan_cache"] and not row["prune_dispatch"]
+    )
+    assert baseline["speedup_vs_baseline"] == 1.0
+    assert len({row["num_matches"] for row in rows}) == 1
+    document = json.loads(path.read_text())
+    assert document["meta"]["experiment"] == "plan_scaling"
+    assert len(document["rows"]) == 4
+
+
 def test_run_all_selected_subset():
     out = experiments.run_all(["table3"])
     assert set(out) == {"table3"}
@@ -149,3 +181,14 @@ def test_reporting_format_table_and_csv(tmp_path):
     csv_text = rows_to_csv(rows, str(path))
     assert path.read_text() == csv_text
     assert csv_text.splitlines()[0] == "a,b,c"
+
+
+def test_reporting_rows_to_json(tmp_path):
+    rows = [{"a": 1, "window": float("inf")}, {"a": 2, "window": 5.0}]
+    path = tmp_path / "rows.json"
+    text = rows_to_json(rows, str(path), meta={"experiment": "demo"})
+    assert path.read_text() == text
+    document = json.loads(text)  # strict JSON: inf rendered as a string
+    assert document["meta"] == {"experiment": "demo"}
+    assert document["rows"][0]["window"] == "inf"
+    assert document["rows"][1]["window"] == 5.0
