@@ -30,8 +30,7 @@ import pytest
 
 from repro.bench.harness import register_mmqjp, run_plan_scaling
 from repro.bench.reporting import rows_to_json
-from repro.pubsub import Broker
-from repro.runtime import ShardedBroker
+from repro import RuntimeConfig, open_broker
 from repro.workloads.querygen import generate_topic_queries
 from repro.workloads.synthetic import (
     build_document,
@@ -198,22 +197,15 @@ def bench_plan_scaling_equivalence(benchmark):
             for plan_cache, prune_dispatch in MODES:
                 for shards in (1, 2, 4):
                     documents = _topic_documents(num_topics, num_docs)
-                    if shards == 1:
-                        broker = Broker(
-                            engine,
+                    broker = open_broker(
+                        RuntimeConfig(
+                            engine=engine,
                             construct_outputs=False,
                             plan_cache=plan_cache,
                             prune_dispatch=prune_dispatch,
-                        )
-                    else:
-                        broker = ShardedBroker(
-                            engine,
-                            construct_outputs=False,
                             shards=shards,
-                            plan_cache=plan_cache,
-                            prune_dispatch=prune_dispatch,
-                            store_documents=False,
                         )
+                    )
                     keys = _stream_match_keys(broker, queries, documents)
                     if reference is None:
                         reference = keys

@@ -22,8 +22,7 @@ import os
 import pytest
 
 from repro.bench.harness import run_state_scaling
-from repro.pubsub import Broker
-from repro.runtime import ShardedBroker
+from repro import RuntimeConfig, open_broker
 from repro.workloads.querygen import QueryWorkloadConfig, generate_queries
 from repro.workloads.rss import RssStreamConfig, generate_rss_queries, generate_rss_stream
 from repro.workloads.synthetic import build_state_scaling_data
@@ -138,18 +137,14 @@ def bench_state_scaling_equivalence(benchmark):
                             RssStreamConfig(num_items=num_docs, num_channels=4, seed=2)
                         )
                     )
-                    if shards == 1:
-                        broker = Broker(
-                            engine, construct_outputs=False, indexing=indexing
-                        )
-                    else:
-                        broker = ShardedBroker(
-                            engine,
+                    broker = open_broker(
+                        RuntimeConfig(
+                            engine=engine,
                             construct_outputs=False,
-                            shards=shards,
                             indexing=indexing,
-                            store_documents=False,
+                            shards=shards,
                         )
+                    )
                     keys = _stream_match_keys(broker, queries, documents)
                     if reference is None:
                         reference = keys

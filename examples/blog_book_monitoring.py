@@ -21,7 +21,7 @@ Run with::
 import random
 import time
 
-from repro import MMQJPEngine, SequentialEngine, XmlDocument, element
+from repro import MMQJPEngine, RuntimeConfig, SequentialEngine, XmlDocument, element
 
 AUTHORS = [f"Author {i}" for i in range(25)]
 CATEGORIES = ["Programming", "Databases", "Streams", "Web", "XML"]
@@ -112,8 +112,8 @@ def main() -> None:
 
     results = {}
     for name, engine in (
-        ("mmqjp", MMQJPEngine(store_documents=False)),
-        ("sequential", SequentialEngine(store_documents=False)),
+        ("mmqjp", MMQJPEngine(RuntimeConfig(store_documents=False))),
+        ("sequential", SequentialEngine(RuntimeConfig(store_documents=False))),
     ):
         matches, elapsed = run(engine, subscriptions, generate_stream(120))
         results[name] = (matches, elapsed)

@@ -1,20 +1,27 @@
 #!/usr/bin/env python3
-"""Quickstart: register an inter-document query and publish two documents.
+"""Quickstart: the session API — one config, real retraction, pluggable sinks.
 
 This walks the paper's running example (Section 1, Figures 1-2, Table 2):
 query Q1 looks for a book announcement followed by a blog article written by
-one of the book's authors and carrying the same title.
+one of the book's authors and carrying the same title.  Along the way it
+shows the three pillars of the session API:
+
+* :class:`repro.RuntimeConfig` — every knob in one validated object,
+* :func:`repro.open_broker` — one context-managed entry point, whatever the
+  runtime topology,
+* ``Subscription.cancel()`` — true retraction: the engine's query count and
+  join state actually shrink.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Broker, to_xml
+from repro import RuntimeConfig, open_broker, to_xml
 
 
 def main() -> None:
-    broker = Broker(engine="mmqjp")
+    config = RuntimeConfig(engine="mmqjp")
 
     # Q1 from Table 2 of the paper.  Windows are in arbitrary time units;
     # here the blog posting must appear within 100 time units of the book.
@@ -22,9 +29,6 @@ def main() -> None:
         "S//book->x1[.//author->x2][.//title->x3] "
         "FOLLOWED BY{x2=x5 AND x3=x6, 100} "
         "S//blog->x4[.//author->x5][.//title->x6]"
-    )
-    subscription = broker.subscribe(
-        q1, callback=lambda result: print(f"-> match delivered for {result.subscription_id}")
     )
 
     # The book announcement of Figure 1 (as XML text).
@@ -48,17 +52,33 @@ def main() -> None:
     </blog>
     """
 
-    print("publishing the book announcement ...")
-    broker.publish(book, timestamp=1.0)
+    with open_broker(config) as broker:
+        subscription = broker.subscribe(
+            q1, callback=lambda result: print(f"-> match delivered for {result.subscription_id}")
+        )
 
-    print("publishing the blog article ...")
-    deliveries = broker.publish(blog, timestamp=5.0)
+        print("publishing the book announcement ...")
+        broker.publish(book, timestamp=1.0)
 
-    print(f"\n{len(deliveries)} match(es); the constructed output document:\n")
-    print(to_xml(deliveries[0].output))
+        print("publishing the blog article ...")
+        deliveries = broker.publish(blog, timestamp=5.0)
 
-    print("\nsubscription received", subscription.num_results, "result(s)")
-    print("broker stats:", broker.stats()["engine_stats"])
+        print(f"\n{len(deliveries)} match(es); the constructed output document:\n")
+        print(to_xml(deliveries[0].output))
+
+        print("\nsubscription received", subscription.num_results, "result(s)")
+        stats = broker.stats()["engine_stats"]
+        print("engine stats:", stats)
+
+        # True retraction: cancelling the subscription deregisters the query
+        # and reclaims its templates, plans, postings and join state.
+        subscription.cancel()
+        after = broker.stats()["engine_stats"]
+        print(
+            "\nafter cancel(): "
+            f"num_queries {stats['num_queries']} -> {after['num_queries']}, "
+            f"state_documents {stats['state_documents']} -> {after['state_documents']}"
+        )
 
 
 if __name__ == "__main__":

@@ -11,9 +11,11 @@ generated subscriptions watch for correlated items:
   paper's throughput experiment.
 
 The subscriptions are partitioned template-cohesively across four engine
-shards (``Broker(..., shards=4)`` is the escape hatch into
-:class:`repro.runtime.ShardedBroker`) and the stream is ingested in batches
-through ``publish_many``.
+shards — ``repro.open_broker`` with a sharded :class:`repro.RuntimeConfig`
+routes to :class:`repro.runtime.ShardedBroker` — and the stream is ingested
+in batches through ``publish_many``.  At the end, the generated
+subscriptions are *cancelled*, showing that retraction actually shrinks the
+per-shard query counts and join state.
 
 Run with::
 
@@ -22,7 +24,7 @@ Run with::
 
 import time
 
-from repro import Broker
+from repro import RuntimeConfig, open_broker
 from repro.workloads.rss import RssStreamConfig, generate_rss_queries, generate_rss_stream
 
 SAME_CHANNEL = (
@@ -40,7 +42,7 @@ BATCH_SIZE = 25
 
 
 def main() -> None:
-    broker = Broker(
+    config = RuntimeConfig(
         engine="mmqjp-vm",
         view_cache_size=1024,
         construct_outputs=False,
@@ -49,6 +51,7 @@ def main() -> None:
         executor="threads",
         store_documents=False,
     )
+    broker = open_broker(config)
 
     same_channel = broker.subscribe(SAME_CHANNEL, subscription_id="same-channel")
     syndicated = broker.subscribe(SYNDICATED_TITLE, subscription_id="syndicated-title")
@@ -86,6 +89,16 @@ def main() -> None:
             f"    shard {shard['shard']}: {shard['num_queries']:3d} queries, "
             f"{shard['num_templates']} templates, {shard['num_matches']} matches"
         )
+
+    # Retract the generated subscriptions: the engines shrink accordingly.
+    for i in range(200):
+        broker.cancel(f"generated-{i}")
+    merged_after = broker.stats()["engine_stats"]
+    print(
+        "\nafter cancelling the generated subscriptions: "
+        f"{merged['num_queries']} -> {merged_after['num_queries']} queries, "
+        f"{merged['num_templates']} -> {merged_after['num_templates']} templates"
+    )
     broker.close()
 
 

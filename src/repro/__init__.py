@@ -18,10 +18,13 @@ The package is organised around the paper's two-stage architecture:
 
 User-facing entry points:
 
-* :class:`repro.pubsub.Broker` — publish/subscribe API (subscribe with XSCL
-  text, publish XML documents, receive matches via callbacks).
-* :class:`repro.runtime.ShardedBroker` — the same API over N parallel
-  engine shards (``Broker(..., shards=N)`` is a shortcut to it).
+* :func:`repro.open_broker` + :class:`repro.RuntimeConfig` — the session
+  API: one config object for every knob, one factory that routes to the
+  unsharded or sharded runtime.
+* :class:`repro.pubsub.Broker` / :class:`repro.runtime.ShardedBroker` — the
+  broker implementations behind the façade (still constructible directly).
+* Delivery sinks (:mod:`repro.pubsub.sinks`) — pluggable destinations for
+  subscription results: callbacks, bounded collections, queues, batches.
 * :class:`repro.core.MMQJPEngine` / :class:`repro.core.SequentialEngine` —
   the two engines compared throughout the paper's evaluation.
 * :mod:`repro.workloads` — the synthetic benchmark workloads of Section 6
@@ -30,21 +33,46 @@ User-facing entry points:
   table of the evaluation section.
 """
 
+from repro.config import ENGINES, RuntimeConfig
 from repro.core import MMQJPEngine, SequentialEngine, Match
-from repro.pubsub import Broker, Subscription
+from repro.pubsub import (
+    BatchingSink,
+    Broker,
+    CallbackSink,
+    CollectingSink,
+    DeliverySink,
+    QueueSink,
+    Subscription,
+    SubscriptionResult,
+)
 from repro.runtime import ShardedBroker
+from repro.session import open_broker
 from repro.xmlmodel import XmlDocument, element, parse_document, to_xml
 from repro.xscl import parse_query, XsclQuery
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "MMQJPEngine",
-    "SequentialEngine",
-    "Match",
+    # session API
+    "RuntimeConfig",
+    "open_broker",
+    "ENGINES",
+    # brokers and subscriptions
     "Broker",
     "ShardedBroker",
     "Subscription",
+    "SubscriptionResult",
+    # delivery sinks
+    "DeliverySink",
+    "CallbackSink",
+    "CollectingSink",
+    "QueueSink",
+    "BatchingSink",
+    # engines and matches
+    "MMQJPEngine",
+    "SequentialEngine",
+    "Match",
+    # documents and queries
     "XmlDocument",
     "element",
     "parse_document",

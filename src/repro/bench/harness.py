@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.config import RuntimeConfig
 from repro.core.engine import make_engine
 from repro.core.materialize import ViewCache
 from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
@@ -166,11 +167,13 @@ def run_rss_throughput(
     """
     documents = list(documents)
     engine = make_engine(
-        approach,
-        view_cache_size=view_cache_size,
-        store_documents=False,
-        auto_timestamp=False,
-        indexing=indexing,
+        config=RuntimeConfig(
+            engine=approach,
+            view_cache_size=view_cache_size,
+            store_documents=False,
+            auto_timestamp=False,
+            indexing=indexing,
+        )
     )
     for i, query in enumerate(queries):
         engine.register_query(query, qid=f"q{i}")
@@ -365,15 +368,17 @@ def run_sharded_rss_throughput(
     """
     documents = list(documents)
     broker = ShardedBroker(
-        approach,
-        view_cache_size=view_cache_size,
-        construct_outputs=False,
-        shards=shards,
-        partitioner=partitioner,
-        executor=executor,
-        store_documents=False,
-        auto_timestamp=False,
-        indexing=indexing,
+        RuntimeConfig(
+            engine=approach,
+            view_cache_size=view_cache_size,
+            construct_outputs=False,
+            shards=shards,
+            partitioner=partitioner,
+            executor=executor,
+            store_documents=False,
+            auto_timestamp=False,
+            indexing=indexing,
+        )
     )
     try:
         for i, query in enumerate(queries):

@@ -1,0 +1,298 @@
+"""The unified runtime configuration: one object for every knob.
+
+Three PRs of growth left the broker front end behind a sprawl of ~10
+keyword arguments copy-pasted across :func:`~repro.core.engine.make_engine`,
+both engines, :class:`~repro.pubsub.Broker` and
+:class:`~repro.runtime.ShardedBroker`.  :class:`RuntimeConfig` replaces that
+sprawl with a single frozen dataclass — one validation point, one place for
+future PRs to add a knob — threaded through every layer of the stack:
+
+.. code-block:: python
+
+    from repro import RuntimeConfig, open_broker
+
+    config = RuntimeConfig(engine="mmqjp", shards=4, executor="threads")
+    with open_broker(config) as broker:
+        broker.subscribe(...)
+
+The old per-constructor keyword arguments still work everywhere but emit a
+:class:`DeprecationWarning`; they are coerced into a ``RuntimeConfig`` by
+:func:`coerce_config`, so legacy call sites construct *identical* behavior.
+
+Presets capture the two configurations the evaluation section uses
+constantly: :meth:`RuntimeConfig.throughput` (sharded, thread-pooled, no
+output construction) and :meth:`RuntimeConfig.ablation` (every acceleration
+knob off — the plan-per-call, visit-every-template, unindexed baseline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+__all__ = [
+    "ENGINES",
+    "INDEXING_MODES",
+    "PARTITIONERS",
+    "EXECUTORS",
+    "RuntimeConfig",
+    "coerce_config",
+]
+
+#: Engine selection keywords (canonical definition; re-exported by
+#: :mod:`repro.core.engine` for backward compatibility).
+ENGINES = ("mmqjp", "mmqjp-vm", "sequential")
+
+#: Join-state index-maintenance modes (must match
+#: :data:`repro.relational.database.INDEXING_MODES`; asserted by the tests).
+INDEXING_MODES = ("eager", "lazy", "off")
+
+#: Built-in partitioner keywords (must match
+#: :data:`repro.runtime.partition.PARTITIONERS`).
+PARTITIONERS = ("hash", "least-loaded")
+
+#: Built-in shard-executor keywords (must match
+#: :data:`repro.runtime.executor.EXECUTORS`).
+EXECUTORS = ("serial", "threads")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Every runtime knob of the system, validated in one place.
+
+    Attributes
+    ----------
+    engine:
+        ``"mmqjp"`` (default), ``"mmqjp-vm"`` (Section 5 view
+        materialization) or ``"sequential"`` (the baseline).
+    indexing:
+        Join-state index maintenance: ``"eager"`` (default), ``"lazy"``, or
+        ``"off"`` (per-call hashing, the ablation baseline).
+    plan_cache:
+        Evaluate conjunctive queries through compiled, cached plans
+        (default).  ``False`` re-plans per call.
+    prune_dispatch:
+        Skip templates/queries irrelevant to the published document
+        (default).  ``False`` visits every registered template/query.
+    auto_prune:
+        Prune join state by window horizon on the publish path (effective
+        while every registered window is finite).
+    auto_timestamp:
+        Assign monotonically increasing timestamps to documents arriving
+        with timestamp 0.
+    store_documents:
+        Keep processed documents so output XML can be constructed.
+        ``None`` (default) resolves per consumer: the engines and the
+        unsharded broker store documents; the sharded broker follows
+        ``construct_outputs``.
+    construct_outputs:
+        Build the output XML document for every join match (slower; disable
+        for throughput measurements).
+    view_cache_size:
+        Size of the ``RL``-slice view cache for ``"mmqjp-vm"``; ``None``
+        recomputes the views per document without caching.
+    stream_history:
+        How many recent documents each stream keeps for inspection.
+    shards:
+        Number of engine shards; ``> 1`` selects the sharded runtime
+        (:func:`repro.open_broker` routes accordingly).
+    partitioner:
+        ``"hash"`` (default), ``"least-loaded"``, or a
+        :class:`~repro.runtime.partition.Partitioner` instance.
+    executor:
+        ``"serial"`` (default), ``"threads"``, or a
+        :class:`~repro.runtime.executor.ShardExecutor` instance.
+    max_workers:
+        Worker cap for the ``"threads"`` executor (default: one per shard).
+    result_limit:
+        Bound on each subscription's legacy ``results`` collection
+        (``None`` keeps it unbounded — the pre-sink behavior).
+    """
+
+    engine: str = "mmqjp"
+    indexing: str = "eager"
+    plan_cache: bool = True
+    prune_dispatch: bool = True
+    auto_prune: bool = True
+    auto_timestamp: bool = True
+    store_documents: Optional[bool] = None
+    construct_outputs: bool = True
+    view_cache_size: Optional[int] = None
+    stream_history: int = 0
+    shards: int = 1
+    partitioner: Union[str, Any] = "hash"
+    executor: Union[str, Any] = "serial"
+    max_workers: Optional[int] = None
+    result_limit: Optional[int] = 1024
+
+    # ------------------------------------------------------------------ #
+    # validation (the single point for the whole stack)
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; choose one of {ENGINES}")
+        if self.indexing not in INDEXING_MODES:
+            raise ValueError(
+                f"unknown indexing mode {self.indexing!r}; choose one of {INDEXING_MODES}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.view_cache_size is not None and self.view_cache_size < 1:
+            raise ValueError(
+                f"view_cache_size must be positive or None, got {self.view_cache_size}"
+            )
+        if self.stream_history < 0:
+            raise ValueError(f"stream_history must be >= 0, got {self.stream_history}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be positive or None, got {self.max_workers}")
+        if self.result_limit is not None and self.result_limit < 1:
+            raise ValueError(
+                f"result_limit must be positive or None, got {self.result_limit}"
+            )
+        if isinstance(self.partitioner, str) and self.partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; choose one of {PARTITIONERS}"
+            )
+        if isinstance(self.executor, str) and self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose one of {EXECUTORS}"
+            )
+
+    def validate_outputs(self) -> None:
+        """Broker-level cross-check of output construction vs document storage.
+
+        Called by the brokers (where ``construct_outputs`` matters): a
+        session cannot build output XML without storing the source
+        documents.  Engine-level consumers skip this check —
+        ``store_documents=False`` with the default ``construct_outputs``
+        is the normal throughput-engine configuration.
+        """
+        if self.construct_outputs and self.store_documents is False:
+            raise ValueError("construct_outputs=True requires store_documents=True")
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def is_sharded(self) -> bool:
+        """Whether this configuration selects the sharded runtime."""
+        return self.shards > 1
+
+    def resolve_store_documents(self, follow_construct_outputs: bool = False) -> bool:
+        """Resolve the ``store_documents=None`` default for one consumer.
+
+        The engines and the unsharded broker default to storing documents;
+        the sharded runtime (``follow_construct_outputs=True``) drops
+        storage whenever output construction is off (its throughput mode).
+        """
+        if self.store_documents is not None:
+            return self.store_documents
+        return self.construct_outputs if follow_construct_outputs else True
+
+    def replace(self, **changes) -> "RuntimeConfig":
+        """A copy of this config with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def throughput(cls, **overrides) -> "RuntimeConfig":
+        """The throughput-measurement preset of the evaluation section.
+
+        Sharded, thread-pooled ingestion with output construction and
+        document storage off — the configuration of every events/second
+        number in the benchmarks.  Any field can be overridden.
+        """
+        base: dict = dict(
+            construct_outputs=False,
+            store_documents=False,
+            shards=4,
+            executor="threads",
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def ablation(cls, **overrides) -> "RuntimeConfig":
+        """The all-knobs-off ablation baseline.
+
+        Unindexed join state, plan-per-call evaluation, and
+        visit-every-template dispatch — the behavior of the seed system,
+        kept for equivalence and ablation runs.
+        """
+        base: dict = dict(indexing="off", plan_cache=False, prune_dispatch=False)
+        base.update(overrides)
+        return cls(**base)
+
+
+#: All field names of :class:`RuntimeConfig` (the legal legacy kwargs).
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(RuntimeConfig))
+
+#: Fields for which an explicit ``None`` is a *value*, not "not passed":
+#: their semantics distinguish None (unbounded / resolve-later) from the
+#: default.  Everywhere else a legacy ``None`` keeps the config default,
+#: matching the historical ``None``-able keyword defaults (e.g. ``shards``).
+_NONE_IS_A_VALUE = frozenset(
+    {"store_documents", "view_cache_size", "max_workers", "result_limit"}
+)
+
+
+def coerce_config(
+    config: Union[RuntimeConfig, str, None],
+    legacy: Optional[Mapping[str, Any]] = None,
+    owner: str = "Broker",
+    warn: bool = True,
+    stacklevel: int = 3,
+) -> RuntimeConfig:
+    """Resolve a constructor's ``(config, **legacy kwargs)`` pair.
+
+    ``config`` may be a :class:`RuntimeConfig`, an engine-name string (the
+    historical first positional argument of the brokers and
+    :func:`~repro.core.engine.make_engine`), or ``None``.  Any legacy
+    keyword arguments are folded into the config — with one
+    :class:`DeprecationWarning` per call when ``warn`` — so old call sites
+    keep constructing identical behavior.  Unknown keywords raise
+    :class:`TypeError`.  ``None`` values are treated as "not passed" —
+    matching the historical ``None``-able keyword defaults — except for the
+    fields in :data:`_NONE_IS_A_VALUE`, where ``None`` means unbounded /
+    resolve-later (e.g. ``result_limit=None`` keeps the legacy unbounded
+    ``results`` list).
+    """
+    if isinstance(config, str):
+        legacy = {"engine": config, **(legacy or {})}
+        config = None
+    elif config is not None and not isinstance(config, RuntimeConfig):
+        raise TypeError(
+            f"{owner} expects a RuntimeConfig, an engine name, or keyword "
+            f"arguments; got {type(config).__name__}"
+        )
+    changes: dict[str, Any] = {}
+    if legacy:
+        unknown = set(legacy) - _CONFIG_FIELDS
+        if unknown:
+            raise TypeError(
+                f"{owner}() got unexpected keyword argument(s) "
+                f"{sorted(unknown)}; valid fields: {sorted(_CONFIG_FIELDS)}"
+            )
+        changes = {
+            k: v
+            for k, v in legacy.items()
+            if v is not None or k in _NONE_IS_A_VALUE
+        }
+        if changes and warn:
+            warnings.warn(
+                f"passing individual keyword arguments to {owner} is "
+                f"deprecated; pass repro.RuntimeConfig("
+                + ", ".join(f"{k}=..." for k in sorted(changes))
+                + ") instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+    if config is None:
+        return RuntimeConfig(**changes)
+    if changes:
+        return config.replace(**changes)
+    return config

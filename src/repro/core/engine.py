@@ -15,6 +15,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
+from repro.config import ENGINES, RuntimeConfig, coerce_config
 from repro.core.costs import CostBreakdown
 from repro.core.materialize import ViewCache
 from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
@@ -24,7 +25,7 @@ from repro.core.witnesses import WitnessRelations
 from repro.templates.registry import TemplateRegistry
 from repro.xmlmodel.document import XmlDocument
 from repro.xmlmodel.parser import parse_document
-from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.evaluator import Stage1Registrations, XPathEvaluator
 from repro.xscl.ast import INFINITE_WINDOW, JoinOperator, JoinSpec, ValueJoinPredicate, XsclQuery
 from repro.xscl.normalize import VariableCatalog, canonicalize_query
 from repro.xscl.parser import parse_query
@@ -33,8 +34,8 @@ from repro.templates.join_graph import Side
 #: Suffix used internally for the mirrored registration of symmetric JOIN queries.
 _SWAP_SUFFIX = "::swap"
 
-#: Engine selection keywords accepted by :func:`make_engine` (and the brokers).
-ENGINES = ("mmqjp", "mmqjp-vm", "sequential")
+# ENGINES is canonically defined in repro.config (imported above) and
+# re-exported here for backward compatibility.
 
 
 @dataclass
@@ -80,17 +81,13 @@ def merge_engine_stats(stats: Sequence[EngineStats], fanout: bool = True) -> Eng
 class _BaseEngine:
     """Shared machinery of the MMQJP and Sequential engines."""
 
-    def __init__(
-        self,
-        store_documents: bool = True,
-        auto_timestamp: bool = True,
-        auto_prune: bool = True,
-    ):
+    def __init__(self, config: RuntimeConfig):
+        self.config = config
         self.evaluator = XPathEvaluator()
         self.catalog = VariableCatalog()
-        self.store_documents = store_documents
-        self.auto_timestamp = auto_timestamp
-        self.auto_prune = auto_prune
+        self.store_documents = config.resolve_store_documents()
+        self.auto_timestamp = config.auto_timestamp
+        self.auto_prune = config.auto_prune
         self.documents: dict[str, XmlDocument] = {}
         self._qid_counter = itertools.count(1)
         self._clock = itertools.count(1)
@@ -98,6 +95,12 @@ class _BaseEngine:
         self._root_vars: dict[str, tuple[Optional[str], Optional[str]]] = {}
         self._max_finite_window = 0.0
         self._has_infinite_window = False
+        # Stage 1 bookkeeping for retraction: per processor-registration key
+        # (qid or its ::swap twin), the variables and edges it registered,
+        # refcounted engine-wide.  Canonicalization shares variables across
+        # equivalent queries, so a registration is only withdrawn from the
+        # evaluator when its last user is gone.
+        self._stage1 = Stage1Registrations()
         self.num_documents_processed = 0
         self.num_matches = 0
 
@@ -147,17 +150,85 @@ class _BaseEngine:
     def _register_with_processor(self, qid: str, query: XsclQuery) -> None:
         raise NotImplementedError
 
-    def _register_stage1(self, query: XsclQuery, reduced) -> None:
-        """Register the reduced graph's variables and edges with the XPath Evaluator."""
+    def _register_stage1(self, key: str, query: XsclQuery, reduced) -> None:
+        """Register the reduced graph's variables and edges with the XPath Evaluator.
+
+        ``key`` is the processor-registration key (the qid, or its
+        ``::swap`` twin for symmetric JOINs); the variables and edges
+        registered under it are recorded and reference-counted so
+        :meth:`deregister_query` can withdraw exactly this registration.
+        """
         patterns = {Side.LEFT: query.left.pattern, Side.RIGHT: query.right.pattern}
+        variables: list[str] = []
+        edges: list[tuple[str, str]] = []
         for side, var in reduced.nodes:
             pattern = patterns[side]
             self.evaluator.register_variable(var, pattern.stream, pattern.absolute_path_of(var))
+            variables.append(var)
         for (p_side, p_var), (c_side, c_var) in reduced.structural_edges:
             pattern = patterns[p_side]
             self.evaluator.register_edge(
                 p_var, c_var, pattern.relative_path_between(p_var, c_var)
             )
+            edges.append((p_var, c_var))
+        self._stage1.record(key, variables, edges)
+
+    # ------------------------------------------------------------------ #
+    # retraction
+    # ------------------------------------------------------------------ #
+    def deregister_query(self, qid: str) -> None:
+        """Retract a registered query, reclaiming every trace of it.
+
+        The inverse of :meth:`register_query`: the query (and its mirrored
+        ``::swap`` registration, for symmetric JOINs) is removed from the
+        processor — template ``RT`` tuple, relevance-index postings and
+        compiled plans included — its Stage 1 variables and edges are
+        withdrawn from the shared evaluator once their last user is gone,
+        the window-pruning horizon is recomputed, and join-state rows that
+        can no longer contribute to any match are dropped.  When the last
+        query is deregistered the engine's state returns to baseline: no
+        state rows, no stored documents.  Raises :class:`KeyError` for
+        unknown query ids.
+        """
+        canonical = self._registered.get(qid)
+        if canonical is None:
+            raise KeyError(f"query id {qid!r} is not registered")
+        del self._registered[qid]
+        self._root_vars.pop(qid, None)
+
+        keys = [qid]
+        if canonical.join.operator is JoinOperator.JOIN:
+            keys.append(qid + _SWAP_SUFFIX)
+        dead_vars: set[str] = set()
+        dead_edges: set[tuple[str, str]] = set()
+        for key in keys:
+            self._deregister_with_processor(key)
+            key_vars, key_edges = self._stage1.withdraw(key)
+            dead_vars |= key_vars
+            dead_edges |= key_edges
+        if dead_vars or dead_edges:
+            self.evaluator.deregister(variables=dead_vars, edges=dead_edges)
+
+        self._recompute_window_horizon()
+        if not self._registered:
+            self._processor().clear_state()
+            self.documents.clear()
+        elif dead_vars:
+            self._processor().drop_variables(dead_vars)
+
+    def _deregister_with_processor(self, qid: str) -> None:
+        raise NotImplementedError
+
+    def _recompute_window_horizon(self) -> None:
+        """Re-derive the auto-prune horizon from the surviving queries."""
+        self._max_finite_window = 0.0
+        self._has_infinite_window = False
+        for query in self._registered.values():
+            window = query.join.window
+            if window == INFINITE_WINDOW:
+                self._has_infinite_window = True
+            else:
+                self._max_finite_window = max(self._max_finite_window, window)
 
     # ------------------------------------------------------------------ #
     # document processing
@@ -335,64 +406,41 @@ class MMQJPEngine(_BaseEngine):
 
     Parameters
     ----------
+    config:
+        A :class:`~repro.config.RuntimeConfig` carrying every knob
+        (``indexing``, ``plan_cache``, ``prune_dispatch``, ``auto_prune``,
+        ``auto_timestamp``, ``store_documents``, ``view_cache_size``).  The
+        historical per-knob keywords are still accepted but emit a
+        :class:`DeprecationWarning`.
     use_view_materialization:
         Evaluate the per-template conjunctive queries over the materialized
-        views ``RL`` / ``RR`` (Section 5) instead of the raw witness relations.
-    view_cache_size:
-        When view materialization is on, cache up to this many ``RL`` slices
-        keyed on string value (``None`` disables the cache; pass ``0`` is
-        invalid).  Implies ``use_view_materialization=True``.
-    store_documents:
-        Keep processed documents so output XML can be constructed.
-    auto_timestamp:
-        Assign monotonically increasing timestamps to documents that arrive
-        with timestamp 0.
-    auto_prune:
-        Prune the join state by window horizon after every document (only
-        effective while every registered window is finite).
-    indexing:
-        Join-state index maintenance: ``"eager"`` (default) keeps the
-        persistent join indexes current on every merge/prune, ``"lazy"``
-        rebuilds them on first use after a mutation, ``"off"`` disables
-        them (per-call hashing, the pre-incremental behavior).
-    plan_cache:
-        Evaluate the per-template conjunctive queries through compiled,
-        cached plans (default).  ``False`` re-plans on every call
-        (ablation/equivalence baseline).
-    prune_dispatch:
-        Skip templates irrelevant to the current document — none of their
-        member queries has all RHS variables bound (default).  ``False``
-        visits every template.
+        views ``RL`` / ``RR`` (Section 5) instead of the raw witness
+        relations.  Defaults to ``True`` when the config selects the
+        ``"mmqjp-vm"`` engine or sets a ``view_cache_size``.
     """
 
     def __init__(
         self,
-        use_view_materialization: bool = False,
-        view_cache_size: Optional[int] = None,
-        store_documents: bool = True,
-        auto_timestamp: bool = True,
-        auto_prune: bool = True,
-        indexing: str = "eager",
-        plan_cache: bool = True,
-        prune_dispatch: bool = True,
+        config: Optional[RuntimeConfig] = None,
+        use_view_materialization: Optional[bool] = None,
+        **legacy,
     ):
-        super().__init__(
-            store_documents=store_documents,
-            auto_timestamp=auto_timestamp,
-            auto_prune=auto_prune,
-        )
+        config = coerce_config(config, legacy, owner="MMQJPEngine")
+        if use_view_materialization is None:
+            use_view_materialization = (
+                config.engine == "mmqjp-vm" or config.view_cache_size is not None
+            )
+        super().__init__(config)
         self.registry = TemplateRegistry()
         view_cache = None
-        if view_cache_size is not None:
-            use_view_materialization = True
-            view_cache = ViewCache(max_entries=view_cache_size)
+        if use_view_materialization and config.view_cache_size is not None:
+            view_cache = ViewCache(max_entries=config.view_cache_size)
         self.processor = MMQJPJoinProcessor(
             registry=self.registry,
-            state=JoinState(indexing=indexing),
+            state=JoinState(indexing=config.indexing),
             use_view_materialization=use_view_materialization,
             view_cache=view_cache,
-            plan_cache=plan_cache,
-            prune_dispatch=prune_dispatch,
+            config=config,
         )
 
     def _processor(self) -> MMQJPJoinProcessor:
@@ -400,7 +448,10 @@ class MMQJPEngine(_BaseEngine):
 
     def _register_with_processor(self, qid: str, query: XsclQuery) -> None:
         record = self.registry.add_query(qid, query)
-        self._register_stage1(query, record.reduced)
+        self._register_stage1(qid, query, record.reduced)
+
+    def _deregister_with_processor(self, qid: str) -> None:
+        self.processor.remove_query(qid)
 
     @property
     def num_templates(self) -> int:
@@ -409,26 +460,18 @@ class MMQJPEngine(_BaseEngine):
 
 
 class SequentialEngine(_BaseEngine):
-    """The baseline: per-query join evaluation behind the same interface."""
+    """The baseline: per-query join evaluation behind the same interface.
 
-    def __init__(
-        self,
-        store_documents: bool = True,
-        auto_timestamp: bool = True,
-        auto_prune: bool = True,
-        indexing: str = "eager",
-        plan_cache: bool = True,
-        prune_dispatch: bool = True,
-    ):
-        super().__init__(
-            store_documents=store_documents,
-            auto_timestamp=auto_timestamp,
-            auto_prune=auto_prune,
-        )
+    Accepts a :class:`~repro.config.RuntimeConfig` (or the legacy knob
+    keywords, which warn) exactly like :class:`MMQJPEngine`.
+    """
+
+    def __init__(self, config: Optional[RuntimeConfig] = None, **legacy):
+        config = coerce_config(config, legacy, owner="SequentialEngine")
+        super().__init__(config)
         self.processor = SequentialJoinProcessor(
-            state=JoinState(indexing=indexing),
-            plan_cache=plan_cache,
-            prune_dispatch=prune_dispatch,
+            state=JoinState(indexing=config.indexing),
+            config=config,
         )
 
     def _processor(self) -> SequentialJoinProcessor:
@@ -436,59 +479,41 @@ class SequentialEngine(_BaseEngine):
 
     def _register_with_processor(self, qid: str, query: XsclQuery) -> None:
         self.processor.add_query(qid, query)
-        self._register_stage1(query, self.processor.reduced_graph(qid))
+        self._register_stage1(qid, query, self.processor.reduced_graph(qid))
+
+    def _deregister_with_processor(self, qid: str) -> None:
+        self.processor.remove_query(qid)
 
 
 def make_engine(
-    engine: str,
-    view_cache_size: Optional[int] = None,
-    store_documents: bool = True,
-    auto_timestamp: bool = True,
-    auto_prune: bool = True,
-    indexing: str = "eager",
-    plan_cache: bool = True,
-    prune_dispatch: bool = True,
+    engine: "str | RuntimeConfig | None" = None,
+    config: Optional[RuntimeConfig] = None,
+    **legacy,
 ) -> _BaseEngine:
-    """Construct an engine from its selection keyword (see :data:`ENGINES`).
+    """Construct an engine from a :class:`~repro.config.RuntimeConfig`.
 
-    ``"mmqjp"`` is the paper's system, ``"mmqjp-vm"`` adds the Section 5
-    view materialization (with an optional ``RL``-slice cache), and
-    ``"sequential"`` is the one-query-at-a-time baseline.  ``indexing``
-    selects the join-state index maintenance (``"eager"`` / ``"lazy"`` /
-    ``"off"``; see :class:`~repro.core.state.JoinState`); ``plan_cache``
-    and ``prune_dispatch`` toggle compiled query plans and relevance-pruned
-    dispatch (both on by default; off reproduces the plan-per-call,
-    visit-every-template behavior for ablation and equivalence runs).  This
-    is the single factory used by :class:`repro.pubsub.Broker` and by every
-    shard of :class:`repro.runtime.ShardedBroker`.
+    The canonical form is ``make_engine(config)`` (or
+    ``make_engine("mmqjp-vm", config)`` to override the selection keyword —
+    see :data:`ENGINES`): ``"mmqjp"`` is the paper's system, ``"mmqjp-vm"``
+    adds the Section 5 view materialization (with an optional ``RL``-slice
+    cache), and ``"sequential"`` is the one-query-at-a-time baseline.  The
+    historical per-knob keywords (``indexing=``, ``plan_cache=``, ...) are
+    still accepted but emit a :class:`DeprecationWarning`.  This is the
+    single factory used by :class:`repro.pubsub.Broker` and by every shard
+    of :class:`repro.runtime.ShardedBroker`.
     """
-    if engine == "mmqjp":
-        return MMQJPEngine(
-            store_documents=store_documents,
-            auto_timestamp=auto_timestamp,
-            auto_prune=auto_prune,
-            indexing=indexing,
-            plan_cache=plan_cache,
-            prune_dispatch=prune_dispatch,
-        )
-    if engine == "mmqjp-vm":
-        return MMQJPEngine(
-            use_view_materialization=True,
-            view_cache_size=view_cache_size,
-            store_documents=store_documents,
-            auto_timestamp=auto_timestamp,
-            auto_prune=auto_prune,
-            indexing=indexing,
-            plan_cache=plan_cache,
-            prune_dispatch=prune_dispatch,
-        )
-    if engine == "sequential":
-        return SequentialEngine(
-            store_documents=store_documents,
-            auto_timestamp=auto_timestamp,
-            auto_prune=auto_prune,
-            indexing=indexing,
-            plan_cache=plan_cache,
-            prune_dispatch=prune_dispatch,
-        )
-    raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+    if isinstance(engine, RuntimeConfig):
+        if config is not None:
+            raise TypeError("pass either a RuntimeConfig or an engine name first, not two configs")
+        config, engine = engine, None
+    config = coerce_config(config, legacy, owner="make_engine")
+    if engine is not None:
+        config = config.replace(engine=engine)
+    if config.engine == "mmqjp":
+        # The selection keyword decides view materialization: a plain
+        # "mmqjp" ignores any view_cache_size (matching the historical
+        # factory), "mmqjp-vm" enables it.
+        return MMQJPEngine(config, use_view_materialization=False)
+    if config.engine == "mmqjp-vm":
+        return MMQJPEngine(config, use_view_materialization=True)
+    return SequentialEngine(config)

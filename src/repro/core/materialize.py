@@ -78,6 +78,10 @@ class ViewCache:
             else:
                 del self._entries[value]
 
+    def clear(self) -> None:
+        """Drop every cached slice (query-retraction path; counters are kept)."""
+        self._entries.clear()
+
     def __contains__(self, value: str) -> bool:
         return value in self._entries
 

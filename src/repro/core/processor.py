@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.config import RuntimeConfig
 from repro.core.costs import CostBreakdown
 from repro.core.materialize import (
     MaterializedViews,
@@ -83,6 +84,32 @@ def _resolve_plan_cache(plan_cache: "bool | PlanCache") -> Optional[PlanCache]:
     return PlanCache() if plan_cache else None
 
 
+def _resolve_knobs(
+    config: Optional["RuntimeConfig"],
+    indexing: Optional[str],
+    plan_cache: "bool | PlanCache | None",
+    prune_dispatch: Optional[bool],
+) -> tuple:
+    """Fill unset processor knobs from a :class:`~repro.config.RuntimeConfig`.
+
+    Explicit knob arguments always win; with neither a knob nor a config the
+    historical defaults apply (``plan_cache=True``, ``prune_dispatch=True``,
+    indexing resolved by :func:`_resolve_state`).
+    """
+    if config is not None:
+        if indexing is None:
+            indexing = config.indexing
+        if plan_cache is None:
+            plan_cache = config.plan_cache
+        if prune_dispatch is None:
+            prune_dispatch = config.prune_dispatch
+    if plan_cache is None:
+        plan_cache = True
+    if prune_dispatch is None:
+        prune_dispatch = True
+    return indexing, plan_cache, prune_dispatch
+
+
 def _build_state_env(state: JoinState) -> IndexedDatabase:
     """The shared evaluation environment over a join state.
 
@@ -127,15 +154,19 @@ class MMQJPJoinProcessor:
         self,
         registry: TemplateRegistry,
         state: Optional[JoinState] = None,
-        use_view_materialization: bool = False,
+        use_view_materialization: Optional[bool] = None,
         view_cache: Optional[ViewCache] = None,
         indexing: Optional[str] = None,
-        plan_cache: "bool | PlanCache" = True,
-        prune_dispatch: bool = True,
+        plan_cache: "bool | PlanCache | None" = None,
+        prune_dispatch: Optional[bool] = None,
+        config: Optional["RuntimeConfig"] = None,
     ):
+        indexing, plan_cache, prune_dispatch = _resolve_knobs(
+            config, indexing, plan_cache, prune_dispatch
+        )
         self.registry = registry
         self.state = _resolve_state(state, indexing)
-        self.use_view_materialization = use_view_materialization
+        self.use_view_materialization = bool(use_view_materialization)
         self.view_cache = view_cache
         self.costs = CostBreakdown()
         self.env = _build_state_env(self.state)
@@ -144,7 +175,7 @@ class MMQJPJoinProcessor:
         self.relevance: Optional[RelevanceIndex] = (
             RelevanceIndex() if prune_dispatch else None
         )
-        self._relevance_synced = 0
+        self._relevance_seq = -1
         self.templates_skipped = 0
         self._match_positions: dict[int, tuple] = {}
 
@@ -157,11 +188,14 @@ class MMQJPJoinProcessor:
     # relevance dispatch
     # ------------------------------------------------------------------ #
     def _sync_relevance(self) -> None:
-        """Index queries registered since the last document (incremental)."""
-        new_records = self.registry.records(self._relevance_synced)
-        if not new_records:
-            return
-        for record in new_records:
+        """Index queries registered since the last document (incremental).
+
+        Synced by the registry's stable ``seq`` stamps, so retracting a
+        query never shifts the position this cursor remembers; a query
+        cancelled before it was ever synced simply no longer appears in
+        :meth:`~repro.templates.registry.TemplateRegistry.records_since`.
+        """
+        for record in self.registry.records_since(self._relevance_seq):
             template = record.template
             sides = template.node_sides
             assignment = record.assignment.assignment
@@ -172,8 +206,9 @@ class MMQJPJoinProcessor:
                     for meta in template.meta_order
                     if sides[meta] is Side.RIGHT
                 ),
+                member=record.qid,
             )
-        self._relevance_synced += len(new_records)
+            self._relevance_seq = record.seq
 
     def _relevant_templates(self, witnesses: WitnessRelations) -> Optional[set]:
         """Template ids worth dispatching, or ``None`` when pruning is off."""
@@ -288,6 +323,49 @@ class MMQJPJoinProcessor:
         )
 
     # ------------------------------------------------------------------ #
+    # retraction
+    # ------------------------------------------------------------------ #
+    def remove_query(self, qid: str) -> None:
+        """Retract one registered query (engine-level ``deregister_query`` path).
+
+        Removes the query's ``RT`` tuple and relevance posting; when its
+        template is left with no member queries the template's compiled
+        plans and cached match positions are dropped too (the template
+        entry itself is retired in place and revived on re-registration).
+        """
+        record = self.registry.query(qid)
+        template = record.template
+        self.registry.remove_query(qid)
+        if self.relevance is not None:
+            self.relevance.remove(qid)
+        if not self.registry.queries_of(template):
+            self._match_positions.pop(template.template_id, None)
+            if self.plan_cache is not None:
+                self.plan_cache.invalidate(self.registry.cqt(template))
+                self.plan_cache.invalidate(
+                    self.registry.cqt(template, materialized=True)
+                )
+
+    def drop_variables(self, variables: set[str]) -> int:
+        """Reclaim join-state rows of variables no longer used by any query.
+
+        The view cache (if any) is cleared outright: its ``RL`` slices are
+        value-keyed aggregations over the state rows being dropped, and a
+        stale slice would resurrect retracted rows on a future cache hit.
+        """
+        removed = self.state.drop_variables(variables)
+        if self.view_cache is not None:
+            self.view_cache.clear()
+        return removed
+
+    def clear_state(self) -> None:
+        """Drop all join state and cached views (last query deregistered)."""
+        self.state.clear()
+        if self.view_cache is not None:
+            self.view_cache.clear()
+        self._last_views = None
+
+    # ------------------------------------------------------------------ #
     # Algorithm 2 / Algorithm 5
     # ------------------------------------------------------------------ #
     def maintain_state(self, witnesses: WitnessRelations) -> None:
@@ -370,9 +448,13 @@ class SequentialJoinProcessor:
         self,
         state: Optional[JoinState] = None,
         indexing: Optional[str] = None,
-        plan_cache: "bool | PlanCache" = True,
-        prune_dispatch: bool = True,
+        plan_cache: "bool | PlanCache | None" = None,
+        prune_dispatch: Optional[bool] = None,
+        config: Optional[RuntimeConfig] = None,
     ):
+        indexing, plan_cache, prune_dispatch = _resolve_knobs(
+            config, indexing, plan_cache, prune_dispatch
+        )
         self.state = _resolve_state(state, indexing)
         self.costs = CostBreakdown()
         self.env = _build_state_env(self.state)
@@ -401,8 +483,30 @@ class SequentialJoinProcessor:
         self._queries[qid] = (query, reduced, cq)
         if self.relevance is not None:
             self.relevance.add(
-                qid, (key[1] for key in reduced.nodes if key[0] is Side.RIGHT)
+                qid,
+                (key[1] for key in reduced.nodes if key[0] is Side.RIGHT),
+                member=qid,
             )
+
+    def remove_query(self, qid: str) -> None:
+        """Retract one registered query, dropping its plan and postings."""
+        try:
+            _query, _reduced, cq = self._queries.pop(qid)
+        except KeyError:
+            raise KeyError(f"query id {qid!r} is not registered") from None
+        if self.relevance is not None:
+            self.relevance.remove(qid)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate(cq)
+        self._match_positions.pop(qid, None)
+
+    def drop_variables(self, variables: set[str]) -> int:
+        """Reclaim join-state rows of variables no longer used by any query."""
+        return self.state.drop_variables(variables)
+
+    def clear_state(self) -> None:
+        """Drop all join state (last query deregistered)."""
+        self.state.clear()
 
     @property
     def num_queries(self) -> int:

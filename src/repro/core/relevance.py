@@ -11,60 +11,105 @@ row.
 
 :class:`RelevanceIndex` is the inverted index the processors consult per
 document: *members* (one per registered query, keyed by a caller-chosen
-*group* — the template id for MMQJP, the query id for the Sequential
-baseline) are posted under each of their required RHS variables, and
+*member key* — the query id — and grouped under a caller-chosen *group* —
+the template id for MMQJP, the query id for the Sequential baseline) are
+posted under each of their required RHS variables, and
 :meth:`RelevanceIndex.relevant` returns the groups with at least one member
 whose required variables are all bound.  The per-document cost is
 proportional to the postings of the *bound* variables (≈ the relevant
 queries), never to the total registry.
+
+Members are individually removable (:meth:`RelevanceIndex.remove`): when a
+subscription is cancelled its postings disappear, so the index shrinks with
+the registry instead of accumulating dead queries forever.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+import itertools
+from typing import Hashable, Iterable, Optional
+
+__all__ = ["RelevanceIndex"]
 
 
 class RelevanceIndex:
     """Inverted index from required (RHS) variables to dispatch groups."""
 
     def __init__(self) -> None:
-        # member index -> (group, required variable set)
-        self._members: list[tuple[Hashable, frozenset]] = []
-        # variable -> indexes of the members requiring it
-        self._postings: dict[str, list[int]] = {}
-        # groups with a member requiring nothing: always dispatched
-        self._always: set[Hashable] = set()
+        # member key -> (group, required variable set); excludes always-on members
+        self._members: dict[Hashable, tuple[Hashable, frozenset]] = {}
+        # variable -> member keys of the members requiring it
+        self._postings: dict[str, set[Hashable]] = {}
+        # member key -> group, for members requiring nothing (always dispatched)
+        self._always: dict[Hashable, Hashable] = {}
+        self._anon = itertools.count()
 
-    def add(self, group: Hashable, required_vars: Iterable[str]) -> None:
+    def add(
+        self,
+        group: Hashable,
+        required_vars: Iterable[str],
+        member: Optional[Hashable] = None,
+    ) -> Hashable:
         """Register one member of ``group`` requiring ``required_vars``.
 
-        A member with no required variables makes its group unconditionally
-        relevant (defensive: canonical join queries always bind at least one
-        RHS variable).
+        ``member`` is the key under which the posting can later be removed
+        (the processors pass the query id); an anonymous key is minted when
+        omitted.  A member with no required variables makes its group
+        unconditionally relevant (defensive: canonical join queries always
+        bind at least one RHS variable).  Returns the member key.
         """
+        if member is None:
+            member = ("anon", next(self._anon))
+        if member in self._members or member in self._always:
+            raise ValueError(f"relevance member {member!r} is already registered")
         required = frozenset(required_vars)
         if not required:
-            self._always.add(group)
-            return
-        member = len(self._members)
-        self._members.append((group, required))
+            self._always[member] = group
+            return member
+        self._members[member] = (group, required)
         for variable in required:
-            self._postings.setdefault(variable, []).append(member)
+            self._postings.setdefault(variable, set()).add(member)
+        return member
+
+    def remove(self, member: Hashable) -> bool:
+        """Remove one member's postings (subscription retraction path).
+
+        Returns ``True`` when the member was present.  Unknown members are
+        tolerated: a query cancelled before the processor's incremental
+        sync ever indexed it simply has nothing to remove.
+        """
+        if member in self._always:
+            del self._always[member]
+            return True
+        entry = self._members.pop(member, None)
+        if entry is None:
+            return False
+        for variable in entry[1]:
+            postings = self._postings.get(variable)
+            if postings is not None:
+                postings.discard(member)
+                if not postings:
+                    del self._postings[variable]
+        return True
+
+    def has_member(self, member: Hashable) -> bool:
+        """Whether ``member`` currently has postings in the index."""
+        return member in self._members or member in self._always
 
     def relevant(self, bound_variables: set[str]) -> set[Hashable]:
         """Groups with at least one member whose requirements are all bound."""
-        relevant = set(self._always)
+        relevant = set(self._always.values())
         if not self._members or not bound_variables:
             return relevant
-        candidates: set[int] = set()
+        candidates: set[Hashable] = set()
         postings = self._postings
         for variable in bound_variables:
             members = postings.get(variable)
             if members:
                 candidates.update(members)
-        members = self._members
-        for index in candidates:
-            group, required = members[index]
+        members_map = self._members
+        for member in candidates:
+            group, required = members_map[member]
             if group not in relevant and required <= bound_variables:
                 relevant.add(group)
         return relevant
@@ -77,7 +122,9 @@ class RelevanceIndex:
     @property
     def num_groups(self) -> int:
         """Number of distinct dispatch groups."""
-        return len({group for group, _ in self._members} | self._always)
+        return len(
+            {group for group, _ in self._members.values()} | set(self._always.values())
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

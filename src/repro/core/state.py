@@ -116,6 +116,24 @@ class JoinState:
         """
         return {d for d, ts in self._timestamps.items() if ts < min_timestamp}
 
+    def drop_variables(self, variables: set[str]) -> int:
+        """Drop every witness row bound to one of ``variables``; returns rows removed.
+
+        The retraction path: when the last query using a canonical variable
+        is deregistered, its historical ``Rbin``/``Rvar`` rows can never
+        contribute to a future match (no surviving query's ``RT`` tuple
+        names the variable) and are reclaimed here.  ``Rdoc`` rows are
+        node-keyed and may be shared across variables, so they are only
+        reclaimed when their whole document is pruned or the state is
+        cleared.
+        """
+        if not variables:
+            return 0
+        dead = set(variables)
+        removed = self.rbin.delete_rows(lambda row: row[1] in dead or row[2] in dead)
+        removed += self.rvar.delete_rows(lambda row: row[1] in dead)
+        return removed
+
     def drop_documents(self, docids: set[str]) -> int:
         """Drop the given documents' partitions; returns documents removed."""
         if not docids:

@@ -9,14 +9,29 @@ with ``shards=N`` (N > 1) it transparently becomes a
 :class:`repro.runtime.ShardedBroker` running N engine shards in parallel.
 """
 
-from repro.pubsub.subscription import Subscription, SubscriptionResult
+from repro.pubsub.subscription import DEFAULT_RESULT_LIMIT, Subscription, SubscriptionResult
+from repro.pubsub.sinks import (
+    BatchingSink,
+    CallbackSink,
+    CollectingSink,
+    DeliverySink,
+    QueueSink,
+)
 from repro.pubsub.stream import Stream, StreamRegistry
+from repro.pubsub.filters import FilterFrontEnd
 from repro.pubsub.broker import Broker
 
 __all__ = [
     "Subscription",
     "SubscriptionResult",
+    "DEFAULT_RESULT_LIMIT",
+    "DeliverySink",
+    "CallbackSink",
+    "CollectingSink",
+    "QueueSink",
+    "BatchingSink",
     "Stream",
     "StreamRegistry",
+    "FilterFrontEnd",
     "Broker",
 ]

@@ -6,55 +6,50 @@ documents, and delivers matches to subscribers.
 
 * Join (inter-document) subscriptions are delegated to one of the Stage 2
   engines — MMQJP by default, MMQJP with view materialization, or the
-  sequential baseline — selected with the ``engine`` parameter.
+  sequential baseline — selected through
+  :class:`~repro.config.RuntimeConfig`.
 * Simple single-block subscriptions (``SELECT * FROM blog`` or a lone query
   block) are evaluated directly by the shared Stage 1 evaluator, like a
   classic XPath pub/sub system.
+
+The blessed construction path is :func:`repro.open_broker`, which routes to
+the sharded runtime when ``config.shards > 1``; constructing ``Broker``
+directly still works (and still reroutes on ``shards=N``, with a
+:class:`DeprecationWarning`).
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Iterable, Optional, Union
 
+from repro.config import RuntimeConfig, coerce_config
 from repro.core.engine import ENGINES, make_engine
+from repro.pubsub.filters import FilterFrontEnd, deliver_filter_matches
 from repro.pubsub.stream import StreamRegistry
 from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
 from repro.xmlmodel.document import XmlDocument
 from repro.xmlmodel.parser import parse_document
-from repro.xpath.evaluator import XPathEvaluator
 from repro.xscl.ast import XsclQuery
 from repro.xscl.parser import parse_query
 
 __all__ = ["Broker", "ENGINES", "deliver_filter_matches"]
 
 
-def deliver_filter_matches(
-    evaluator: XPathEvaluator,
-    filter_subscriptions: dict[str, Subscription],
-    document: XmlDocument,
-) -> list[SubscriptionResult]:
-    """Evaluate all single-block filter subscriptions against one document.
+def _peek_config(config, legacy: dict) -> Optional[RuntimeConfig]:
+    """Resolve the would-be config of a ``Broker(...)`` call.
 
-    Shared by :class:`Broker` and :class:`repro.runtime.ShardedBroker`
-    (filters are evaluated once at the front end; only join subscriptions
-    are sharded).
+    Used by ``Broker.__new__`` to decide whether to reroute to the sharded
+    runtime; any legacy-kwarg :class:`DeprecationWarning` fires here (once)
+    and ``__init__`` reuses the resolved config.  Returns ``None`` when the
+    arguments are invalid — the real constructor raises the proper error.
     """
-    if not filter_subscriptions:
-        return []
-    witnesses = evaluator.evaluate(document)
-    deliveries: list[SubscriptionResult] = []
-    for sid, subscription in filter_subscriptions.items():
-        if not subscription.active:
-            continue
-        root_var = subscription.query.left.root_variable
-        block_vars = subscription.query.left.variables()
-        matched_var = root_var if root_var is not None else (block_vars[0] if block_vars else None)
-        if matched_var is not None and witnesses.var_nodes.get(matched_var):
-            result = SubscriptionResult(subscription_id=sid, document=document)
-            subscription.deliver(result)
-            deliveries.append(result)
-    return deliveries
+    try:
+        # stacklevel: coerce_config -> _peek_config -> __new__ -> caller
+        return coerce_config(config, legacy, owner="Broker", stacklevel=4)
+    except (TypeError, ValueError):
+        return None
 
 
 class Broker:
@@ -62,85 +57,64 @@ class Broker:
 
     Parameters
     ----------
-    engine:
-        ``"mmqjp"`` (default), ``"mmqjp-vm"`` (with Section 5 view
-        materialization) or ``"sequential"`` (the baseline).
-    view_cache_size:
-        Size of the ``RL``-slice view cache for ``"mmqjp-vm"``; ``None``
-        recomputes the views per document without caching.
-    construct_outputs:
-        Build the output XML document for every join match (slower; disable
-        for throughput measurements).
-    stream_history:
-        How many recent documents each stream keeps for inspection.
-    auto_prune:
-        Prune the engine's join state by window horizon on the publish path
-        (effective while every registered window is finite).  Disable to
-        keep all state and prune manually via :meth:`prune`.
-    indexing:
-        Join-state index maintenance of the underlying engine: ``"eager"``
-        (default), ``"lazy"``, or ``"off"`` (per-call hashing, the
-        pre-incremental behavior kept for ablation/equivalence runs).
-    plan_cache:
-        Evaluate conjunctive queries through compiled, cached plans
-        (default).  ``False`` re-plans per call — the ablation baseline.
-    prune_dispatch:
-        Skip templates/queries irrelevant to the published document
-        (default).  ``False`` visits every registered template/query.
-    shards:
-        Escape hatch to the sharded runtime: with ``shards`` > 1 the
-        constructor returns a :class:`repro.runtime.ShardedBroker` instead
-        (same leading parameters, plus ``partitioner=`` / ``executor=`` and
-        the other :class:`~repro.runtime.sharded_broker.ShardedBroker`
-        keyword options).
+    config:
+        A :class:`~repro.config.RuntimeConfig` (or an engine-name string as
+        shorthand for ``RuntimeConfig(engine=...)``).  The historical
+        per-knob keyword arguments (``engine=``, ``indexing=``,
+        ``construct_outputs=``, ...) are still accepted and construct
+        identical behavior, but emit a :class:`DeprecationWarning`.
+
+    Constructing ``Broker`` with ``shards > 1`` (via config or the legacy
+    keyword) returns a :class:`repro.runtime.ShardedBroker` instead, with a
+    :class:`DeprecationWarning` — use :func:`repro.open_broker`, which makes
+    the broker flavor an implementation detail.
     """
 
-    def __new__(cls, *args, **kwargs):
-        shards = kwargs.get("shards")
-        if cls is Broker and shards is not None and shards > 1:
-            from repro.runtime.sharded_broker import ShardedBroker
+    def __new__(cls, config: Union[RuntimeConfig, str, None] = None, **legacy):
+        if cls is Broker:
+            resolved = _peek_config(config, legacy)
+            if resolved is not None:
+                if resolved.shards > 1:
+                    warnings.warn(
+                        "Broker(shards=N) is deprecated; use repro.open_broker("
+                        "RuntimeConfig(shards=N)) — the façade routes to the "
+                        "sharded runtime explicitly",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    from repro.runtime.sharded_broker import ShardedBroker
 
-            return ShardedBroker(*args, **kwargs)
+                    return ShardedBroker(resolved)
+                instance = super().__new__(cls)
+                instance._resolved_config = resolved
+                return instance
         return super().__new__(cls)
 
-    def __init__(
-        self,
-        engine: str = "mmqjp",
-        view_cache_size: Optional[int] = None,
-        construct_outputs: bool = True,
-        stream_history: int = 0,
-        *,
-        auto_prune: bool = True,
-        indexing: str = "eager",
-        plan_cache: bool = True,
-        prune_dispatch: bool = True,
-        shards: Optional[int] = None,
-    ):
-        if shards is not None and shards < 1:
-            raise ValueError(f"need at least one shard, got {shards}")
-        if shards is not None and shards > 1:
+    def __init__(self, config: Union[RuntimeConfig, str, None] = None, **legacy):
+        resolved = self.__dict__.pop("_resolved_config", None)
+        config = (
+            resolved
+            if resolved is not None
+            else coerce_config(config, legacy, owner="Broker")
+        )
+        if config.shards > 1:
             # Only reachable when __new__ did not reroute to the sharded
             # runtime (i.e. from a Broker subclass): refuse rather than
             # silently running everything on one engine.
             raise ValueError(
-                f"{type(self).__name__} cannot honor shards={shards}; construct "
-                "repro.runtime.ShardedBroker (or plain Broker) directly"
+                f"{type(self).__name__} cannot honor shards={config.shards}; construct "
+                "repro.runtime.ShardedBroker (or use repro.open_broker) instead"
             )
-        self.engine_name = engine
-        self.engine = make_engine(
-            engine,
-            view_cache_size=view_cache_size,
-            auto_prune=auto_prune,
-            indexing=indexing,
-            plan_cache=plan_cache,
-            prune_dispatch=prune_dispatch,
-        )
-        self.construct_outputs = construct_outputs
-        self.streams = StreamRegistry(history_size=stream_history)
+        config.validate_outputs()
+        self.config = config
+        self.engine_name = config.engine
+        self.engine = make_engine(config=config)
+        self.construct_outputs = config.construct_outputs
+        self.streams = StreamRegistry(history_size=config.stream_history)
         self._subscriptions: dict[str, Subscription] = {}
-        self._filter_evaluator = XPathEvaluator()
-        self._filter_subscriptions: dict[str, Subscription] = {}
+        self._filters = FilterFrontEnd()
         self._sub_counter = itertools.count(1)
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # subscriptions
@@ -151,30 +125,69 @@ class Broker:
         callback: Optional[Callback] = None,
         window_symbols: Optional[dict[str, float]] = None,
         subscription_id: Optional[str] = None,
+        sink=None,
     ) -> Subscription:
-        """Register a subscription and return its :class:`Subscription` handle."""
+        """Register a subscription and return its :class:`Subscription` handle.
+
+        ``sink`` attaches a :class:`~repro.pubsub.sinks.DeliverySink`
+        receiving every result (in addition to the legacy bounded
+        ``results`` collection and the optional ``callback``).
+        """
         if isinstance(query, str):
             query = parse_query(query, window_symbols=window_symbols)
         sid = subscription_id if subscription_id is not None else f"sub{next(self._sub_counter)}"
         if sid in self._subscriptions:
             raise ValueError(f"subscription id {sid!r} already exists")
-        subscription = Subscription(subscription_id=sid, query=query, callback=callback)
+        subscription = Subscription(
+            subscription_id=sid,
+            query=query,
+            callback=callback,
+            sink=sink,
+            result_limit=self.config.result_limit,
+        )
 
         if query.is_join_query:
             self.engine.register_query(query, qid=sid)
         else:
-            # Single-block filter subscription: register its pattern with the
-            # broker's own Stage 1 evaluator.
-            self._filter_evaluator.register_pattern(query.left.pattern)
-            self._filter_subscriptions[sid] = subscription
+            self._filters.register(sid, subscription)
         self._subscriptions[sid] = subscription
+        subscription._retract = self.cancel
         return subscription
 
+    def cancel(self, subscription_id: str) -> bool:
+        """Retract a subscription: deregister its query and reclaim state.
+
+        Join subscriptions are deregistered from the engine (template
+        ``RT`` tuple, relevance postings, compiled plans and reclaimable
+        join-state rows included — see
+        :meth:`repro.core.engine._BaseEngine.deregister_query`); filter
+        subscriptions release their pattern registrations.  The
+        subscription handle is kept (cancelled) so its id is never silently
+        reused; its sinks are flushed and closed.  Returns ``True`` if this
+        call performed the cancellation.
+        """
+        subscription = self._subscriptions.get(subscription_id)
+        if subscription is None or subscription.cancelled:
+            return False
+        if not self._filters.cancel(subscription_id):
+            self.engine.deregister_query(subscription_id)
+        subscription._mark_cancelled()
+        return True
+
     def unsubscribe(self, subscription_id: str) -> None:
-        """Deactivate a subscription (its query stays registered but is muted)."""
+        """Retract a subscription (alias of :meth:`cancel`).
+
+        Historically this only muted deliveries while the query kept
+        consuming processing time and state; that behavior is now
+        :meth:`mute`.
+        """
+        self.cancel(subscription_id)
+
+    def mute(self, subscription_id: str) -> None:
+        """Deactivate a subscription without retracting it (old ``unsubscribe``)."""
         subscription = self._subscriptions.get(subscription_id)
         if subscription is not None:
-            subscription.active = False
+            subscription.pause()
 
     def subscription(self, subscription_id: str) -> Subscription:
         """Return a subscription handle by id."""
@@ -182,7 +195,7 @@ class Broker:
 
     @property
     def subscriptions(self) -> list[Subscription]:
-        """All subscriptions, in registration order."""
+        """All subscriptions (cancelled ones included), in registration order."""
         return list(self._subscriptions.values())
 
     # ------------------------------------------------------------------ #
@@ -197,7 +210,7 @@ class Broker:
         """Publish one document and deliver all resulting matches.
 
         Returns the deliveries made for this document (also pushed to the
-        subscriber callbacks).
+        subscriber sinks).
         """
         if isinstance(document, str):
             document = parse_document(document)
@@ -208,7 +221,7 @@ class Broker:
         self.streams.get_or_create(document.stream).record(document)
 
         deliveries: list[SubscriptionResult] = []
-        deliveries.extend(self._deliver_filters(document))
+        deliveries.extend(self._filters.deliver(document))
 
         matches = self.engine.process_document(document)
         for match in matches:
@@ -243,18 +256,13 @@ class Broker:
         """Publish a batch of documents; returns all deliveries.
 
         On the unsharded broker this is a convenience loop; on the sharded
-        runtime (``shards=N``) the same call dispatches the whole batch to
-        every shard in one task each.
+        runtime the same call dispatches the whole batch to every shard in
+        one task each.
         """
         out: list[SubscriptionResult] = []
         for document in documents:
             out.extend(self.publish(document, timestamp=timestamp, stream=stream))
         return out
-
-    def _deliver_filters(self, document: XmlDocument) -> list[SubscriptionResult]:
-        return deliver_filter_matches(
-            self._filter_evaluator, self._filter_subscriptions, document
-        )
 
     # ------------------------------------------------------------------ #
     # state management and stats
@@ -271,7 +279,33 @@ class Broker:
             "indexing": self.engine.indexing,
             "streams": stream_counts,
             "num_subscriptions": len(self._subscriptions),
-            "num_filter_subscriptions": len(self._filter_subscriptions),
+            "num_filter_subscriptions": self._filters.num_subscriptions,
+            "num_cancelled_subscriptions": sum(
+                1 for s in self._subscriptions.values() if s.cancelled
+            ),
             "num_documents_published": sum(stream_counts.values()),
             "engine_stats": self.engine.stats().__dict__,
         }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """End the session: flush and close every subscription's sinks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for subscription in self._subscriptions.values():
+            subscription.close_sinks()
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Broker engine={self.engine_name!r} "
+            f"subscriptions={len(self._subscriptions)}>"
+        )

@@ -1,0 +1,210 @@
+"""Delivery sinks: pluggable destinations for subscription results.
+
+The original :class:`~repro.pubsub.subscription.Subscription` hard-wired two
+delivery mechanisms — a bare callback and an *unbounded* ``results`` list
+that grew forever on long-running streams.  A :class:`DeliverySink` is the
+protocol both of those become one instance of, and the extension point for
+everything else a subscriber might want (queues for worker threads, batches
+for downstream I/O):
+
+* :class:`CallbackSink` — invoke a callable per result (the old
+  ``callback=``).
+* :class:`CollectingSink` — collect results in memory, optionally bounded
+  (the old ``results`` list; bounded by default when used through
+  :class:`~repro.pubsub.subscription.Subscription`).
+* :class:`QueueSink` — push results onto a :class:`queue.Queue` for
+  consumption by another thread.
+* :class:`BatchingSink` — buffer results and deliver them in lists of
+  ``batch_size`` (flushed on :meth:`~BatchingSink.flush`/:meth:`~BatchingSink.close`,
+  which the brokers call when a subscription is cancelled or the session
+  closes).
+
+Sinks receive every result exactly once, on both the join path and the
+single-block filter path — the two delivery paths of the brokers are
+symmetric by construction now that both go through
+:meth:`Subscription.deliver`.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+from collections import deque
+from typing import Callable, List, Optional, Protocol, runtime_checkable
+
+from repro.pubsub.subscription import SubscriptionResult
+
+__all__ = [
+    "DeliverySink",
+    "CallbackSink",
+    "CollectingSink",
+    "QueueSink",
+    "BatchingSink",
+]
+
+
+@runtime_checkable
+class DeliverySink(Protocol):
+    """The destination of a subscription's deliveries.
+
+    ``deliver`` is called once per matching result; ``flush`` forces out any
+    buffered results; ``close`` releases resources (and flushes).  All three
+    must be safe to call on an already-closed sink.
+    """
+
+    def deliver(self, result: SubscriptionResult) -> None:  # pragma: no cover
+        ...
+
+    def flush(self) -> None:  # pragma: no cover
+        ...
+
+    def close(self) -> None:  # pragma: no cover
+        ...
+
+
+class _BaseSink:
+    """Shared no-op ``flush``/``close`` for unbuffered sinks."""
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        self.flush()
+
+
+class CallbackSink(_BaseSink):
+    """Deliver each result to a callable — the classic ``callback=``."""
+
+    def __init__(self, callback: Callable[[SubscriptionResult], None]):
+        self.callback = callback
+
+    def deliver(self, result: SubscriptionResult) -> None:
+        self.callback(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CallbackSink {self.callback!r}>"
+
+
+class CollectingSink(_BaseSink):
+    """Collect results in memory, optionally bounded.
+
+    With ``max_results`` set, only the most recent ``max_results`` results
+    are retained (older ones are dropped and counted in :attr:`dropped`);
+    :attr:`delivered` always counts every delivery.  This is the sink behind
+    the legacy :attr:`Subscription.results` list, bounded by default so a
+    subscription on an infinite stream no longer grows without limit.
+    """
+
+    def __init__(self, max_results: Optional[int] = None):
+        if max_results is not None and max_results < 1:
+            raise ValueError(f"max_results must be positive or None, got {max_results}")
+        self.max_results = max_results
+        self._results: deque[SubscriptionResult] = deque(maxlen=max_results)
+        self.delivered = 0
+        self.dropped = 0
+
+    def deliver(self, result: SubscriptionResult) -> None:
+        if self.max_results is not None and len(self._results) == self.max_results:
+            self.dropped += 1
+        self._results.append(result)
+        self.delivered += 1
+
+    @property
+    def results(self) -> List[SubscriptionResult]:
+        """The retained results, oldest first."""
+        return list(self._results)
+
+    def clear(self) -> None:
+        """Drop all retained results (counters are kept)."""
+        self._results.clear()
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CollectingSink {len(self._results)} retained / "
+            f"{self.delivered} delivered (max={self.max_results})>"
+        )
+
+
+class QueueSink(_BaseSink):
+    """Push each result onto a :class:`queue.Queue` for another thread.
+
+    Pass an existing queue to share it across subscriptions, or let the sink
+    create its own (``maxsize=0`` means unbounded).  When the queue is
+    bounded and full, the oldest queued result is discarded to make room —
+    delivery never blocks the publish path.
+    """
+
+    def __init__(self, queue: Optional[_queue.Queue] = None, maxsize: int = 0):
+        self.queue: _queue.Queue = queue if queue is not None else _queue.Queue(maxsize)
+        self.dropped = 0
+
+    def deliver(self, result: SubscriptionResult) -> None:
+        while True:
+            try:
+                self.queue.put_nowait(result)
+                return
+            except _queue.Full:
+                try:
+                    self.queue.get_nowait()
+                    self.dropped += 1
+                except _queue.Empty:  # pragma: no cover - racing consumer
+                    continue
+
+    def get(self, timeout: Optional[float] = None) -> SubscriptionResult:
+        """Pop the next result (blocking up to ``timeout`` seconds)."""
+        return self.queue.get(timeout=timeout)
+
+    def drain(self) -> List[SubscriptionResult]:
+        """Pop and return everything currently queued (non-blocking)."""
+        out: List[SubscriptionResult] = []
+        while True:
+            try:
+                out.append(self.queue.get_nowait())
+            except _queue.Empty:
+                return out
+
+
+class BatchingSink:
+    """Buffer results and deliver them to a callable in batches.
+
+    ``on_batch`` receives a list of at most ``batch_size`` results.  A
+    partial batch is held until :meth:`flush` (the brokers flush on
+    ``close()`` and on subscription cancellation, so no result is ever
+    silently dropped).
+    """
+
+    def __init__(
+        self,
+        on_batch: Callable[[List[SubscriptionResult]], None],
+        batch_size: int = 32,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.on_batch = on_batch
+        self.batch_size = batch_size
+        self._pending: List[SubscriptionResult] = []
+        self.batches_delivered = 0
+
+    def deliver(self, result: SubscriptionResult) -> None:
+        self._pending.append(result)
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._pending:
+            batch, self._pending = self._pending, []
+            self.batches_delivered += 1
+            self.on_batch(batch)
+
+    def close(self) -> None:
+        self.flush()
+
+    @property
+    def num_pending(self) -> int:
+        """Results buffered but not yet delivered as a batch."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BatchingSink size={self.batch_size} pending={len(self._pending)}>"

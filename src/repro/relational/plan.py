@@ -454,6 +454,19 @@ class PlanCache:
                 self._entries[id(query)] = (query, plan)
         return plan.execute(relations)
 
+    def invalidate(self, query: ConjunctiveQuery) -> bool:
+        """Drop the cached plan of ``query`` (query retraction path).
+
+        Returns ``True`` when an entry was removed.  The next evaluation of
+        the same query object recompiles against the then-current
+        statistics.
+        """
+        entry = self._entries.get(id(query))
+        if entry is not None and entry[0] is query:
+            del self._entries[id(query)]
+            return True
+        return False
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -162,6 +162,23 @@ class Relation:
         self.rows.append(t)
         self._row_added(t)
 
+    def delete_rows(self, predicate: Callable[[tuple], bool]) -> int:
+        """Delete every row for which ``predicate`` (on the raw tuple) is true.
+
+        Returns the number of rows removed.  Deletion is the retraction
+        path (cancelled subscriptions), not the hot path: attached indexes
+        are left stale (the version bump makes :meth:`index_on` rebuild
+        them on next use) rather than updated inline.
+        """
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        if not removed:
+            return 0
+        self.rows = kept
+        self._ndv_cache.clear()
+        self._version += 1
+        return removed
+
     def _row_added(self, t: tuple) -> None:
         previous = self._version
         self._version += 1
@@ -403,6 +420,34 @@ class PartitionedRelation(Relation):
         for index in self._indexes.values():
             index.clear()
             index.version = self._version
+
+    def delete_rows(self, predicate: Callable[[tuple], bool]) -> int:
+        """Delete matching rows across all partitions; returns rows removed.
+
+        Mirrors :meth:`Relation.delete_rows` on the partitioned layout:
+        partitions emptied by the deletion are dropped, the flat view is
+        re-stitched lazily, and NDV counters and indexes recompute on next
+        use (retraction path, not the per-document hot path).
+        """
+        removed = 0
+        emptied: list[object] = []
+        for key, part in self._partitions.items():
+            kept = [row for row in part if not predicate(row)]
+            if len(kept) != len(part):
+                removed += len(part) - len(kept)
+                if kept:
+                    self._partitions[key] = kept
+                else:
+                    emptied.append(key)
+        if not removed:
+            return 0
+        for key in emptied:
+            del self._partitions[key]
+        self._size -= removed
+        self._flat_dirty = True
+        self._ndv_counters = {}
+        self._version += 1
+        return removed
 
     def drop_partitions(self, keys: Iterable[object]) -> int:
         """Drop every row of the given partitions; returns rows removed.

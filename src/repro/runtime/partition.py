@@ -63,6 +63,20 @@ class Partitioner:
         self.loads[shard] += 1
         return shard
 
+    def release(self, query: XsclQuery) -> None:
+        """Account for one retracted subscription of ``query``'s template.
+
+        Decrements the owning shard's load so load-balancing strategies see
+        the true population under subscribe/cancel churn.  The template →
+        shard assignment itself is kept: template cohesion must hold across
+        a cancel → resubscribe cycle, and a revived template returns to its
+        original shard.
+        """
+        key = template_key(query)
+        shard = self._assigned.get(key)
+        if shard is not None and self.loads[shard] > 0:
+            self.loads[shard] -= 1
+
     def _place(self, key: tuple) -> int:
         raise NotImplementedError
 

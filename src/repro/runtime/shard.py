@@ -31,6 +31,16 @@ class EngineShard:
         self.engine.register_query(query, qid=qid)
         self.qids.append(qid)
 
+    def deregister(self, qid: str) -> None:
+        """Retract one join subscription from this shard's engine.
+
+        Delegates to :meth:`~repro.core.engine._BaseEngine.deregister_query`,
+        so the shard's templates, relevance postings, plan-cache entries and
+        reclaimable join state shrink with the retraction.
+        """
+        self.engine.deregister_query(qid)
+        self.qids.remove(qid)
+
     def process_batch(self, documents: Sequence[XmlDocument]) -> list[list[Match]]:
         """Process a batch of documents in order; one match list per document.
 

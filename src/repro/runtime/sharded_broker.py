@@ -24,6 +24,10 @@ a shared Stage 1 evaluator, exactly like the unsharded broker.
 Batched ingestion (:meth:`ShardedBroker.publish_many`) dispatches one task
 per shard for a whole batch of documents, amortizing executor handoff over
 the batch — the intended path for high-rate streams.
+
+Construction goes through :class:`~repro.config.RuntimeConfig` (the blessed
+entry point is :func:`repro.open_broker` with ``shards > 1``); the
+historical per-knob keyword arguments still work but warn.
 """
 
 from __future__ import annotations
@@ -31,17 +35,17 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Optional, Sequence, Union
 
+from repro.config import RuntimeConfig, coerce_config
 from repro.core.engine import EngineStats, make_engine, merge_engine_stats
 from repro.core.results import Match
-from repro.pubsub.broker import deliver_filter_matches
+from repro.pubsub.filters import FilterFrontEnd
 from repro.pubsub.stream import StreamRegistry
 from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
-from repro.runtime.executor import ShardExecutor, make_executor
-from repro.runtime.partition import Partitioner, make_partitioner
+from repro.runtime.executor import make_executor
+from repro.runtime.partition import make_partitioner
 from repro.runtime.shard import EngineShard
 from repro.xmlmodel.document import XmlDocument
 from repro.xmlmodel.parser import parse_document
-from repro.xpath.evaluator import XPathEvaluator
 from repro.xscl.ast import XsclQuery
 from repro.xscl.parser import parse_query
 
@@ -49,103 +53,56 @@ from repro.xscl.parser import parse_query
 class ShardedBroker:
     """A publish/subscribe broker running N parallel engine shards.
 
-    Accepts the same leading parameters as :class:`repro.pubsub.Broker`
-    (``engine``, ``view_cache_size``, ``construct_outputs``,
-    ``stream_history``) so ``Broker(..., shards=N)`` can transparently
-    construct one.
-
     Parameters
     ----------
-    shards:
-        Number of engine shards (``>= 1``).
-    partitioner:
-        ``"hash"`` (deterministic hash-by-template, default),
-        ``"least-loaded"``, or a :class:`~repro.runtime.partition.Partitioner`
-        instance.
-    executor:
-        ``"serial"`` (default, deterministic), ``"threads"``, or a
-        :class:`~repro.runtime.executor.ShardExecutor` instance.
-    auto_prune:
-        Prune each shard's join state by window horizon on the publish path
-        (effective while every registered window is finite); disable to keep
-        all state and prune manually via :meth:`prune`.
-    indexing:
-        Join-state index maintenance of every shard engine: ``"eager"``
-        (default), ``"lazy"``, or ``"off"``.
-    plan_cache:
-        Compiled-plan evaluation on every shard engine (default); ``False``
-        re-plans per call (ablation baseline).
-    prune_dispatch:
-        Relevance-pruned dispatch on every shard engine (default);
-        ``False`` visits every template/query.
-    store_documents:
-        Keep processed documents on every shard so output XML can be
-        constructed.  Defaults to ``construct_outputs``; throughput runs use
-        ``construct_outputs=False`` which then also drops document storage.
-    max_workers:
-        Worker cap for the ``"threads"`` executor (default: one per shard).
+    config:
+        A :class:`~repro.config.RuntimeConfig`; ``shards``, ``partitioner``,
+        ``executor`` and ``max_workers`` select the runtime topology, the
+        remaining fields configure every shard engine identically.  The
+        historical keyword arguments are accepted with a
+        :class:`DeprecationWarning`; purely-legacy construction keeps the
+        historical default of two shards.
     """
 
-    def __init__(
-        self,
-        engine: str = "mmqjp",
-        view_cache_size: Optional[int] = None,
-        construct_outputs: bool = True,
-        stream_history: int = 0,
-        *,
-        shards: int = 2,
-        partitioner: Union[str, Partitioner] = "hash",
-        executor: Union[str, ShardExecutor] = "serial",
-        auto_prune: bool = True,
-        auto_timestamp: bool = True,
-        indexing: str = "eager",
-        plan_cache: bool = True,
-        prune_dispatch: bool = True,
-        store_documents: Optional[bool] = None,
-        max_workers: Optional[int] = None,
-    ):
-        if shards < 1:
-            raise ValueError(f"need at least one shard, got {shards}")
-        if store_documents is None:
-            store_documents = construct_outputs
-        if construct_outputs and not store_documents:
-            raise ValueError("construct_outputs=True requires store_documents=True")
+    def __init__(self, config: Union[RuntimeConfig, str, None] = None, **legacy):
+        legacy_default_shards = (
+            not isinstance(config, RuntimeConfig) and legacy.get("shards") is None
+        )
+        config = coerce_config(config, legacy, owner="ShardedBroker")
+        if legacy_default_shards:
+            # Historical signature default: ShardedBroker(...) meant 2 shards.
+            # Applied after coercion so a bare ShardedBroker() does not warn
+            # about keyword arguments the caller never passed.
+            config = config.replace(shards=2)
+        config.validate_outputs()
+        store_documents = config.resolve_store_documents(follow_construct_outputs=True)
 
-        self.engine_name = engine
-        self.indexing = indexing
-        self.construct_outputs = construct_outputs
-        self.auto_timestamp = auto_timestamp
+        self.config = config
+        self.engine_name = config.engine
+        self.indexing = config.indexing
+        self.construct_outputs = config.construct_outputs
+        self.auto_timestamp = config.auto_timestamp
+        # The broker stamps documents centrally (one clock for all shards)
+        # so that every shard sees identical timestamps; per-engine
+        # auto-stamping would let shard clocks drift on streams mixing
+        # stamped and unstamped documents.
+        shard_config = config.replace(
+            auto_timestamp=False, store_documents=store_documents
+        )
         self.shards = [
-            EngineShard(
-                shard_id,
-                make_engine(
-                    engine,
-                    view_cache_size=view_cache_size,
-                    store_documents=store_documents,
-                    # The broker stamps documents centrally (one clock for
-                    # all shards) so that every shard sees identical
-                    # timestamps; per-engine auto-stamping would let shard
-                    # clocks drift on streams mixing stamped and unstamped
-                    # documents.
-                    auto_timestamp=False,
-                    auto_prune=auto_prune,
-                    indexing=indexing,
-                    plan_cache=plan_cache,
-                    prune_dispatch=prune_dispatch,
-                ),
-            )
-            for shard_id in range(shards)
+            EngineShard(shard_id, make_engine(config=shard_config))
+            for shard_id in range(config.shards)
         ]
-        self._partitioner = make_partitioner(partitioner, shards)
-        self._executor = make_executor(executor, max_workers=max_workers)
-        self.streams = StreamRegistry(history_size=stream_history)
+        self._partitioner = make_partitioner(config.partitioner, config.shards)
+        self._executor = make_executor(config.executor, max_workers=config.max_workers)
+        self.streams = StreamRegistry(history_size=config.stream_history)
         self._subscriptions: dict[str, Subscription] = {}
         self._shard_of: dict[str, EngineShard] = {}
-        self._filter_evaluator = XPathEvaluator()
-        self._filter_subscriptions: dict[str, Subscription] = {}
+        self._filters = FilterFrontEnd()
         self._sub_counter = itertools.count(1)
         self._clock = itertools.count(1)
         self._num_published = 0
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # subscriptions
@@ -156,34 +113,68 @@ class ShardedBroker:
         callback: Optional[Callback] = None,
         window_symbols: Optional[dict[str, float]] = None,
         subscription_id: Optional[str] = None,
+        sink=None,
     ) -> Subscription:
         """Register a subscription and return its :class:`Subscription` handle.
 
         Join subscriptions are placed on one engine shard by the partitioner;
         filter subscriptions stay on the broker's shared front-end evaluator.
+        ``sink`` attaches an additional delivery sink, as on
+        :meth:`repro.pubsub.Broker.subscribe`.
         """
         if isinstance(query, str):
             query = parse_query(query, window_symbols=window_symbols)
         sid = subscription_id if subscription_id is not None else f"sub{next(self._sub_counter)}"
         if sid in self._subscriptions:
             raise ValueError(f"subscription id {sid!r} already exists")
-        subscription = Subscription(subscription_id=sid, query=query, callback=callback)
+        subscription = Subscription(
+            subscription_id=sid,
+            query=query,
+            callback=callback,
+            sink=sink,
+            result_limit=self.config.result_limit,
+        )
 
         if query.is_join_query:
             shard = self.shards[self._partitioner.shard_for(query)]
             shard.register(sid, query)
             self._shard_of[sid] = shard
         else:
-            self._filter_evaluator.register_pattern(query.left.pattern)
-            self._filter_subscriptions[sid] = subscription
+            self._filters.register(sid, subscription)
         self._subscriptions[sid] = subscription
+        subscription._retract = self.cancel
         return subscription
 
+    def cancel(self, subscription_id: str) -> bool:
+        """Retract a subscription from its owning shard and reclaim state.
+
+        Same contract as :meth:`repro.pubsub.Broker.cancel`: the engine-side
+        query registration (templates, relevance postings, compiled plans,
+        reclaimable join state) disappears from the owning shard, the
+        partitioner's load accounting is released, and the handle is kept
+        (cancelled) so the id is never silently reused.
+        """
+        subscription = self._subscriptions.get(subscription_id)
+        if subscription is None or subscription.cancelled:
+            return False
+        shard = self._shard_of.pop(subscription_id, None)
+        if shard is not None:
+            shard.deregister(subscription_id)
+            self._partitioner.release(subscription.query)
+        else:
+            self._filters.cancel(subscription_id)
+        subscription._mark_cancelled()
+        return True
+
     def unsubscribe(self, subscription_id: str) -> None:
-        """Deactivate a subscription (its query stays registered but is muted)."""
+        """Retract a subscription (alias of :meth:`cancel`; see :meth:`mute`)."""
+        self.cancel(subscription_id)
+
+    def mute(self, subscription_id: str) -> None:
+        """Deactivate a subscription without retracting it (old ``unsubscribe``)."""
         subscription = self._subscriptions.get(subscription_id)
         if subscription is not None:
-            subscription.active = False
+            subscription.pause()
 
     def subscription(self, subscription_id: str) -> Subscription:
         """Return a subscription handle by id."""
@@ -191,7 +182,7 @@ class ShardedBroker:
 
     @property
     def subscriptions(self) -> list[Subscription]:
-        """All subscriptions, in registration order."""
+        """All subscriptions (cancelled ones included), in registration order."""
         return list(self._subscriptions.values())
 
     @property
@@ -244,7 +235,7 @@ class ShardedBroker:
         # join matches, then document i+1.
         deliveries: list[SubscriptionResult] = []
         for index, document in enumerate(batch):
-            deliveries.extend(self._deliver_filters(document))
+            deliveries.extend(self._filters.deliver(document))
             for shard_matches in per_shard:
                 deliveries.extend(self._deliver_matches(shard_matches[index]))
         return deliveries
@@ -272,11 +263,6 @@ class ShardedBroker:
         self.streams.get_or_create(document.stream).record(document)
         self._num_published += 1
         return document
-
-    def _deliver_filters(self, document: XmlDocument) -> list[SubscriptionResult]:
-        return deliver_filter_matches(
-            self._filter_evaluator, self._filter_subscriptions, document
-        )
 
     def _deliver_matches(self, matches: Sequence[Match]) -> list[SubscriptionResult]:
         deliveries: list[SubscriptionResult] = []
@@ -323,7 +309,10 @@ class ShardedBroker:
             "executor": self._executor.name,
             "streams": self.streams.stats(),
             "num_subscriptions": len(self._subscriptions),
-            "num_filter_subscriptions": len(self._filter_subscriptions),
+            "num_filter_subscriptions": self._filters.num_subscriptions,
+            "num_cancelled_subscriptions": sum(
+                1 for s in self._subscriptions.values() if s.cancelled
+            ),
             "num_documents_published": self._num_published,
             "engine_stats": self.merged_engine_stats().__dict__,
             "per_shard": [
@@ -337,7 +326,11 @@ class ShardedBroker:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut down the executor's workers (idempotent)."""
+        """Shut down the executor's workers and flush all sinks (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            for subscription in self._subscriptions.values():
+                subscription.close_sinks()
         self._executor.close()
 
     def __enter__(self) -> "ShardedBroker":

@@ -1,0 +1,62 @@
+"""The session façade: one entry point, whatever the runtime topology.
+
+:func:`open_broker` is the blessed way to start a publish/subscribe
+session.  It takes a :class:`~repro.config.RuntimeConfig` (or field
+overrides, or nothing) and returns a context-managed broker — the unsharded
+:class:`~repro.pubsub.Broker` or the sharded
+:class:`~repro.runtime.ShardedBroker`, depending on ``config.shards`` —
+making the broker flavor an implementation detail instead of a
+``Broker.__new__`` trick:
+
+.. code-block:: python
+
+    import repro
+
+    with repro.open_broker(repro.RuntimeConfig.throughput(shards=8)) as broker:
+        sub = broker.subscribe("...", sink=repro.QueueSink())
+        broker.publish_many(documents)
+        sub.cancel()          # true retraction: engine state shrinks
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.config import RuntimeConfig
+
+__all__ = ["open_broker"]
+
+
+def open_broker(config: Union[RuntimeConfig, str, None] = None, **overrides):
+    """Open a publish/subscribe session for ``config``.
+
+    ``config`` may be a :class:`~repro.config.RuntimeConfig`, an engine
+    name string (shorthand for ``RuntimeConfig(engine=...)``), or ``None``
+    for the defaults.  Keyword ``overrides`` are first-class (no
+    deprecation involved) and are applied on top via
+    :meth:`RuntimeConfig.replace` — ``open_broker(shards=4)`` is the
+    concise spelling of ``open_broker(RuntimeConfig(shards=4))``.
+
+    Returns a :class:`repro.pubsub.Broker` for ``shards == 1`` and a
+    :class:`repro.runtime.ShardedBroker` otherwise; both support the
+    context-manager protocol (``close()`` flushes every subscription's
+    delivery sinks and shuts down any shard executor).
+    """
+    if config is None:
+        config = RuntimeConfig()
+    elif isinstance(config, str):
+        config = RuntimeConfig(engine=config)
+    elif not isinstance(config, RuntimeConfig):
+        raise TypeError(
+            f"open_broker expects a RuntimeConfig or an engine name, "
+            f"got {type(config).__name__}"
+        )
+    if overrides:
+        config = config.replace(**overrides)
+    if config.shards > 1:
+        from repro.runtime.sharded_broker import ShardedBroker
+
+        return ShardedBroker(config)
+    from repro.pubsub.broker import Broker
+
+    return Broker(config)

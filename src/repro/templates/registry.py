@@ -9,6 +9,8 @@ forms), which is everything the Join Processor needs.
 
 from __future__ import annotations
 
+import bisect
+import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -32,13 +34,19 @@ def _full_graph_as_reduced(join_graph: JoinGraph) -> ReducedJoinGraph:
 
 @dataclass
 class RegisteredQuery:
-    """Bookkeeping for one registered query."""
+    """Bookkeeping for one registered query.
+
+    ``seq`` is the registry-wide monotonic registration number; incremental
+    consumers (the relevance index) sync by it, so removals never shift the
+    positions they remember.
+    """
 
     qid: str
     query: XsclQuery
     assignment: TemplateAssignment
     reduced: ReducedJoinGraph
     window: float
+    seq: int = -1
 
     @property
     def template(self) -> QueryTemplate:
@@ -73,6 +81,7 @@ class TemplateRegistry:
         self._by_signature: dict[tuple, list[_TemplateEntry]] = {}
         self._queries: dict[str, RegisteredQuery] = {}
         self._ordered: list[RegisteredQuery] = []
+        self._seq = itertools.count()
 
     # ------------------------------------------------------------------ #
     # registration
@@ -94,11 +103,36 @@ class TemplateRegistry:
         entry.query_ids.append(qid)
 
         record = RegisteredQuery(
-            qid=qid, query=query, assignment=assignment, reduced=reduced, window=window
+            qid=qid,
+            query=query,
+            assignment=assignment,
+            reduced=reduced,
+            window=window,
+            seq=next(self._seq),
         )
         self._queries[qid] = record
         self._ordered.append(record)
         return record
+
+    def remove_query(self, qid: str) -> RegisteredQuery:
+        """Retract a registered query and return its (former) record.
+
+        The query's ``RT`` tuple is deleted and its template's membership
+        shrinks; a template left with no member queries is *retired* — it
+        keeps its id (ids index internal tables) and is revived in place if
+        an equivalent query registers again, but it no longer counts toward
+        :attr:`num_templates` and no longer appears in :attr:`templates`.
+        Raises :class:`KeyError` for unknown query ids.
+        """
+        record = self._queries.pop(qid)
+        self._ordered.remove(record)
+        entry = self._entries[record.template.template_id]
+        entry.query_ids.remove(qid)
+        entry.rt.delete_rows(lambda row: row[0] == qid)
+        return record
+
+    def __contains__(self, qid: str) -> bool:
+        return qid in self._queries
 
     def _match_or_create(self, reduced: ReducedJoinGraph) -> TemplateAssignment:
         from repro.templates.template import _reduced_to_nx, _signature
@@ -128,13 +162,18 @@ class TemplateRegistry:
     # ------------------------------------------------------------------ #
     @property
     def templates(self) -> list[QueryTemplate]:
-        """All templates, in creation order."""
-        return [e.template for e in self._entries]
+        """All *live* templates (with at least one member query), in creation order."""
+        return [e.template for e in self._entries if e.query_ids]
 
     @property
     def num_templates(self) -> int:
-        """Number of distinct templates."""
-        return len(self._entries)
+        """Number of distinct live templates."""
+        return sum(1 for e in self._entries if e.query_ids)
+
+    @property
+    def num_retired_templates(self) -> int:
+        """Templates whose member queries were all cancelled (kept for revival)."""
+        return sum(1 for e in self._entries if not e.query_ids)
 
     @property
     def num_queries(self) -> int:
@@ -148,10 +187,22 @@ class TemplateRegistry:
     def records(self, start: int = 0) -> list[RegisteredQuery]:
         """Registered query records in registration order, from index ``start``.
 
-        Incremental consumers (e.g. the Join Processor's relevance index)
-        remember how many records they have seen and pass that count here,
-        paying only for the queries registered since.
+        Positional access over the *current* records; under retraction the
+        positions shift, so incremental consumers should use
+        :meth:`records_since` (sync by the stable ``seq`` stamp) instead.
         """
+        return self._ordered[start:]
+
+    def records_since(self, seq: int) -> list[RegisteredQuery]:
+        """Records with registration number strictly greater than ``seq``.
+
+        ``_ordered`` is sorted by ``seq`` (appends are monotonic, removals
+        preserve order), so this is a binary search plus the tail slice.
+        Incremental consumers (the Join Processor's relevance index)
+        remember the last ``seq`` they consumed; records removed before
+        being consumed simply never show up.
+        """
+        start = bisect.bisect_right(self._ordered, seq, key=lambda r: r.seq)
         return self._ordered[start:]
 
     def query(self, qid: str) -> RegisteredQuery:

@@ -17,7 +17,7 @@ node string values (→ ``RdocW``), plus the document id and timestamp
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.xmlmodel.document import XmlDocument
 from repro.xpath.ast import LocationPath, evaluate_relative
@@ -60,6 +60,66 @@ class DocumentWitnesses:
 
 class VariableConflictError(ValueError):
     """Raised when one variable name is registered with two different definitions."""
+
+
+class Stage1Registrations:
+    """Reference-counted bookkeeping of a consumer's evaluator registrations.
+
+    Both the engines (one record per query id, plus its ``::swap`` twin for
+    symmetric JOINs) and the brokers' filter front end (one record per
+    filter subscription) register shared variables/edges with an
+    :class:`XPathEvaluator`.  This helper remembers, per caller-chosen key,
+    what was registered, and on :meth:`withdraw` returns exactly the
+    variables and edges whose *last* user is gone — the arguments for
+    :meth:`XPathEvaluator.deregister`.
+    """
+
+    def __init__(self) -> None:
+        # key -> (variables, edges) registered under it
+        self._by_key: dict[object, tuple[tuple[str, ...], tuple[tuple[str, str], ...]]] = {}
+        self._var_refs: dict[str, int] = {}
+        self._edge_refs: dict[tuple[str, str], int] = {}
+
+    def record(
+        self,
+        key: object,
+        variables: Iterable[str],
+        edges: Iterable[tuple[str, str]],
+    ) -> None:
+        """Remember (and refcount) one key's registrations."""
+        variables = tuple(variables)
+        edges = tuple(edges)
+        self._by_key[key] = (variables, edges)
+        for var in variables:
+            self._var_refs[var] = self._var_refs.get(var, 0) + 1
+        for edge in edges:
+            self._edge_refs[edge] = self._edge_refs.get(edge, 0) + 1
+
+    def withdraw(self, key: object) -> tuple[set[str], set[tuple[str, str]]]:
+        """Release one key's registrations; returns (dead vars, dead edges).
+
+        Unknown keys return empty sets (nothing was recorded for them).
+        """
+        dead_vars: set[str] = set()
+        dead_edges: set[tuple[str, str]] = set()
+        registrations = self._by_key.pop(key, None)
+        if registrations is None:
+            return dead_vars, dead_edges
+        for var in registrations[0]:
+            remaining = self._var_refs[var] - 1
+            if remaining:
+                self._var_refs[var] = remaining
+            else:
+                del self._var_refs[var]
+                dead_vars.add(var)
+        for edge in registrations[1]:
+            remaining = self._edge_refs[edge] - 1
+            if remaining:
+                self._edge_refs[edge] = remaining
+            else:
+                del self._edge_refs[edge]
+                dead_edges.add(edge)
+        return dead_vars, dead_edges
 
 
 class XPathEvaluator:
@@ -127,6 +187,43 @@ class XPathEvaluator:
             self.register_edge(
                 ancestor, descendant, pattern.relative_path_between(ancestor, descendant)
             )
+
+    # ------------------------------------------------------------------ #
+    # deregistration
+    # ------------------------------------------------------------------ #
+    def deregister(
+        self,
+        variables: "Iterable[str]" = (),
+        edges: "Iterable[tuple[str, str]]" = (),
+    ) -> None:
+        """Retract variables and edge requests (subscription-cancellation path).
+
+        The engines refcount their Stage 1 registrations per query and call
+        this once per retraction with the variables/edges whose count
+        reached zero, so shared registrations survive until their last
+        query is gone.  Each affected stream's NFA is rebuilt once from the
+        surviving variables (unknown names are tolerated); a stream with no
+        remaining variables drops its NFA entirely, so future documents on
+        it short-circuit in :meth:`evaluate`.
+        """
+        for key in edges:
+            self._edges.pop(tuple(key), None)
+        streams: set[str] = set()
+        for variable in variables:
+            entry = self._variables.pop(variable, None)
+            if entry is not None:
+                streams.add(entry[0])
+        for stream in streams:
+            nfa = PathNFA()
+            remaining = False
+            for variable, (var_stream, path) in self._variables.items():
+                if var_stream == stream:
+                    nfa.add_path(variable, path)
+                    remaining = True
+            if remaining:
+                self._nfas[stream] = nfa
+            else:
+                self._nfas.pop(stream, None)
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -1,0 +1,146 @@
+"""API-surface snapshot: the curated public symbol inventory.
+
+Guards the session-API redesign's contract: additions to the public surface
+are deliberate (update the snapshot in the same PR), removals and renames
+never happen by accident.  Every symbol in ``__all__`` must also resolve.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+import repro.core
+import repro.pubsub
+import repro.runtime
+
+REPRO_ALL = {
+    # session API
+    "RuntimeConfig",
+    "open_broker",
+    "ENGINES",
+    # brokers and subscriptions
+    "Broker",
+    "ShardedBroker",
+    "Subscription",
+    "SubscriptionResult",
+    # delivery sinks
+    "DeliverySink",
+    "CallbackSink",
+    "CollectingSink",
+    "QueueSink",
+    "BatchingSink",
+    # engines and matches
+    "MMQJPEngine",
+    "SequentialEngine",
+    "Match",
+    # documents and queries
+    "XmlDocument",
+    "element",
+    "parse_document",
+    "to_xml",
+    "parse_query",
+    "XsclQuery",
+    "__version__",
+}
+
+PUBSUB_ALL = {
+    "Subscription",
+    "SubscriptionResult",
+    "DEFAULT_RESULT_LIMIT",
+    "DeliverySink",
+    "CallbackSink",
+    "CollectingSink",
+    "QueueSink",
+    "BatchingSink",
+    "Stream",
+    "StreamRegistry",
+    "FilterFrontEnd",
+    "Broker",
+}
+
+RUNTIME_ALL = {
+    "ShardedBroker",
+    "EngineShard",
+    "Partitioner",
+    "HashTemplatePartitioner",
+    "LeastLoadedPartitioner",
+    "PARTITIONERS",
+    "make_partitioner",
+    "template_key",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "EXECUTORS",
+    "make_executor",
+}
+
+CORE_ALL = {
+    "CostBreakdown",
+    "ENGINES",
+    "EngineStats",
+    "make_engine",
+    "merge_engine_stats",
+    "JoinState",
+    "WitnessRelations",
+    "Match",
+    "ViewCache",
+    "MaterializedViews",
+    "compute_materialized_views",
+    "MMQJPJoinProcessor",
+    "SequentialJoinProcessor",
+    "RelevanceIndex",
+    "MMQJPEngine",
+    "SequentialEngine",
+}
+
+
+@pytest.mark.parametrize(
+    "module, expected",
+    [
+        (repro, REPRO_ALL),
+        (repro.pubsub, PUBSUB_ALL),
+        (repro.runtime, RUNTIME_ALL),
+        (repro.core, set(CORE_ALL)),
+    ],
+    ids=["repro", "repro.pubsub", "repro.runtime", "repro.core"],
+)
+def test_public_symbol_inventory(module, expected):
+    actual = set(module.__all__)
+    missing = expected - actual
+    unexpected = actual - expected
+    assert not missing and not unexpected, (
+        f"{module.__name__}.__all__ drifted: missing={sorted(missing)} "
+        f"unexpected={sorted(unexpected)} — if intentional, update this snapshot"
+    )
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.pubsub, repro.runtime, repro.core],
+    ids=["repro", "repro.pubsub", "repro.runtime", "repro.core"],
+)
+def test_every_public_symbol_resolves(module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.{name} does not resolve"
+
+
+def test_py_typed_marker_ships():
+    marker = os.path.join(os.path.dirname(repro.__file__), "py.typed")
+    assert os.path.exists(marker), "the py.typed marker must ship with the package"
+
+
+def test_subscription_lifecycle_surface():
+    """The Subscription handle exposes the full lifecycle contract."""
+    for method in ("pause", "resume", "cancel", "deliver", "attach_sink", "flush"):
+        assert callable(getattr(repro.Subscription, method, None)), method
+
+
+def test_broker_session_surface():
+    """Both broker flavors honor the session contract behind open_broker."""
+    for cls in (repro.Broker, repro.ShardedBroker):
+        for method in ("subscribe", "cancel", "unsubscribe", "mute", "publish",
+                       "publish_many", "prune", "stats", "close", "__enter__", "__exit__"):
+            assert callable(getattr(cls, method, None)), f"{cls.__name__}.{method}"

@@ -1,0 +1,216 @@
+"""RuntimeConfig: validation, presets, façade routing, and legacy-kwarg shims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Broker, RuntimeConfig, ShardedBroker, open_broker
+from repro.config import (
+    ENGINES,
+    EXECUTORS,
+    INDEXING_MODES,
+    PARTITIONERS,
+    coerce_config,
+)
+from repro.core.engine import make_engine
+from tests.conftest import PAPER_WINDOWS, make_blog_article, make_book_announcement
+
+CROSS = (
+    "S//book->x1[.//author->x2] "
+    "FOLLOWED BY{x2=x5, 100} "
+    "S//blog->x4[.//author->x5]"
+)
+
+
+# --------------------------------------------------------------------------- #
+# validation: the single point for every knob
+# --------------------------------------------------------------------------- #
+def test_config_defaults_are_valid():
+    config = RuntimeConfig()
+    assert config.engine == "mmqjp"
+    assert not config.is_sharded
+    assert config.resolve_store_documents() is True
+    assert config.resolve_store_documents(follow_construct_outputs=True) is True
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"engine": "turbo"},
+        {"indexing": "sometimes"},
+        {"shards": 0},
+        {"view_cache_size": 0},
+        {"stream_history": -1},
+        {"max_workers": 0},
+        {"result_limit": 0},
+        {"partitioner": "round-robin"},
+        {"executor": "processes"},
+    ],
+)
+def test_config_validation_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        RuntimeConfig(**kwargs)
+
+
+def test_config_keyword_tuples_match_canonical_definitions():
+    from repro.core.engine import ENGINES as ENGINE_NAMES
+    from repro.relational.database import INDEXING_MODES as DB_MODES
+    from repro.runtime.executor import EXECUTORS as EXEC_NAMES
+    from repro.runtime.partition import PARTITIONERS as PART_NAMES
+
+    assert tuple(ENGINES) == tuple(ENGINE_NAMES)
+    assert tuple(INDEXING_MODES) == tuple(DB_MODES)
+    assert tuple(EXECUTORS) == tuple(sorted(EXEC_NAMES, key=list(EXECUTORS).index)) or set(
+        EXECUTORS
+    ) == set(EXEC_NAMES)
+    assert set(PARTITIONERS) == set(PART_NAMES)
+
+
+def test_store_documents_resolution_rules():
+    throughput = RuntimeConfig(construct_outputs=False)
+    assert throughput.resolve_store_documents() is True  # engines / Broker
+    assert throughput.resolve_store_documents(follow_construct_outputs=True) is False
+    explicit = RuntimeConfig(construct_outputs=False, store_documents=True)
+    assert explicit.resolve_store_documents(follow_construct_outputs=True) is True
+    with pytest.raises(ValueError):
+        RuntimeConfig(store_documents=False).validate_outputs()
+
+
+def test_presets():
+    t = RuntimeConfig.throughput()
+    assert t.is_sharded and t.executor == "threads"
+    assert not t.construct_outputs and t.store_documents is False
+    a = RuntimeConfig.ablation()
+    assert a.indexing == "off" and not a.plan_cache and not a.prune_dispatch
+    # overrides re-validate
+    assert RuntimeConfig.throughput(shards=8).shards == 8
+    with pytest.raises(ValueError):
+        RuntimeConfig.ablation(indexing="broken")
+
+
+def test_replace_revalidates():
+    config = RuntimeConfig()
+    assert config.replace(shards=4).shards == 4
+    with pytest.raises(ValueError):
+        config.replace(engine="turbo")
+
+
+# --------------------------------------------------------------------------- #
+# coerce_config: the deprecation shim
+# --------------------------------------------------------------------------- #
+def test_coerce_config_warns_on_legacy_kwargs():
+    with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+        config = coerce_config(None, {"engine": "sequential", "indexing": "lazy"})
+    assert config.engine == "sequential" and config.indexing == "lazy"
+
+
+def test_coerce_config_accepts_engine_string_positionally():
+    config = coerce_config("mmqjp-vm", {}, warn=False)
+    assert config.engine == "mmqjp-vm"
+
+
+def test_coerce_config_rejects_unknown_kwargs():
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        coerce_config(None, {"warp_speed": True})
+
+
+def test_coerce_config_none_values_mean_unset():
+    config = coerce_config(None, {"view_cache_size": None, "shards": None}, warn=False)
+    assert config == RuntimeConfig()
+
+
+# --------------------------------------------------------------------------- #
+# the façade
+# --------------------------------------------------------------------------- #
+def test_open_broker_routes_by_shards():
+    with open_broker() as broker:
+        assert isinstance(broker, Broker)
+    with open_broker(RuntimeConfig(shards=3)) as broker:
+        assert isinstance(broker, ShardedBroker)
+        assert broker.num_shards == 3
+    with open_broker("sequential", shards=2) as broker:
+        assert isinstance(broker, ShardedBroker)
+        assert broker.engine_name == "sequential"
+    with pytest.raises(TypeError):
+        open_broker(42)
+
+
+def test_open_broker_overrides_are_first_class():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with open_broker(construct_outputs=False, shards=2) as broker:
+            assert isinstance(broker, ShardedBroker)
+            assert not broker.construct_outputs
+
+
+# --------------------------------------------------------------------------- #
+# legacy construction: warns, but behaves identically
+# --------------------------------------------------------------------------- #
+def _run_workload(broker):
+    keys = []
+    broker.subscribe(CROSS, subscription_id="q")
+    for ts in (1.0, 2.0):
+        for d in broker.publish(
+            make_book_announcement(docid=f"bk{ts}", timestamp=ts * 10)
+        ):
+            pass
+        for d in broker.publish(
+            make_blog_article(docid=f"bl{ts}", timestamp=ts * 10 + 1)
+        ):
+            if d.match is not None:
+                keys.append(d.match.key())
+    broker.close()
+    return sorted(keys)
+
+
+@pytest.mark.parametrize("engine", ["mmqjp", "sequential"])
+def test_legacy_broker_kwargs_equivalent_to_config(engine):
+    with pytest.warns(DeprecationWarning):
+        legacy = Broker(
+            engine=engine, construct_outputs=False, indexing="lazy", auto_timestamp=False
+        )
+    config_broker = open_broker(
+        RuntimeConfig(
+            engine=engine, construct_outputs=False, indexing="lazy", auto_timestamp=False
+        )
+    )
+    legacy_keys = _run_workload(legacy)
+    assert legacy_keys == _run_workload(config_broker)
+    assert legacy_keys, "the equivalence workload must produce matches"
+
+
+def test_legacy_sharded_kwargs_equivalent_to_config():
+    with pytest.warns(DeprecationWarning):
+        legacy = ShardedBroker(engine="mmqjp", construct_outputs=False, shards=2)
+    config_broker = open_broker(RuntimeConfig(construct_outputs=False, shards=2))
+    assert _run_workload(legacy) == _run_workload(config_broker)
+
+
+def test_broker_shards_escape_hatch_warns_and_reroutes():
+    with pytest.warns(DeprecationWarning, match="open_broker"):
+        broker = Broker(RuntimeConfig(shards=2))
+    assert isinstance(broker, ShardedBroker)
+    broker.close()
+    with pytest.warns(DeprecationWarning):
+        broker = Broker(shards=2)
+    assert isinstance(broker, ShardedBroker)
+    broker.close()
+
+
+def test_make_engine_accepts_config_and_legacy():
+    config = RuntimeConfig(engine="sequential", indexing="off")
+    engine = make_engine(config)
+    assert engine.indexing == "off"
+    with pytest.warns(DeprecationWarning):
+        legacy = make_engine("sequential", indexing="off")
+    assert legacy.indexing == "off"
+    # the selection keyword overrides the config's engine field
+    assert make_engine("mmqjp-vm", RuntimeConfig()).processor.use_view_materialization
+
+
+def test_engines_carry_their_config():
+    with open_broker(RuntimeConfig(indexing="lazy", construct_outputs=False)) as broker:
+        assert broker.engine.config.indexing == "lazy"
+        assert broker.engine.indexing == "lazy"
