@@ -1,0 +1,249 @@
+"""Delta scaling: delta-driven Stage-2 joins vs. the full-state join path.
+
+The workload (:func:`repro.workloads.synthetic.build_delta_scaling_data`)
+grows the retained join state while holding the *delta-connected* state
+fixed: a constant slice of alive documents can actually join with a probe,
+and a growing tail of dead documents matches every value join (shared value
+pool) but carries decoy variable names no registered query binds.  The
+timed quantity is the per-document Stage 2 cost, with ``delta_join`` on and
+off; off reproduces the PR-4 behavior (full-state probing), on runs the
+semi-join reduction pass first, so per-document cost tracks the alive slice
+instead of the total state.
+
+Asserted acceptance criteria (CI gates):
+
+* exact match-set equivalence between ``delta_join`` on/off at every state
+  size, and across the full ``delta_join`` × ``plan_cache`` ×
+  ``prune_dispatch`` knob matrix on both engines with 1, 2 and 4 shards;
+* at the largest measured state, ``delta_join=on`` is ≥ 5× faster than
+  ``delta_join=off`` (skipped at smoke scale);
+* the ``delta_join=on`` per-document time grows sub-linearly in state size.
+
+Results are also written to ``BENCH_delta_scaling.json`` (repo root, or
+``$REPRO_BENCH_JSON_DIR``) through :func:`repro.bench.reporting.rows_to_json`.
+
+Set ``REPRO_BENCH_TINY=1`` to run the whole file at smoke scale (CI).
+"""
+
+import functools
+import os
+import random
+
+import pytest
+
+from repro import RuntimeConfig, open_broker
+from repro.bench.harness import register_mmqjp, run_delta_scaling
+from repro.bench.reporting import rows_to_json
+from repro.workloads.querygen import generate_query
+from repro.workloads.synthetic import build_delta_scaling_data, build_document
+from repro.xmlmodel.schema import two_level_schema
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+SCHEMA = two_level_schema(6)
+NUM_QUERIES = 24 if TINY else 120
+STATE_SIZES = (16, 48) if TINY else (100, 400, 1600)
+NUM_ALIVE = 8 if TINY else 16
+NUM_PROBES = 3 if TINY else 8
+VALUE_POOL = 6 if TINY else 16
+
+#: (delta_join, plan_cache, prune_dispatch) combinations for the
+#: equivalence sweep; the timed matrix only toggles delta_join (the other
+#: knobs stay at their defaults).
+KNOB_MATRIX = tuple(
+    (delta, plan, prune)
+    for delta in (False, True)
+    for plan in (False, True)
+    for prune in (False, True)
+)
+
+_ROWS: list[dict] = []
+_ON_MS_PER_DOC: dict[int, float] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_json():
+    """Write the collected rows as BENCH_delta_scaling.json after the run."""
+    yield
+    if not _ROWS:
+        return
+    out_dir = os.environ.get(
+        "REPRO_BENCH_JSON_DIR", os.path.dirname(os.path.dirname(__file__))
+    )
+    rows_to_json(
+        _ROWS,
+        path=os.path.join(out_dir, "BENCH_delta_scaling.json"),
+        meta={
+            "experiment": "delta_scaling",
+            "tiny": TINY,
+            "num_queries": NUM_QUERIES,
+            "state_sizes": list(STATE_SIZES),
+            "num_alive_docs": NUM_ALIVE,
+            "num_probe_docs": NUM_PROBES,
+            "value_pool": VALUE_POOL,
+        },
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _queries_and_registry():
+    rng = random.Random(7)
+    queries = tuple(
+        generate_query(SCHEMA, (i % 2) + 1, rng, window=float("inf"))
+        for i in range(NUM_QUERIES)
+    )
+    return queries, register_mmqjp(queries)
+
+
+@functools.lru_cache(maxsize=None)
+def _workload(num_state_docs):
+    return build_delta_scaling_data(
+        SCHEMA,
+        num_state_docs,
+        num_alive_docs=NUM_ALIVE,
+        num_probe_docs=NUM_PROBES,
+        value_pool=VALUE_POOL,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _baseline(num_state_docs):
+    """The full-state path (delta_join=False): (ms/doc, match keys)."""
+    queries, registry = _queries_and_registry()
+    result, keys = run_delta_scaling(
+        queries, _workload(num_state_docs), delta_join=False, registry=registry
+    )
+    return result, keys
+
+
+@pytest.mark.parametrize("num_state_docs", STATE_SIZES)
+@pytest.mark.parametrize("delta_join", (False, True), ids=("delta0", "delta1"))
+def bench_delta_scaling(benchmark, delta_join, num_state_docs):
+    queries, registry = _queries_and_registry()
+    data = _workload(num_state_docs)
+
+    def run_once():
+        return run_delta_scaling(
+            queries, data, delta_join=delta_join, registry=registry
+        )
+
+    result, keys = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    baseline, baseline_keys = _baseline(num_state_docs)
+    assert keys == baseline_keys, (
+        f"delta-driven path lost match-equivalence: delta_join={delta_join} "
+        f"at {num_state_docs} state docs"
+    )
+    baseline_ms = baseline.extra["ms_per_doc"]
+    speedup = baseline_ms / result.extra["ms_per_doc"] if result.extra["ms_per_doc"] else 0.0
+    if delta_join:
+        _ON_MS_PER_DOC[num_state_docs] = result.extra["ms_per_doc"]
+        if not TINY and num_state_docs >= max(STATE_SIZES):
+            # The acceptance bar: ≥ 5× over the full-state join at the
+            # largest measured state.
+            assert speedup >= 5.0, (
+                f"delta_join only {speedup:.2f}x over full-state at "
+                f"{num_state_docs} state docs"
+            )
+        if not TINY and len(_ON_MS_PER_DOC) == len(STATE_SIZES):
+            # Sub-linearity: while the state grew by size_ratio, the
+            # delta-driven per-document time must grow by at most half that
+            # (in practice it is near-flat — the delta-connected slice is
+            # constant by construction).
+            smallest = min(STATE_SIZES)
+            size_ratio = max(STATE_SIZES) / smallest
+            time_ratio = _ON_MS_PER_DOC[max(STATE_SIZES)] / _ON_MS_PER_DOC[smallest]
+            assert time_ratio <= size_ratio / 2.0, (
+                f"delta_join per-document time grew {time_ratio:.2f}x over a "
+                f"{size_ratio:.0f}x state growth — not sub-linear"
+            )
+    row = result.as_row()
+    row["figure"] = "delta_scaling"
+    row["speedup_vs_full_state"] = round(speedup, 2)
+    _ROWS.append(row)
+    benchmark.extra_info.update(
+        {
+            "figure": "delta_scaling",
+            "delta_join": delta_join,
+            "num_state_docs": num_state_docs,
+            "num_queries": NUM_QUERIES,
+            "ms_per_doc": result.extra["ms_per_doc"],
+            "speedup_vs_full_state": round(speedup, 2),
+            "num_matches": result.num_matches,
+        }
+    )
+
+
+def _equivalence_documents(num_docs):
+    """Small XML documents with colliding leaf values (joins actually fire)."""
+    documents = []
+    for i in range(num_docs):
+        value = f"v{i % 3}"
+        documents.append(
+            build_document(
+                SCHEMA,
+                docid=f"doc{i}",
+                timestamp=float(i + 1),
+                leaf_values=[value] * SCHEMA.num_leaves,
+                internal_marker=f"doc{i}",
+            )
+        )
+    return documents
+
+
+def _stream_match_keys(broker, queries, documents):
+    try:
+        for i, query in enumerate(queries):
+            broker.subscribe(query, subscription_id=f"q{i}")
+        keys = set()
+        for delivery in broker.publish_many(documents):
+            if delivery.match is not None:
+                keys.add(delivery.match.key())
+        return keys
+    finally:
+        broker.close()
+
+
+def bench_delta_scaling_equivalence(benchmark):
+    """Match-set equivalence across the knob matrix, engines and shards.
+
+    Runs at smoke scale regardless of ``REPRO_BENCH_TINY`` — it gates
+    correctness, not speed.
+    """
+    num_docs = 10 if TINY else 16
+    rng = random.Random(3)
+    queries = [
+        generate_query(SCHEMA, (i % 2) + 1, rng, window=float("inf"))
+        for i in range(16)
+    ]
+
+    def sweep():
+        reference = None
+        for engine in ("mmqjp", "sequential"):
+            for delta_join, plan_cache, prune_dispatch in KNOB_MATRIX:
+                for shards in (1, 2, 4):
+                    broker = open_broker(
+                        RuntimeConfig(
+                            engine=engine,
+                            construct_outputs=False,
+                            delta_join=delta_join,
+                            plan_cache=plan_cache,
+                            prune_dispatch=prune_dispatch,
+                            shards=shards,
+                        )
+                    )
+                    keys = _stream_match_keys(
+                        broker, queries, _equivalence_documents(num_docs)
+                    )
+                    if reference is None:
+                        reference = keys
+                    assert keys == reference, (
+                        f"match-set mismatch for engine={engine!r} "
+                        f"delta_join={delta_join} plan_cache={plan_cache} "
+                        f"prune_dispatch={prune_dispatch} shards={shards}"
+                    )
+        return len(reference)
+
+    num_matches = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "delta_scaling_equivalence"
+    benchmark.extra_info["num_matches"] = num_matches
+    assert num_matches > 0

@@ -424,6 +424,83 @@ def plan_scaling(
 
 
 # --------------------------------------------------------------------------- #
+# Delta scaling: delta-driven Stage-2 joins (beyond the paper)
+# --------------------------------------------------------------------------- #
+def delta_scaling(
+    state_sizes: Sequence[int] = (100, 400, 1600),
+    num_queries: int = 120,
+    num_alive_docs: int = 16,
+    num_probe_docs: int = 8,
+    value_pool: int = 16,
+    json_path: Optional[str] = None,
+) -> list[dict]:
+    """Per-document join throughput vs. state size at a fixed delta size.
+
+    The workload grows the retained state while holding the delta-connected
+    slice (alive documents) constant: the dead tail value-matches every
+    probe but fails the structural joins.  ``delta_join=False`` (the PR-4
+    full-state path) pays per-document cost proportional to the
+    value-matching state; ``delta_join=True`` semi-join-reduces the state
+    relations outward from the witness delta first, so its cost tracks the
+    alive slice.  Every configuration is checked for exact match-set
+    equivalence against the ``delta_join=False`` baseline; a mismatch
+    raises.  With ``json_path`` the rows are also written through
+    :func:`repro.bench.reporting.rows_to_json`.
+    """
+    import random
+
+    from repro.bench.harness import run_delta_scaling
+    from repro.bench.reporting import rows_to_json
+    from repro.workloads.querygen import generate_query
+    from repro.workloads.synthetic import build_delta_scaling_data
+    from repro.xmlmodel.schema import two_level_schema
+
+    schema = two_level_schema(6)
+    rng = random.Random(7)
+    queries = [
+        generate_query(schema, (i % 2) + 1, rng, window=float("inf"))
+        for i in range(num_queries)
+    ]
+    registry = register_mmqjp(queries)
+
+    rows = []
+    for num_state_docs in state_sizes:
+        data = build_delta_scaling_data(
+            schema,
+            num_state_docs,
+            num_alive_docs=num_alive_docs,
+            num_probe_docs=num_probe_docs,
+            value_pool=value_pool,
+        )
+        baseline, baseline_keys = run_delta_scaling(
+            queries, data, delta_join=False, registry=registry
+        )
+        baseline_dps = baseline.extra["docs_per_second"]
+        for delta_join in (False, True):
+            if delta_join:
+                result, keys = run_delta_scaling(
+                    queries, data, delta_join=True, registry=registry
+                )
+                if keys != baseline_keys:
+                    raise AssertionError(
+                        f"match-set mismatch: delta_join=True disagrees with "
+                        f"the full-state baseline at {num_state_docs} state docs"
+                    )
+            else:
+                result = baseline
+            row = result.as_row()
+            row["figure"] = "delta_scaling"
+            if baseline_dps:
+                row["speedup_vs_full_state"] = round(
+                    result.extra["docs_per_second"] / baseline_dps, 2
+                )
+            rows.append(row)
+    if json_path is not None:
+        rows_to_json(rows, path=json_path, meta={"experiment": "delta_scaling"})
+    return rows
+
+
+# --------------------------------------------------------------------------- #
 # Ablation studies (DESIGN.md Section 5)
 # --------------------------------------------------------------------------- #
 def ablation_graph_minor(
@@ -556,6 +633,7 @@ ALL_EXPERIMENTS = {
     "sharded_throughput": sharded_throughput,
     "state_scaling": state_scaling,
     "plan_scaling": plan_scaling,
+    "delta_scaling": delta_scaling,
     "ablation_graph_minor": ablation_graph_minor,
     "ablation_view_cache": ablation_view_cache,
     "ablation_witness_representation": ablation_witness_representation,

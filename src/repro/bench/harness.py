@@ -22,6 +22,7 @@ from repro.core.state import JoinState
 from repro.runtime.sharded_broker import ShardedBroker
 from repro.templates.registry import TemplateRegistry
 from repro.workloads.synthetic import (
+    DeltaScalingData,
     PlanScalingData,
     StateScalingData,
     TechnicalBenchmarkData,
@@ -78,13 +79,36 @@ def register_mmqjp(queries: Sequence[XsclQuery]) -> TemplateRegistry:
 
 
 def register_sequential(
-    queries: Sequence[XsclQuery], state=None
+    queries: Sequence[XsclQuery], state=None, **knobs
 ) -> SequentialJoinProcessor:
-    """Register a query workload with a fresh sequential processor."""
-    processor = SequentialJoinProcessor(state=state)
+    """Register a query workload with a fresh sequential processor.
+
+    ``knobs`` are forwarded to :class:`SequentialJoinProcessor`
+    (``plan_cache``, ``prune_dispatch``, ``delta_join``, ...), so every
+    benchmark constructs the baseline through this one path.
+    """
+    processor = SequentialJoinProcessor(state=state, **knobs)
     for i, query in enumerate(queries):
         processor.add_query(f"q{i}", query)
     return processor
+
+
+def _time_probe_loop(processor, probes) -> tuple[float, int, frozenset]:
+    """The timed quantity shared by the scaling benchmarks.
+
+    Processes (and folds into the state) every probe document in order;
+    returns ``(elapsed seconds, total matches, frozen match-key set)``.
+    """
+    start = time.perf_counter()
+    match_keys: set[tuple] = set()
+    num_matches = 0
+    for witness in probes:
+        matches = processor.process(witness)
+        processor.maintain_state(witness)
+        num_matches += len(matches)
+        match_keys.update(m.key() for m in matches)
+    elapsed = time.perf_counter() - start
+    return elapsed, num_matches, frozenset(match_keys)
 
 
 # --------------------------------------------------------------------------- #
@@ -218,25 +242,19 @@ def run_state_scaling(
     """
     state = JoinState(indexing=indexing)
     data.load_state(state)
+    # delta_join is pinned off: this benchmark isolates the indexing knob
+    # (the PR-2 measurement); the delta-scaling benchmark owns delta_join.
     if approach == APPROACH_SEQUENTIAL:
-        processor = register_sequential(queries, state=state)
+        processor = register_sequential(queries, state=state, delta_join=False)
         num_templates = None
     elif approach == APPROACH_MMQJP:
         registry = register_mmqjp(queries)
-        processor = MMQJPJoinProcessor(registry, state=state)
+        processor = MMQJPJoinProcessor(registry, state=state, delta_join=False)
         num_templates = registry.num_templates
     else:
         raise ValueError(f"unsupported state-scaling approach {approach!r}")
 
-    start = time.perf_counter()
-    match_keys: set[tuple] = set()
-    num_matches = 0
-    for witness in data.probes:
-        matches = processor.process(witness)
-        processor.maintain_state(witness)
-        num_matches += len(matches)
-        match_keys.update(m.key() for m in matches)
-    elapsed = time.perf_counter() - start
+    elapsed, num_matches, match_keys = _time_probe_loop(processor, data.probes)
 
     throughput = len(data.probes) / elapsed if elapsed > 0 else float("inf")
     result = ApproachResult(
@@ -253,7 +271,7 @@ def run_state_scaling(
             "docs_per_second": round(throughput, 3),
         },
     )
-    return result, frozenset(match_keys)
+    return result, match_keys
 
 
 # --------------------------------------------------------------------------- #
@@ -285,32 +303,33 @@ def run_plan_scaling(
     """
     state = JoinState(indexing=indexing)
     data.load_state(state)
+    # delta_join is pinned off: this benchmark isolates plan_cache ×
+    # prune_dispatch against the PR-2 baseline; the delta-scaling benchmark
+    # owns delta_join.
     if approach == APPROACH_SEQUENTIAL:
-        processor = SequentialJoinProcessor(
-            state=state, plan_cache=plan_cache, prune_dispatch=prune_dispatch
+        processor = register_sequential(
+            queries,
+            state=state,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
+            delta_join=False,
         )
-        for i, query in enumerate(queries):
-            processor.add_query(f"q{i}", query)
         num_templates = None
     elif approach == APPROACH_MMQJP:
         if registry is None:
             registry = register_mmqjp(queries)
         processor = MMQJPJoinProcessor(
-            registry, state=state, plan_cache=plan_cache, prune_dispatch=prune_dispatch
+            registry,
+            state=state,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
+            delta_join=False,
         )
         num_templates = registry.num_templates
     else:
         raise ValueError(f"unsupported plan-scaling approach {approach!r}")
 
-    start = time.perf_counter()
-    match_keys: set[tuple] = set()
-    num_matches = 0
-    for witness in data.probes:
-        matches = processor.process(witness)
-        processor.maintain_state(witness)
-        num_matches += len(matches)
-        match_keys.update(m.key() for m in matches)
-    elapsed = time.perf_counter() - start
+    elapsed, num_matches, match_keys = _time_probe_loop(processor, data.probes)
 
     throughput = len(data.probes) / elapsed if elapsed > 0 else float("inf")
     label = "compiled" if plan_cache else "plan-per-call"
@@ -340,7 +359,82 @@ def run_plan_scaling(
         breakdown_ms=processor.costs.as_milliseconds(),
         extra=extra,
     )
-    return result, frozenset(match_keys)
+    return result, match_keys
+
+
+# --------------------------------------------------------------------------- #
+# the delta-scaling benchmark (delta-driven Stage-2 joins)
+# --------------------------------------------------------------------------- #
+def run_delta_scaling(
+    queries: Sequence[XsclQuery],
+    data: DeltaScalingData,
+    approach: str = APPROACH_MMQJP,
+    indexing: str = "eager",
+    plan_cache: bool = True,
+    prune_dispatch: bool = True,
+    delta_join: bool = True,
+    registry: Optional[TemplateRegistry] = None,
+) -> tuple[ApproachResult, frozenset]:
+    """Per-document join cost on the growing-state / fixed-delta workload.
+
+    Identical in shape to :func:`run_plan_scaling`, but over
+    :class:`~repro.workloads.synthetic.DeltaScalingData`: the retained state
+    grows while the delta-connected state (and the probes) stay fixed, so
+    ``delta_join=False`` pays per-document cost proportional to the total
+    value-matching state and ``delta_join=True`` only to the alive slice.
+    The returned match-key set must be identical across every knob
+    combination, engine and shard count.
+    """
+    state = JoinState(indexing=indexing)
+    data.load_state(state)
+    if approach == APPROACH_SEQUENTIAL:
+        processor = register_sequential(
+            queries,
+            state=state,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
+            delta_join=delta_join,
+        )
+        num_templates = None
+    elif approach == APPROACH_MMQJP:
+        if registry is None:
+            registry = register_mmqjp(queries)
+        processor = MMQJPJoinProcessor(
+            registry,
+            state=state,
+            plan_cache=plan_cache,
+            prune_dispatch=prune_dispatch,
+            delta_join=delta_join,
+        )
+        num_templates = registry.num_templates
+    else:
+        raise ValueError(f"unsupported delta-scaling approach {approach!r}")
+
+    elapsed, num_matches, match_keys = _time_probe_loop(processor, data.probes)
+
+    throughput = len(data.probes) / elapsed if elapsed > 0 else float("inf")
+    extra = {
+        "delta_join": delta_join,
+        "plan_cache": plan_cache,
+        "prune_dispatch": prune_dispatch,
+        "indexing": indexing,
+        "num_state_docs": len(data.state_docs),
+        "num_alive_docs": data.num_alive_docs,
+        "num_probe_docs": len(data.probes),
+        "docs_per_second": round(throughput, 3),
+        "ms_per_doc": round(elapsed * 1000.0 / max(1, len(data.probes)), 4),
+    }
+    extra.update({f"delta_{k}": v for k, v in processor.delta_stats.items()})
+    result = ApproachResult(
+        approach=f"{approach}-delta-{'on' if delta_join else 'off'}",
+        num_queries=len(queries),
+        elapsed_ms=elapsed * 1000.0,
+        num_matches=num_matches,
+        num_templates=num_templates,
+        breakdown_ms=processor.costs.as_milliseconds(),
+        extra=extra,
+    )
+    return result, match_keys
 
 
 # --------------------------------------------------------------------------- #

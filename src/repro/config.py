@@ -76,6 +76,13 @@ class RuntimeConfig:
     prune_dispatch:
         Skip templates/queries irrelevant to the published document
         (default).  ``False`` visits every registered template/query.
+    delta_join:
+        Delta-driven Stage-2 evaluation (default): before each conjunctive
+        query runs, the state relations are semi-join-reduced to the rows
+        reachable from the current document's witness delta, so join cost
+        is proportional to delta-connected state rather than total state.
+        ``False`` probes the full state relations (the pre-delta behavior,
+        kept for ablation and equivalence testing).
     auto_prune:
         Prune join state by window horizon on the publish path (effective
         while every registered window is finite).
@@ -115,6 +122,7 @@ class RuntimeConfig:
     indexing: str = "eager"
     plan_cache: bool = True
     prune_dispatch: bool = True
+    delta_join: bool = True
     auto_prune: bool = True
     auto_timestamp: bool = True
     store_documents: Optional[bool] = None
@@ -219,11 +227,13 @@ class RuntimeConfig:
     def ablation(cls, **overrides) -> "RuntimeConfig":
         """The all-knobs-off ablation baseline.
 
-        Unindexed join state, plan-per-call evaluation, and
-        visit-every-template dispatch — the behavior of the seed system,
-        kept for equivalence and ablation runs.
+        Unindexed join state, plan-per-call evaluation, full-state joins,
+        and visit-every-template dispatch — the behavior of the seed
+        system, kept for equivalence and ablation runs.
         """
-        base: dict = dict(indexing="off", plan_cache=False, prune_dispatch=False)
+        base: dict = dict(
+            indexing="off", plan_cache=False, prune_dispatch=False, delta_join=False
+        )
         base.update(overrides)
         return cls(**base)
 

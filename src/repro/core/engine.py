@@ -12,6 +12,7 @@ checked for result equivalence — on any workload.
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
@@ -233,19 +234,22 @@ class _BaseEngine:
     # ------------------------------------------------------------------ #
     # document processing
     # ------------------------------------------------------------------ #
-    def process_document(
+    def _prepare_document(
         self,
         document: Union[str, XmlDocument],
-        timestamp: Optional[float] = None,
-    ) -> list[Match]:
-        """Run both stages on one incoming document and return its matches."""
+        timestamp: Optional[float],
+    ) -> XmlDocument:
+        """Parse and stamp one incoming document (shared by both entry points)."""
         if isinstance(document, str):
             document = parse_document(document)
         if timestamp is not None:
             document.timestamp = float(timestamp)
         elif self.auto_timestamp and document.timestamp == 0.0:
             document.timestamp = float(next(self._clock))
+        return document
 
+    def _process_prepared(self, document: XmlDocument) -> list[Match]:
+        """Run both stages on an already-prepared document."""
         witnesses = self.evaluator.evaluate(document)
         relations = WitnessRelations.from_witnesses(witnesses)
         raw_matches = self._processor().process(relations)
@@ -260,8 +264,56 @@ class _BaseEngine:
         self.num_matches += len(matches)
         return matches
 
+    def process_document(
+        self,
+        document: Union[str, XmlDocument],
+        timestamp: Optional[float] = None,
+    ) -> list[Match]:
+        """Run both stages on one incoming document and return its matches."""
+        return self._process_prepared(self._prepare_document(document, timestamp))
+
+    def process_batch(
+        self,
+        documents: Iterable[Union[str, XmlDocument]],
+        timestamp: Optional[float] = None,
+    ) -> list[list[Match]]:
+        """Process a batch of documents; one match list per document.
+
+        The batched ingestion fast path: the whole batch is parsed, stamped
+        and docid-interned up front, and the processor's per-batch hooks
+        (:meth:`~repro.core.processor.MMQJPJoinProcessor.begin_batch`)
+        hoist fixed per-document costs — e.g. the relevance-index sync,
+        which cannot change between a batch's documents — out of the loop.
+        Documents are still evaluated and folded into the join state in
+        arrival order, so the matches are exactly those of a
+        :meth:`process_document` loop.
+        """
+        prepared: list[XmlDocument] = []
+        for document in documents:
+            document = self._prepare_document(document, timestamp)
+            if isinstance(document.docid, str):
+                # Docids recur in every witness row, state partition key
+                # and match: interning once per batch makes the hot-path
+                # hashing and equality checks pointer comparisons.
+                document.docid = sys.intern(document.docid)
+            prepared.append(document)
+        if not prepared:
+            return []
+        processor = self._processor()
+        processor.begin_batch()
+        try:
+            return [self._process_prepared(document) for document in prepared]
+        finally:
+            processor.end_batch()
+
     def process_stream(self, documents: Iterable[Union[str, XmlDocument]]) -> list[Match]:
-        """Process a sequence of documents; returns all matches in arrival order."""
+        """Process a sequence of documents; returns all matches in arrival order.
+
+        Documents are processed one at a time — a lazy/unbounded iterable is
+        consumed incrementally, and documents before a failing one are fully
+        folded into the join state.  Use :meth:`process_batch` for the
+        batched fast path over an already-materialized batch.
+        """
         out: list[Match] = []
         for document in documents:
             out.extend(self.process_document(document))
@@ -368,6 +420,16 @@ class _BaseEngine:
     def prune_dispatch(self) -> bool:
         """Whether relevance-pruned dispatch is enabled."""
         return self._processor().relevance is not None
+
+    @property
+    def delta_join(self) -> bool:
+        """Whether delta-driven (semi-join reduced) evaluation is enabled."""
+        return self._processor().delta_join
+
+    @property
+    def delta_stats(self) -> dict[str, int]:
+        """The processor's delta-reduction counters (all zero when off)."""
+        return dict(self._processor().delta_stats)
 
     def stats(self) -> EngineStats:
         """Summary statistics for dashboards, examples and tests."""

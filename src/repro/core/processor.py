@@ -12,15 +12,21 @@ documents) and the current document's witness relations — and produce the
 same :class:`~repro.core.results.Match` records, which is what the
 equivalence tests in ``tests/`` check.
 
-Two knobs keep the per-document hot path proportional to the *relevant*
-work (both default on; off reproduces the previous behavior for ablation):
+Three knobs keep the per-document hot path proportional to the *relevant*
+work (all default on; off reproduces the previous behavior for ablation):
 
 * ``plan_cache`` — conjunctive queries are evaluated through compiled,
   cached plans (:mod:`repro.relational.plan`) instead of being re-planned
   on every call;
 * ``prune_dispatch`` — templates (MMQJP) / queries (Sequential) whose
   right-hand-side variables the current document did not bind are skipped
-  outright via an inverted index (:mod:`repro.core.relevance`).
+  outright via an inverted index (:mod:`repro.core.relevance`);
+* ``delta_join`` — each conjunctive query is evaluated *outward from the
+  delta*: a semi-join reduction pass restricts every state relation to the
+  rows reachable from the current document's witnesses before the main
+  join runs (:class:`~repro.relational.conjunctive.DeltaProgram`), with
+  one :class:`~repro.relational.conjunctive.DeltaContext` per document so
+  reductions are shared across templates.
 """
 
 from __future__ import annotations
@@ -39,7 +45,11 @@ from repro.core.relevance import RelevanceIndex
 from repro.core.results import Match
 from repro.core.state import JoinState
 from repro.core.witnesses import WitnessRelations
-from repro.relational.conjunctive import ConjunctiveQuery, evaluate_conjunctive
+from repro.relational.conjunctive import (
+    ConjunctiveQuery,
+    DeltaContext,
+    evaluate_conjunctive,
+)
 from repro.relational.database import IndexedDatabase
 from repro.relational.plan import PlanCache
 from repro.relational.relation import Relation
@@ -89,12 +99,13 @@ def _resolve_knobs(
     indexing: Optional[str],
     plan_cache: "bool | PlanCache | None",
     prune_dispatch: Optional[bool],
+    delta_join: Optional[bool],
 ) -> tuple:
     """Fill unset processor knobs from a :class:`~repro.config.RuntimeConfig`.
 
     Explicit knob arguments always win; with neither a knob nor a config the
     historical defaults apply (``plan_cache=True``, ``prune_dispatch=True``,
-    indexing resolved by :func:`_resolve_state`).
+    ``delta_join=True``, indexing resolved by :func:`_resolve_state`).
     """
     if config is not None:
         if indexing is None:
@@ -103,11 +114,60 @@ def _resolve_knobs(
             plan_cache = config.plan_cache
         if prune_dispatch is None:
             prune_dispatch = config.prune_dispatch
+        if delta_join is None:
+            delta_join = config.delta_join
     if plan_cache is None:
         plan_cache = True
     if prune_dispatch is None:
         prune_dispatch = True
-    return indexing, plan_cache, prune_dispatch
+    if delta_join is None:
+        delta_join = True
+    return indexing, plan_cache, prune_dispatch, delta_join
+
+
+def _empty_delta_stats() -> dict[str, int]:
+    """Zeroed per-processor counters of the delta-reduction pass."""
+    return {
+        "documents": 0,
+        "reductions_computed": 0,
+        "reductions_reused": 0,
+        "rows_scanned": 0,
+        "rows_kept": 0,
+    }
+
+
+class _DeltaBatchMixin:
+    """Shared delta-context plumbing and batch hooks of both processors.
+
+    Expects the concrete processor to initialize ``delta_join`` (bool),
+    ``delta_stats`` (via :func:`_empty_delta_stats`) and ``_in_batch``.
+    ``begin_batch``/``end_batch`` bracket one engine-level document batch —
+    no query can register or retract between a batch's documents, which is
+    what lets subclasses hoist per-document fixed costs into
+    :meth:`begin_batch`.
+    """
+
+    def begin_batch(self) -> None:
+        """Enter batch mode (paired with :meth:`end_batch`)."""
+        self._in_batch = True
+
+    def end_batch(self) -> None:
+        """Leave batch mode."""
+        self._in_batch = False
+
+    def _delta_context(self) -> Optional[DeltaContext]:
+        """A fresh per-document delta context (``None`` when delta is off)."""
+        if not self.delta_join:
+            return None
+        self.delta_stats["documents"] += 1
+        return DeltaContext()
+
+    def _fold_delta_stats(self, delta: Optional[DeltaContext]) -> None:
+        if delta is None:
+            return
+        stats = self.delta_stats
+        for key, value in delta.stats().items():
+            stats[key] += value
 
 
 def _build_state_env(state: JoinState) -> IndexedDatabase:
@@ -124,7 +184,7 @@ def _build_state_env(state: JoinState) -> IndexedDatabase:
     return env
 
 
-class MMQJPJoinProcessor:
+class MMQJPJoinProcessor(_DeltaBatchMixin):
     """Template-based multi-query join processing (Algorithms 1, 2 and 4).
 
     Parameters
@@ -148,6 +208,13 @@ class MMQJPJoinProcessor:
         right-hand-side variables bound by the current document
         (relevance-pruned dispatch).  ``False`` visits every template (the
         pre-pruning behavior).
+    delta_join:
+        Evaluate each template's conjunctive query outward from the current
+        document's witness delta: the state relations are semi-join-reduced
+        to the delta-connected rows before the main join (one
+        :class:`~repro.relational.conjunctive.DeltaContext` per document,
+        shared across templates).  ``False`` probes the full state (the
+        pre-delta behavior).
     """
 
     def __init__(
@@ -159,10 +226,11 @@ class MMQJPJoinProcessor:
         indexing: Optional[str] = None,
         plan_cache: "bool | PlanCache | None" = None,
         prune_dispatch: Optional[bool] = None,
+        delta_join: Optional[bool] = None,
         config: Optional["RuntimeConfig"] = None,
     ):
-        indexing, plan_cache, prune_dispatch = _resolve_knobs(
-            config, indexing, plan_cache, prune_dispatch
+        indexing, plan_cache, prune_dispatch, delta_join = _resolve_knobs(
+            config, indexing, plan_cache, prune_dispatch, delta_join
         )
         self.registry = registry
         self.state = _resolve_state(state, indexing)
@@ -178,6 +246,9 @@ class MMQJPJoinProcessor:
         self._relevance_seq = -1
         self.templates_skipped = 0
         self._match_positions: dict[int, tuple] = {}
+        self.delta_join = bool(delta_join)
+        self.delta_stats = _empty_delta_stats()
+        self._in_batch = False
 
     @property
     def indexing(self) -> str:
@@ -214,8 +285,25 @@ class MMQJPJoinProcessor:
         """Template ids worth dispatching, or ``None`` when pruning is off."""
         if self.relevance is None:
             return None
-        self._sync_relevance()
+        if not self._in_batch:
+            # Inside a batch the sync is hoisted to begin_batch(): no
+            # registration can happen between the batch's documents.
+            self._sync_relevance()
         return self.relevance.relevant(witnesses.bound_variables())
+
+    # ------------------------------------------------------------------ #
+    # batched ingestion
+    # ------------------------------------------------------------------ #
+    def begin_batch(self) -> None:
+        """Hoist per-document fixed costs out of a batch's document loop.
+
+        Between the documents of one batch no query can register or
+        retract, so the relevance-index sync runs once here instead of once
+        per document.
+        """
+        if self.relevance is not None:
+            self._sync_relevance()
+        super().begin_batch()
 
     # ------------------------------------------------------------------ #
     # Algorithm 1 / Algorithm 4
@@ -225,6 +313,7 @@ class MMQJPJoinProcessor:
         env = self.env
         env.bind_all(witnesses.relations())
         relevant = self._relevant_templates(witnesses)
+        delta = self._delta_context()
 
         if self.use_view_materialization and (
             relevant is None or relevant or self.view_cache is not None
@@ -252,9 +341,9 @@ class MMQJPJoinProcessor:
             cq = self.registry.cqt(template, materialized=self.use_view_materialization)
             with self.costs.measure("conjunctive_query"):
                 if self.plan_cache is not None:
-                    rout = self.plan_cache.evaluate(cq, env)
+                    rout = self.plan_cache.evaluate(cq, env, delta=delta)
                 else:
-                    rout = evaluate_conjunctive(cq, env)
+                    rout = evaluate_conjunctive(cq, env, delta=delta)
             if not rout.rows:
                 continue
             with self.costs.measure("window_check"):
@@ -264,6 +353,7 @@ class MMQJPJoinProcessor:
                     if match is not None and match.key() not in seen:
                         seen.add(match.key())
                         matches.append(match)
+        self._fold_delta_stats(delta)
         return matches
 
     def _positions_of(self, template, rout: Relation) -> tuple:
@@ -435,13 +525,15 @@ def build_per_query_cq(qid: str, query: XsclQuery, reduced: ReducedJoinGraph) ->
     return cq
 
 
-class SequentialJoinProcessor:
+class SequentialJoinProcessor(_DeltaBatchMixin):
     """The paper's baseline: evaluate every query's join operator separately.
 
-    ``plan_cache`` and ``prune_dispatch`` mirror the MMQJP processor's
-    knobs, at per-query granularity: each query's conjunctive query is
-    compiled once, and queries whose RHS variables the current document did
-    not bind are skipped entirely.
+    ``plan_cache``, ``prune_dispatch`` and ``delta_join`` mirror the MMQJP
+    processor's knobs, at per-query granularity: each query's conjunctive
+    query is compiled once, queries whose RHS variables the current
+    document did not bind are skipped entirely, and the per-query joins run
+    over delta-reduced state relations (shared across the document's
+    queries through one :class:`~repro.relational.conjunctive.DeltaContext`).
     """
 
     def __init__(
@@ -450,10 +542,11 @@ class SequentialJoinProcessor:
         indexing: Optional[str] = None,
         plan_cache: "bool | PlanCache | None" = None,
         prune_dispatch: Optional[bool] = None,
+        delta_join: Optional[bool] = None,
         config: Optional[RuntimeConfig] = None,
     ):
-        indexing, plan_cache, prune_dispatch = _resolve_knobs(
-            config, indexing, plan_cache, prune_dispatch
+        indexing, plan_cache, prune_dispatch, delta_join = _resolve_knobs(
+            config, indexing, plan_cache, prune_dispatch, delta_join
         )
         self.state = _resolve_state(state, indexing)
         self.costs = CostBreakdown()
@@ -465,6 +558,9 @@ class SequentialJoinProcessor:
         )
         self.queries_skipped = 0
         self._match_positions: dict[str, tuple] = {}
+        self.delta_join = bool(delta_join)
+        self.delta_stats = _empty_delta_stats()
+        self._in_batch = False
 
     @property
     def indexing(self) -> str:
@@ -535,6 +631,7 @@ class SequentialJoinProcessor:
         relevant: Optional[set] = None
         if self.relevance is not None:
             relevant = self.relevance.relevant(witnesses.bound_variables())
+        delta = self._delta_context()
 
         matches: list[Match] = []
         seen: set[tuple] = set()
@@ -544,9 +641,9 @@ class SequentialJoinProcessor:
                 continue
             with self.costs.measure("conjunctive_query"):
                 if self.plan_cache is not None:
-                    rout = self.plan_cache.evaluate(cq, env)
+                    rout = self.plan_cache.evaluate(cq, env, delta=delta)
                 else:
-                    rout = evaluate_conjunctive(cq, env)
+                    rout = evaluate_conjunctive(cq, env, delta=delta)
             if not rout.rows:
                 continue
             with self.costs.measure("window_check"):
@@ -556,6 +653,7 @@ class SequentialJoinProcessor:
                     if match is not None and match.key() not in seen:
                         seen.add(match.key())
                         matches.append(match)
+        self._fold_delta_stats(delta)
         return matches
 
     def _positions_of(self, qid: str, reduced: ReducedJoinGraph, rout: Relation) -> tuple:

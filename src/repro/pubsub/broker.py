@@ -201,6 +201,56 @@ class Broker:
     # ------------------------------------------------------------------ #
     # publishing
     # ------------------------------------------------------------------ #
+    def _prepare(
+        self,
+        document: Union[str, XmlDocument],
+        timestamp: Optional[float],
+        stream: Optional[str],
+    ) -> XmlDocument:
+        """Parse one incoming document and record it on its stream."""
+        if isinstance(document, str):
+            document = parse_document(document)
+        if stream is not None:
+            document.stream = stream
+        if timestamp is not None:
+            document.timestamp = float(timestamp)
+        self.streams.get_or_create(document.stream).record(document)
+        return document
+
+    def _deliver_matches(
+        self,
+        matches,
+        deliveries: list[SubscriptionResult],
+        subscription_of: dict,
+    ) -> None:
+        """Deliver one document's join matches to their subscriptions.
+
+        ``subscription_of`` caches the qid → subscription handle lookups
+        across a batch, so repeated matches of the same query resolve
+        without re-consulting the registry.  Activity is still checked per
+        match — a delivery callback may pause or cancel mid-batch.
+        """
+        for match in matches:
+            qid = match.qid
+            subscription = subscription_of.get(qid)
+            if subscription is None:
+                if qid in subscription_of:
+                    continue  # interned negative entry: no such subscription
+                subscription = self._subscriptions.get(qid)
+                subscription_of[qid] = subscription
+                if subscription is None:
+                    continue
+            if not subscription.active:
+                continue
+            output = None
+            if self.construct_outputs:
+                output = self.engine.output_document(match)
+            result = SubscriptionResult(
+                subscription_id=qid, match=match, output=output
+            )
+            subscription.deliver(result)
+            deliveries.append(result)
+
     def publish(
         self,
         document: Union[str, XmlDocument],
@@ -212,36 +262,24 @@ class Broker:
         Returns the deliveries made for this document (also pushed to the
         subscriber sinks).
         """
-        if isinstance(document, str):
-            document = parse_document(document)
-        if stream is not None:
-            document.stream = stream
-        if timestamp is not None:
-            document.timestamp = float(timestamp)
-        self.streams.get_or_create(document.stream).record(document)
-
+        document = self._prepare(document, timestamp, stream)
         deliveries: list[SubscriptionResult] = []
         deliveries.extend(self._filters.deliver(document))
-
         matches = self.engine.process_document(document)
-        for match in matches:
-            subscription = self._subscriptions.get(match.qid)
-            if subscription is None or not subscription.active:
-                continue
-            output = None
-            if self.construct_outputs:
-                output = self.engine.output_document(match)
-            result = SubscriptionResult(
-                subscription_id=match.qid, match=match, output=output
-            )
-            subscription.deliver(result)
-            deliveries.append(result)
+        self._deliver_matches(matches, deliveries, {})
         return deliveries
 
     def publish_stream(
         self, documents: Iterable[Union[str, XmlDocument]]
     ) -> list[SubscriptionResult]:
-        """Publish a sequence of documents; returns all deliveries."""
+        """Publish a sequence of documents one at a time; returns all deliveries.
+
+        Unlike :meth:`publish_many`, each document is processed and
+        delivered before the next is read: a delivery callback that
+        subscribes or publishes mid-stream observes the same interleaving
+        as a :meth:`publish` loop, and a generator input is consumed
+        incrementally instead of being materialized up front.
+        """
         out: list[SubscriptionResult] = []
         for document in documents:
             out.extend(self.publish(document))
@@ -255,14 +293,29 @@ class Broker:
     ) -> list[SubscriptionResult]:
         """Publish a batch of documents; returns all deliveries.
 
-        On the unsharded broker this is a convenience loop; on the sharded
-        runtime the same call dispatches the whole batch to every shard in
-        one task each.
+        The batched ingestion fast path: the whole batch is parsed, stamped
+        and stream-recorded up front, the engine processes it through
+        :meth:`~repro.core.engine._BaseEngine.process_batch` (which hoists
+        the relevance-index sync and docid interning out of the per-document
+        loop), and deliveries reuse one qid → subscription cache for the
+        whole batch.  Deliveries fire once the whole batch has been
+        processed, grouped per document in arrival order (a document's
+        filter deliveries, then its join matches) — and every result still
+        flows through the subscription's sinks, so a
+        :class:`~repro.pubsub.sinks.BatchingSink` naturally fills and
+        flushes across the batch.  Use :meth:`publish_stream` when
+        per-document interleaving of processing and delivery matters.
         """
-        out: list[SubscriptionResult] = []
-        for document in documents:
-            out.extend(self.publish(document, timestamp=timestamp, stream=stream))
-        return out
+        batch = [self._prepare(document, timestamp, stream) for document in documents]
+        if not batch:
+            return []
+        per_document = self.engine.process_batch(batch)
+        deliveries: list[SubscriptionResult] = []
+        subscription_of: dict = {}
+        for document, matches in zip(batch, per_document):
+            deliveries.extend(self._filters.deliver(document))
+            self._deliver_matches(matches, deliveries, subscription_of)
+        return deliveries
 
     # ------------------------------------------------------------------ #
     # state management and stats

@@ -10,6 +10,12 @@ as a Datalog rule over the witness relations and the template relation
 * :class:`ConjunctiveQuery` — a head atom plus a body (a list of atoms).
 * :func:`evaluate_conjunctive` — a hash-join based evaluator with a simple
   size-driven greedy join order (or the caller-provided order).
+* :class:`DeltaProgram` / :class:`DeltaContext` — the delta-driven
+  (semi-join reduction) evaluation pass: before the main join runs, every
+  *stable* (state/``RT``) atom's relation is restricted to the rows
+  reachable from the current document's witness relations via the query's
+  join keys, so join cost is proportional to the delta-connected state
+  rather than the total state.
 
 The evaluator treats repeated variables within and across atoms as equality
 constraints, exactly like Datalog.
@@ -18,8 +24,9 @@ constraints, exactly like Datalog.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.relational.operators import column_value_set, semijoin_in
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, SchemaError
 from repro.relational.terms import Const, Var, term
@@ -194,6 +201,318 @@ def _analyze_atom(
     return const_checks, join_cols, new_vars, within_atom_eq
 
 
+# --------------------------------------------------------------------------- #
+# delta-driven evaluation: semi-join reduction outward from the witness delta
+# --------------------------------------------------------------------------- #
+class DeltaContext:
+    """Per-document memoization and statistics for delta-driven evaluation.
+
+    One context is created per published document (by the processors) and
+    shared across every template/query evaluated for that document.  The
+    reductions computed by the semi-join pass are keyed on the *identity* of
+    the source relation and of the value-domain sets involved, so templates
+    whose bodies chain through the same witness relations reuse each other's
+    reductions — the per-document reduction cost is paid once per distinct
+    reduction, not once per template.
+
+    Counters: ``reductions_computed`` / ``reductions_reused`` count distinct
+    and memo-served reductions, ``rows_scanned`` counts state rows (plus
+    index probes) examined while reducing, and ``rows_kept`` counts the rows
+    that survived — the delta-connected state the main joins then run over.
+    """
+
+    __slots__ = (
+        "_values",
+        "_reductions",
+        "_meets",
+        "_pins",
+        "reductions_computed",
+        "reductions_reused",
+        "rows_scanned",
+        "rows_kept",
+    )
+
+    def __init__(self) -> None:
+        self._values: dict[tuple, frozenset] = {}
+        self._reductions: dict[tuple, Relation] = {}
+        self._meets: dict[tuple, frozenset] = {}
+        # Memo keys use id(); pinning the keyed objects guarantees a
+        # recycled id can never alias a collected relation or domain set.
+        self._pins: list = []
+        self.reductions_computed = 0
+        self.reductions_reused = 0
+        self.rows_scanned = 0
+        self.rows_kept = 0
+
+    # ------------------------------------------------------------------ #
+    # domains
+    # ------------------------------------------------------------------ #
+    def column_values(
+        self,
+        relation: Relation,
+        column: int,
+        const_checks: tuple = (),
+    ) -> frozenset:
+        """Memoized distinct values of one column (under constant checks)."""
+        try:
+            key = (id(relation), column, const_checks)
+            cached = self._values.get(key)
+        except TypeError:  # unhashable constant: compute without memoizing
+            return column_value_set(relation, column, const_checks)
+        if cached is None:
+            cached = column_value_set(relation, column, const_checks)
+            self._values[key] = cached
+            self._pins.append(relation)
+        return cached
+
+    def meet(self, a: Optional[frozenset], b: Optional[frozenset]) -> Optional[frozenset]:
+        """Intersection of two domains, preserving object identity when possible.
+
+        Identity preservation matters: reduction memo keys are built from
+        domain-set identities, so returning the original object whenever the
+        intersection changes nothing keeps equal reductions shareable across
+        templates.
+        """
+        if a is None:
+            return b
+        if b is None or a is b:
+            return a
+        key = (id(a), id(b))
+        cached = self._meets.get(key)
+        if cached is None:
+            cached = a & b
+            if cached == a:
+                cached = a
+            elif cached == b:
+                cached = b
+            self._meets[key] = cached
+            self._pins.append((a, b))
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def reduce(
+        self,
+        name: str,
+        base: Relation,
+        const_checks: tuple,
+        constraints: tuple,
+        index_for=None,
+    ) -> Optional[Relation]:
+        """Restrict ``base`` to the rows satisfying every constraint.
+
+        ``constraints`` is a tuple of ``(column, domain frozenset)``
+        membership constraints; ``const_checks`` contributes singleton
+        domains.  Returns ``None`` when there is nothing to restrict by.
+        The probe runs over the most selective column — through a
+        persistent single-column index when ``index_for`` provides one —
+        so the cost is proportional to the matching rows, not ``|base|``.
+        """
+        if not const_checks and not constraints:
+            return None
+        try:
+            sig = (id(base), const_checks, tuple((c, id(d)) for c, d in constraints))
+            cached = self._reductions.get(sig)
+        except TypeError:  # unhashable constant: compute without memoizing
+            sig, cached = None, None
+        if cached is not None:
+            self.reductions_reused += 1
+            return cached
+
+        try:
+            candidates = [(col, frozenset((value,))) for col, value in const_checks]
+        except TypeError:
+            # An unhashable constant cannot participate in set-membership
+            # semi-joins; leave the atom unreduced (the main join still
+            # applies the constant check by equality).
+            return None
+        candidates.extend(constraints)
+        candidates.sort(key=lambda cv: len(cv[1]))
+        probe_col, probe_dom = candidates[0]
+        extra = tuple(candidates[1:])
+        index = None
+        if index_for is not None and len(probe_dom) < max(8, len(base)):
+            index = index_for(name, (probe_col,))
+        out = semijoin_in(base, probe_col, probe_dom, extra=extra, index=index, name=name)
+        self.reductions_computed += 1
+        if index is not None:
+            self.rows_scanned += len(out) + len(probe_dom)
+        else:
+            self.rows_scanned += len(base)
+        self.rows_kept += len(out)
+        if sig is not None:
+            self._reductions[sig] = out
+            self._pins.append(base)
+            self._pins.extend(d for _c, d in constraints)
+        return out
+
+    def stats(self) -> dict[str, int]:
+        """The reduction counters as a dict (folded into processor stats)."""
+        return {
+            "reductions_computed": self.reductions_computed,
+            "reductions_reused": self.reductions_reused,
+            "rows_scanned": self.rows_scanned,
+            "rows_kept": self.rows_kept,
+        }
+
+
+class _DeltaAtom:
+    """Reduction metadata of one body atom (frozen at program build time)."""
+
+    __slots__ = ("position", "name", "stable", "const_checks", "var_cols")
+
+    def __init__(self, position: int, atom: Atom, stable: bool):
+        self.position = position
+        self.name = atom.relation
+        self.stable = stable
+        consts: list[tuple[int, object]] = []
+        var_cols: list[tuple[int, str]] = []
+        for col, t in enumerate(atom.terms):
+            if isinstance(t, Const):
+                consts.append((col, t.value))
+            else:
+                var_cols.append((col, t.name))
+        self.const_checks = tuple(consts)
+        self.var_cols = tuple(var_cols)
+
+
+class DeltaProgram:
+    """A frozen semi-join reduction program for one conjunctive-query body.
+
+    Built once per query (by :func:`build_delta_program`, or by the plan
+    compiler) and executed once per document per query through
+    :meth:`reduce`: variable domains are seeded from the delta (ephemeral
+    witness) atoms, then every stable atom is restricted to the rows whose
+    join-key values fall inside those domains — most selective atom first,
+    with two propagation passes so a reduction discovered late (e.g. the
+    structural ``Rbin`` rows surviving the template's variable names)
+    tightens the atoms reduced before it (e.g. ``Rdoc``'s value-matched
+    rows shrink to the structurally alive documents).
+    """
+
+    __slots__ = ("num_atoms", "_delta", "_stable")
+
+    def __init__(self, atoms: Sequence[_DeltaAtom]):
+        self.num_atoms = len(atoms)
+        self._delta = tuple(a for a in atoms if not a.stable)
+        self._stable = tuple(a for a in atoms if a.stable)
+
+    @property
+    def reducible(self) -> bool:
+        """Whether there is both a delta side and a stable side to reduce."""
+        return bool(self._delta) and bool(self._stable)
+
+    @staticmethod
+    def _estimate(atom: _DeltaAtom, base: Relation, domains: Mapping[str, frozenset]):
+        """Estimated reduced cardinality (``None`` when unconstrained)."""
+        est = float(len(base))
+        constrained = False
+        for col, _value in atom.const_checks:
+            constrained = True
+            est /= max(1, base.distinct_count(col))
+        for col, var in atom.var_cols:
+            dom = domains.get(var)
+            if dom is None:
+                continue
+            constrained = True
+            est *= min(1.0, len(dom) / max(1, base.distinct_count(col)))
+        return est if constrained else None
+
+    def reduce(
+        self, relations: Mapping[str, Relation], ctx: DeltaContext
+    ) -> Optional[list[Optional[Relation]]]:
+        """Reduced relations by body position (``None`` entries = unreduced)."""
+        if not self.reducible:
+            return None
+        lookup = relations.get if hasattr(relations, "get") else relations.__getitem__
+        index_for = getattr(relations, "index_for", None)
+
+        domains: dict[str, Optional[frozenset]] = {}
+        for atom in self._delta:
+            relation = lookup(atom.name)
+            if relation is None:
+                return None  # the evaluator raises the proper error
+            for col, var in atom.var_cols:
+                domains[var] = ctx.meet(
+                    domains.get(var),
+                    ctx.column_values(relation, col, atom.const_checks),
+                )
+
+        originals: dict[int, Relation] = {}
+        for atom in self._stable:
+            relation = lookup(atom.name)
+            if relation is None:
+                return None
+            originals[atom.position] = relation
+
+        reduced: dict[int, Relation] = {}
+        sigs: dict[int, tuple] = {}
+        for _pass in range(2):
+            remaining = list(self._stable)
+            while remaining:
+                best = None
+                best_est = None
+                for atom in remaining:
+                    base = reduced.get(atom.position, originals[atom.position])
+                    est = self._estimate(atom, base, domains)
+                    if est is not None and (best_est is None or est < best_est):
+                        best, best_est = atom, est
+                if best is None:
+                    break  # every remaining atom is unconstrained (this pass)
+                remaining.remove(best)
+                pos = best.position
+                base = reduced.get(pos, originals[pos])
+                constraints = tuple(
+                    (col, domains[var])
+                    for col, var in best.var_cols
+                    if domains.get(var) is not None
+                )
+                sig = tuple((c, id(d)) for c, d in constraints)
+                if sigs.get(pos) == sig:
+                    continue  # nothing tightened since this atom's last reduction
+                sigs[pos] = sig
+                out = ctx.reduce(
+                    best.name,
+                    base,
+                    best.const_checks,
+                    constraints,
+                    index_for if pos not in reduced else None,
+                )
+                if out is None:
+                    continue
+                reduced[pos] = out
+                for col, var in best.var_cols:
+                    domains[var] = ctx.meet(
+                        domains.get(var), ctx.column_values(out, col)
+                    )
+        if not reduced:
+            return None
+        return [reduced.get(i) for i in range(self.num_atoms)]
+
+
+def build_delta_program(
+    body: Sequence[Atom], relations: Mapping[str, Relation]
+) -> Optional[DeltaProgram]:
+    """Build the semi-join reduction program of ``body``, or ``None``.
+
+    Requires an evaluation environment that distinguishes stable (state /
+    ``RT``) bindings from ephemeral per-document ones via ``is_stable``
+    (:class:`~repro.relational.database.IndexedDatabase`); a plain mapping
+    has no delta to reduce against.
+    """
+    is_stable = getattr(relations, "is_stable", None)
+    if is_stable is None:
+        return None
+    program = DeltaProgram(
+        [
+            _DeltaAtom(position, atom, bool(is_stable(atom.relation)))
+            for position, atom in enumerate(body)
+        ]
+    )
+    return program if program.reducible else None
+
+
 def _join_atom(
     solutions: list[tuple],
     var_order: list[str],
@@ -276,6 +595,7 @@ def evaluate_conjunctive(
     query: ConjunctiveQuery,
     relations: Mapping[str, Relation],
     order: str | Sequence[Atom] = "greedy",
+    delta: Optional[DeltaContext] = None,
 ) -> Relation:
     """Evaluate ``query`` against ``relations`` and return the head relation.
 
@@ -290,6 +610,13 @@ def evaluate_conjunctive(
         ``"greedy"`` (default) for the built-in size-driven greedy join
         order, ``"given"`` to join atoms in the order they appear in the
         body, or an explicit sequence of the body's atoms.
+    delta:
+        A :class:`DeltaContext` enables delta-driven evaluation: the stable
+        (state/``RT``) atoms' relations are first semi-join-reduced to the
+        rows reachable from the ephemeral (witness) atoms, and the main
+        join probes those reduced relations.  The result set is identical
+        — reduction only removes rows that cannot participate in any
+        solution — which the equivalence tests assert.
 
     When ``relations`` is an
     :class:`~repro.relational.database.IndexedDatabase`, atoms over its
@@ -308,9 +635,31 @@ def evaluate_conjunctive(
 
     rel_map = {atom.relation: rel_of(atom) for atom in query.body}
 
+    atom_overrides: dict[int, Relation] = {}
+    if delta is not None:
+        program = build_delta_program(query.body, relations)
+        if program is not None:
+            reduced = program.reduce(relations, delta)
+            if reduced:
+                atom_overrides = {
+                    id(atom): rel
+                    for atom, rel in zip(query.body, reduced)
+                    if rel is not None
+                }
+
+    # The greedy order should see the statistics the join will actually
+    # run over: substitute each name's smallest reduced relation.
+    order_map = rel_map
+    if atom_overrides:
+        order_map = dict(rel_map)
+        for atom in query.body:
+            override = atom_overrides.get(id(atom))
+            if override is not None and len(override) < len(order_map[atom.relation]):
+                order_map[atom.relation] = override
+
     if isinstance(order, str):
         if order == "greedy":
-            ordered = _choose_order(query.body, rel_map)
+            ordered = _choose_order(query.body, order_map)
         elif order == "given":
             ordered = list(query.body)
         else:
@@ -323,8 +672,15 @@ def evaluate_conjunctive(
     solutions: list[tuple] = []
     var_order: list[str] = []
     for atom in ordered:
-        relation = rel_map[atom.relation]
-        solutions, var_order = _join_atom(solutions, var_order, atom, relation, index_for)
+        override = atom_overrides.get(id(atom))
+        relation = override if override is not None else rel_map[atom.relation]
+        solutions, var_order = _join_atom(
+            solutions,
+            var_order,
+            atom,
+            relation,
+            None if override is not None else index_for,
+        )
         if not solutions:
             break
 

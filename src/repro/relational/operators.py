@@ -176,6 +176,75 @@ def natural_join(left: Relation, right: Relation, name: str = "") -> Relation:
     return out
 
 
+def semijoin_in(
+    relation: Relation,
+    column: int,
+    values,
+    extra: Sequence[tuple[int, object]] = (),
+    index=None,
+    name: str | None = None,
+) -> Relation:
+    """Restrict ``relation`` to rows whose ``column`` value is in ``values``.
+
+    The delta-reduction primitive of the semi-join pass: ``values`` is a
+    (small) set of values reachable from the current document's witness
+    relations, and ``extra`` is a sequence of further ``(column, value set)``
+    membership constraints applied to every candidate row.
+
+    With ``index`` (a :class:`~repro.relational.index.HashIndex` keyed on
+    exactly ``(column,)``), candidate rows are gathered by probing one
+    bucket per value, so the cost is proportional to the *matching* rows
+    plus ``len(values)`` — never to ``len(relation)``.  Without an index the
+    relation is scanned once.  Duplicate rows keep their multiplicity (bag
+    semantics), so joining against the reduced relation yields exactly the
+    rows the full relation would have contributed.
+    """
+    out = Relation(relation.schema, name=name if name is not None else relation.name)
+    rows = out.rows
+    if index is not None:
+        lookup_key = index.lookup_key
+        if extra:
+            for value in values:
+                for row in lookup_key((value,)):
+                    if all(row[c] in allowed for c, allowed in extra):
+                        rows.append(row)
+        else:
+            for value in values:
+                rows.extend(lookup_key((value,)))
+        return out
+    if extra:
+        for row in relation.rows:
+            if row[column] in values and all(
+                row[c] in allowed for c, allowed in extra
+            ):
+                rows.append(row)
+    else:
+        for row in relation.rows:
+            if row[column] in values:
+                rows.append(row)
+    return out
+
+
+def column_value_set(
+    relation: Relation,
+    column: int,
+    const_checks: Sequence[tuple[int, object]] = (),
+) -> frozenset:
+    """The distinct values of one column, optionally under constant checks.
+
+    Seeds the variable domains of the semi-join reduction pass: for a delta
+    (witness) atom, the values its variable can take are exactly the
+    column's values over the rows satisfying the atom's constants.
+    """
+    if const_checks:
+        return frozenset(
+            row[column]
+            for row in relation.rows
+            if all(row[c] == v for c, v in const_checks)
+        )
+    return frozenset(row[column] for row in relation.rows)
+
+
 def semijoin(left: Relation, right: Relation, on: Sequence[tuple[str, str]]) -> Relation:
     """Left semi join ⋉: rows of ``left`` that have at least one match in ``right``."""
     left_idx = left.schema.indexes_of([a for a, _ in on])

@@ -42,9 +42,11 @@ from typing import Mapping, Optional, Sequence
 from repro.relational.conjunctive import (
     Atom,
     ConjunctiveQuery,
+    DeltaContext,
     _analyze_atom,
     _atom_matches,
     _choose_order,
+    build_delta_program,
 )
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, SchemaError
@@ -146,6 +148,8 @@ class CompiledPlan:
         "const_row",
         "distinct",
         "_stable_stats",
+        "delta_program",
+        "_body_to_step",
     )
 
     def __init__(
@@ -155,6 +159,8 @@ class CompiledPlan:
         head_ops: Optional[tuple],
         head_error: Optional[str],
         stable_stats: dict[str, list],
+        delta_program=None,
+        body_to_step: tuple = (),
     ):
         self.query = query
         self.steps = tuple(steps)
@@ -170,6 +176,11 @@ class CompiledPlan:
             self.const_row = tuple(t.value for t in query.head_terms)
         # name -> [version, size bucket] of every stable body relation.
         self._stable_stats = stable_stats
+        # The precompiled semi-join reduction program (delta-driven
+        # evaluation) and the body-position -> step-index permutation that
+        # maps its output onto this plan's frozen join order.
+        self.delta_program = delta_program
+        self._body_to_step = body_to_step
 
     # ------------------------------------------------------------------ #
     # stats-epoch validity
@@ -199,10 +210,32 @@ class CompiledPlan:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+    def reduced_step_relations(
+        self, relations: Mapping[str, Relation], delta: DeltaContext
+    ) -> Optional[list]:
+        """Per-step reduced relations from the semi-join pass, or ``None``.
+
+        Runs the precompiled :class:`~repro.relational.conjunctive.DeltaProgram`
+        against the current environment and remaps its body-ordered output
+        onto this plan's frozen step order, ready to be passed to
+        :meth:`execute` as ``step_relations``.
+        """
+        if self.delta_program is None:
+            return None
+        reduced = self.delta_program.reduce(relations, delta)
+        if not reduced:
+            return None
+        step_relations: list = [None] * len(self.steps)
+        for position, relation in enumerate(reduced):
+            if relation is not None:
+                step_relations[self._body_to_step[position]] = relation
+        return step_relations
+
     def execute(
         self,
         relations: Mapping[str, Relation],
         growth_limit: Optional[int] = None,
+        step_relations: Optional[Sequence] = None,
     ) -> Relation:
         """Evaluate the plan against ``relations`` and return the head relation.
 
@@ -211,6 +244,11 @@ class CompiledPlan:
         intermediate solution set exceeds the limit, so a frozen order that
         turns pathological on the current statistics can be abandoned and
         re-planned instead of running to completion.
+
+        ``step_relations`` (from :meth:`reduced_step_relations`) substitutes
+        a delta-reduced relation for individual steps; reduced steps run on
+        the ad-hoc path — the reduced relation is delta-sized, so hashing it
+        per call costs what one index probe pass would.
         """
         out = Relation(self.head_schema, name=self.head_name)
         if not self.steps:
@@ -222,13 +260,16 @@ class CompiledPlan:
         index_for = getattr(relations, "index_for", None)
         limited = growth_limit is not None
         solutions: list[tuple] = [()]
-        for step in self.steps:
+        for step_index, step in enumerate(self.steps):
+            override = (
+                step_relations[step_index] if step_relations is not None else None
+            )
             new_vars = step.new_var_cols
             eq = step.within_eq
             positions = step.join_positions
             index = (
                 index_for(step.relation_name, step.key_cols)
-                if (index_for is not None and step.key_cols)
+                if (override is None and index_for is not None and step.key_cols)
                 else None
             )
             new_solutions: list[tuple] = []
@@ -260,9 +301,10 @@ class CompiledPlan:
                         for extension in extensions:
                             new_solutions.append(sol + extension)
             else:
-                # Ad-hoc path (ephemeral witness/view relations): hash the
-                # relation's rows per call, keyed on the join columns.
-                relation = lookup(step.relation_name)
+                # Ad-hoc path (ephemeral witness/view relations, and
+                # delta-reduced state relations): hash the relation's rows
+                # per call, keyed on the join columns.
+                relation = override if override is not None else lookup(step.relation_name)
                 if relation is None:
                     raise SchemaError(
                         f"unknown relation {step.relation_name!r} in compiled plan"
@@ -380,7 +422,19 @@ def compile_plan(
             continue
         stable_stats[name] = [relation.version, len(relation).bit_length()]
 
-    return CompiledPlan(query, steps, head_ops, head_error, stable_stats)
+    delta_program = build_delta_program(query.body, relations)
+    step_index_of = {id(atom): index for index, atom in enumerate(ordered)}
+    body_to_step = tuple(step_index_of[id(atom)] for atom in query.body)
+
+    return CompiledPlan(
+        query,
+        steps,
+        head_ops,
+        head_error,
+        stable_stats,
+        delta_program=delta_program,
+        body_to_step=body_to_step,
+    )
 
 
 class PlanCache:
@@ -434,7 +488,10 @@ class PlanCache:
         return self._current_plan(query, relations)[0]
 
     def evaluate(
-        self, query: ConjunctiveQuery, relations: Mapping[str, Relation]
+        self,
+        query: ConjunctiveQuery,
+        relations: Mapping[str, Relation],
+        delta: Optional[DeltaContext] = None,
     ) -> Relation:
         """Evaluate ``query`` through the cache (plan, probe, adapt).
 
@@ -443,16 +500,33 @@ class PlanCache:
         re-executed — a fresh plan already carries the best order the
         optimizer can produce for the current statistics, so fresh plans
         (and the post-abort re-execution) run unbudgeted.
+
+        With a :class:`~repro.relational.conjunctive.DeltaContext` the
+        plan's precompiled semi-join reduction runs first and the join
+        probes the reduced state relations (delta-driven evaluation); the
+        result set is identical either way.
         """
         plan, cached = self._current_plan(query, relations)
+        step_relations = (
+            plan.reduced_step_relations(relations, delta) if delta is not None else None
+        )
         if cached:
             try:
-                return plan.execute(relations, growth_limit=self.growth_limit)
+                return plan.execute(
+                    relations,
+                    growth_limit=self.growth_limit,
+                    step_relations=step_relations,
+                )
             except PlanBudgetExceeded:
                 self.aborts += 1
                 plan = compile_plan(query, relations)
                 self._entries[id(query)] = (query, plan)
-        return plan.execute(relations)
+                step_relations = (
+                    plan.reduced_step_relations(relations, delta)
+                    if delta is not None
+                    else None
+                )
+        return plan.execute(relations, step_relations=step_relations)
 
     def invalidate(self, query: ConjunctiveQuery) -> bool:
         """Drop the cached plan of ``query`` (query retraction path).

@@ -24,6 +24,7 @@ Two features support the incremental join pipeline:
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.relational.schema import RelationSchema, SchemaError
@@ -99,11 +100,17 @@ class Relation:
         return len(self) > 0
 
     def __eq__(self, other: object) -> bool:
-        """Two relations are equal when schema and the *set* of rows agree."""
+        """Two relations are equal when schema and the *multiset* of rows agree.
+
+        Rows compare by value (a :class:`collections.Counter` over the row
+        tuples), not by their ``repr`` — the historical repr-sort was
+        O(n log n), allocated a rendering of every row, and made equality
+        depend on how values print rather than on what they are.
+        """
         if isinstance(other, Relation):
-            return self.schema == other.schema and sorted(
-                map(repr, self.rows)
-            ) == sorted(map(repr, other.rows))
+            if self.schema != other.schema or len(self.rows) != len(other.rows):
+                return False
+            return Counter(self.rows) == Counter(other.rows)
         return NotImplemented
 
     def __hash__(self):  # pragma: no cover - relations are mutable

@@ -46,7 +46,10 @@ class EngineShard:
 
         This is the unit of work the executors schedule: batching amortizes
         one dispatch (and, for pool executors, one task handoff) over the
-        whole batch instead of paying it per document.
+        whole batch, and the engine's batched pipeline
+        (:meth:`~repro.core.engine._BaseEngine.process_batch`) additionally
+        hoists the per-document fixed costs — relevance-index sync, docid
+        interning — out of the loop.
 
         A shard without subscriptions skips processing outright.  This is
         safe: Stage 1 witnesses are computed at arrival time, so a document
@@ -55,7 +58,17 @@ class EngineShard:
         """
         if not self.qids:
             return [[] for _ in documents]
-        return [self.engine.process_document(document) for document in documents]
+        return self.engine.process_batch(documents)
+
+    def process_one(self, document: XmlDocument) -> list[Match]:
+        """Process a single document (the broker's unbatched publish path).
+
+        Skips batch assembly and the per-batch hooks entirely; an empty
+        shard short-circuits like :meth:`process_batch`.
+        """
+        if not self.qids:
+            return []
+        return self.engine.process_document(document)
 
     def prune(self, min_timestamp: float) -> int:
         """Prune this shard's join state; returns documents removed."""

@@ -204,8 +204,22 @@ class ShardedBroker:
         timestamp: Optional[float] = None,
         stream: Optional[str] = None,
     ) -> list[SubscriptionResult]:
-        """Publish one document and deliver all resulting matches."""
-        return self.publish_many([document], timestamp=timestamp, stream=stream)
+        """Publish one document and deliver all resulting matches.
+
+        The direct single-document path: one :meth:`EngineShard.process_one`
+        task per shard, skipping the batch assembly, per-batch hooks and
+        per-document result nesting that :meth:`publish_many` pays — the
+        latency path for interactive publishes, while high-rate streams
+        should batch through :meth:`publish_many`.
+        """
+        document = self._prepare(document, timestamp, stream)
+        per_shard = self._executor.map(
+            lambda shard: shard.process_one(document), self.shards
+        )
+        deliveries: list[SubscriptionResult] = list(self._filters.deliver(document))
+        for matches in per_shard:
+            deliveries.extend(self._deliver_matches(matches))
+        return deliveries
 
     def publish_many(
         self,

@@ -375,6 +375,110 @@ def build_plan_scaling_data(
     )
 
 
+@dataclass
+class DeltaScalingData(StateScalingData):
+    """Workload of the delta-scaling benchmark: growing state, fixed delta.
+
+    Same layout as :class:`StateScalingData`, but the retained state mixes a
+    *fixed* number of **alive** documents (canonical variable names, so they
+    can satisfy every join of a registered query) with a growing tail of
+    **dead** documents: their ``Rdoc`` rows carry leaf values from the same
+    shared pool — so they match every value join of a probe — while their
+    ``Rbin``/``Rvar`` rows use decoy variable names no registered query
+    binds, so they can never survive the structural/template joins.  The
+    dead tail is exactly the state a full-state join wades through and a
+    delta-driven (semi-join reduced) join never touches.
+    """
+
+    num_alive_docs: int = 0
+    value_pool: int = 0
+
+
+def build_delta_scaling_data(
+    schema: DocumentSchema,
+    num_state_docs: int,
+    num_alive_docs: int = 24,
+    num_probe_docs: int = 5,
+    value_pool: int = 10,
+    seed: int = 13,
+) -> DeltaScalingData:
+    """Construct the growing-state / fixed-delta workload.
+
+    ``num_alive_docs`` is held constant while ``num_state_docs`` grows, so
+    the delta-connected state (and the probe documents themselves) stay the
+    same size at every state scale.  All leaves of one document share a
+    single value drawn from a pool of ``value_pool`` strings; dead
+    documents share one low-cardinality decoy variable pair, so their rows
+    are indistinguishable from alive ones on the value-join column and only
+    the structural (variable-name) joins expose them.
+    """
+    if num_alive_docs > num_state_docs:
+        raise ValueError("num_alive_docs cannot exceed num_state_docs")
+    import random
+
+    # Separate value streams: the alive documents and the probes draw from
+    # their own generator, so the match sets (which only alive documents can
+    # contribute to) are identical at every state scale — the dead tail is
+    # pure extra state, not a different workload.
+    alive_rng = random.Random(seed)
+    dead_rng = random.Random(seed + 1)
+    root_id, group_ids, leaf_ids = node_ids(schema)
+    edges = _edge_rows(schema)
+    var_rows = _var_rows(schema)
+
+    # Decoy witnesses: same node layout, same row counts, variable names no
+    # query uses — and deliberately few distinct decoy names, so a join
+    # order that postpones the structural atoms cannot tell dead from alive
+    # until it has already materialized their value-join rows.
+    decoy_edges = [
+        ("decoy_root", "decoy_leaf", root_edge[2], root_edge[3])
+        for root_edge in edges
+    ]
+    decoy_vars = [("decoy_root", root_id)] + [
+        ("decoy_leaf", leaf_ids[i]) for i in range(schema.num_leaves)
+    ]
+
+    def value_rows(tag: str, rng) -> list[tuple[int, str]]:
+        rows = [(root_id, f"{tag}-root")]
+        for g, gid in enumerate(group_ids):
+            rows.append((gid, f"{tag}-group{g}"))
+        shared = f"val{rng.randrange(value_pool)}"
+        for i in range(schema.num_leaves):
+            rows.append((leaf_ids[i], shared))
+        return rows
+
+    state_docs = []
+    for i in range(num_state_docs):
+        alive = i < num_alive_docs
+        state_docs.append(
+            (
+                f"s{i}",
+                float(i + 1),
+                edges if alive else decoy_edges,
+                value_rows(f"s{i}", alive_rng if alive else dead_rng),
+                var_rows if alive else decoy_vars,
+            )
+        )
+
+    probes = [
+        WitnessRelations.from_rows(
+            docid=f"p{j}",
+            timestamp=float(num_state_docs + j + 1),
+            rbinw_rows=edges,
+            rdocw_rows=value_rows(f"p{j}", alive_rng),
+            rvarw_rows=var_rows,
+        )
+        for j in range(num_probe_docs)
+    ]
+    return DeltaScalingData(
+        schema=schema,
+        state_docs=state_docs,
+        probes=probes,
+        num_alive_docs=num_alive_docs,
+        value_pool=value_pool,
+    )
+
+
 def build_technical_benchmark_data(schema: DocumentSchema) -> TechnicalBenchmarkData:
     """Construct the Section 6.1 witness relations for documents ``d1`` and ``d2``."""
     data = TechnicalBenchmarkData(schema=schema)

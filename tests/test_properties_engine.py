@@ -11,6 +11,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
+from repro import RuntimeConfig, open_broker
 from repro.core import MMQJPEngine, SequentialEngine
 from repro.templates import JoinGraph, reduce_join_graph
 from repro.workloads.querygen import generate_query
@@ -128,6 +129,135 @@ def test_reduction_preserves_value_joins_and_removes_unused_leaves(k, seed):
         assert node in participants or any(
             node in set(graph.ancestors(p)) for p in participants
         )
+
+
+# --------------------------------------------------------------------------- #
+# delta-driven evaluation ≡ full-state evaluation
+# --------------------------------------------------------------------------- #
+def _delta_config(engine: str, delta_join: bool, **overrides) -> RuntimeConfig:
+    return RuntimeConfig(
+        engine=engine, delta_join=delta_join, store_documents=False, **overrides
+    )
+
+
+def _assert_delta_stats_consistent(engine, delta_join: bool, num_docs: int) -> None:
+    """The skipped/reduced-state-row counters must add up either way."""
+    stats = engine.delta_stats
+    if not delta_join:
+        assert stats == {
+            "documents": 0,
+            "reductions_computed": 0,
+            "reductions_reused": 0,
+            "rows_scanned": 0,
+            "rows_kept": 0,
+        }
+        return
+    assert stats["documents"] == num_docs
+    assert 0 <= stats["rows_kept"] <= stats["rows_scanned"]
+    assert stats["reductions_computed"] >= 0
+    assert stats["reductions_reused"] >= 0
+
+
+@given(query_specs, doc_specs)
+@settings(max_examples=20, deadline=None)
+def test_delta_join_equivalent_on_both_engines(q_specs, d_specs):
+    """delta_join on/off produces identical match sets on MMQJP and Sequential."""
+    queries = _make_queries(q_specs)
+    for engine_name in ("mmqjp", "sequential"):
+        results = {}
+        for delta_join in (True, False):
+            engine = (MMQJPEngine if engine_name == "mmqjp" else SequentialEngine)(
+                _delta_config(engine_name, delta_join)
+            )
+            results[delta_join] = _run(engine, queries, d_specs)
+            _assert_delta_stats_consistent(engine, delta_join, len(d_specs))
+        assert results[True] == results[False]
+
+
+@given(query_specs, doc_specs)
+@settings(max_examples=10, deadline=None)
+def test_delta_join_equivalent_under_knob_matrix(q_specs, d_specs):
+    """delta_join × plan_cache × prune_dispatch all agree with the baseline."""
+    queries = _make_queries(q_specs)
+    baseline = _run(
+        MMQJPEngine(_delta_config("mmqjp", False, plan_cache=False, prune_dispatch=False)),
+        queries,
+        d_specs,
+    )
+    for delta_join in (True, False):
+        for plan_cache in (True, False):
+            for prune_dispatch in (True, False):
+                engine = MMQJPEngine(
+                    _delta_config(
+                        "mmqjp",
+                        delta_join,
+                        plan_cache=plan_cache,
+                        prune_dispatch=prune_dispatch,
+                    )
+                )
+                assert _run(engine, queries, d_specs) == baseline
+
+
+@given(query_specs, doc_specs)
+@settings(max_examples=8, deadline=None)
+def test_delta_join_equivalent_under_interleavings(q_specs, d_specs):
+    """Register/process/prune/deregister interleavings agree across delta modes.
+
+    Half the documents are processed, then the oldest state is pruned and
+    the first query deregistered, then the rest of the stream runs — the
+    delta-reduced path must track every state mutation exactly.
+    """
+    queries = _make_queries(q_specs)
+    documents = _make_documents(d_specs)
+    split = len(documents) // 2
+
+    def run(delta_join: bool):
+        engine = MMQJPEngine(_delta_config("mmqjp", delta_join))
+        for i, query in enumerate(queries):
+            engine.register_query(query, qid=f"q{i}")
+        keys = set()
+        for document in documents[:split]:
+            keys.update((m.key() for m in engine.process_document(document)))
+        engine.prune(documents[split - 1].timestamp - 2.0 if split else 0.0)
+        engine.deregister_query("q0")
+        for document in documents[split:]:
+            keys.update((m.key() for m in engine.process_document(document)))
+        return keys
+
+    assert run(True) == run(False)
+
+
+def test_delta_join_equivalent_across_shards():
+    """delta_join on/off × engines × 1/2/4 shards: identical deliveries."""
+    rng = random.Random(11)
+    queries = [generate_query(SCHEMA, k, rng, window=10.0) for k in (1, 2, 2, 3)]
+    specs = [(0, 1, 0, 2), (1, 1, 2, 0), (0, 0, 1, 1), (2, 1, 0, 0)]
+
+    reference = None
+    for engine in ("mmqjp", "sequential"):
+        for delta_join in (True, False):
+            for shards in (1, 2, 4):
+                broker = open_broker(
+                    RuntimeConfig(
+                        engine=engine,
+                        delta_join=delta_join,
+                        construct_outputs=False,
+                        shards=shards,
+                    )
+                )
+                try:
+                    for i, query in enumerate(queries):
+                        broker.subscribe(query, subscription_id=f"q{i}")
+                    keys = set()
+                    for delivery in broker.publish_many(_make_documents(specs)):
+                        if delivery.match is not None:
+                            keys.add(delivery.match.key())
+                finally:
+                    broker.close()
+                if reference is None:
+                    reference = keys
+                assert keys == reference, (engine, delta_join, shards)
+    assert reference  # the workload must actually produce matches
 
 
 @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3, unique=True))

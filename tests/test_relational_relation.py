@@ -97,6 +97,30 @@ def test_equality_ignores_row_order():
     assert a == b
 
 
+def test_equality_is_multiset_not_set():
+    """Duplicate rows count: bag semantics, compared via a Counter."""
+    once = Relation(["x"], rows=[(1,), (2,)])
+    twice = Relation(["x"], rows=[(1,), (1,), (2,)])
+    assert once != twice
+    assert twice == Relation(["x"], rows=[(2,), (1,), (1,)])
+
+
+def test_equality_compares_values_not_reprs():
+    """Rows compare by value equality, never by how they render."""
+    ints = Relation(["x"], rows=[(1,)])
+    strs = Relation(["x"], rows=[("1",)])
+    assert ints != strs  # distinct values that a repr-based scheme could conflate
+    floats = Relation(["x"], rows=[(1.0,)])
+    assert ints == floats  # 1 == 1.0 under Python equality semantics
+
+
+def test_equality_requires_matching_schema_and_cardinality():
+    a = Relation(["x"], rows=[(1,)])
+    assert a != Relation(["y"], rows=[(1,)])
+    assert a != Relation(["x"], rows=[(1,), (1,)])
+    assert (a == object()) is False  # NotImplemented falls back to identity
+
+
 def test_relations_are_unhashable(people):
     with pytest.raises(TypeError):
         hash(people)
