@@ -1,0 +1,218 @@
+"""Durability overhead and crash-recovery time of the storage subsystem.
+
+Measures the per-document ingest cost of each storage backend on the same
+workload — ``memory`` (no store attached; the pre-storage hot path),
+``sqlite-epoch`` (one durable transaction per document) and
+``sqlite-relaxed`` (write-behind commits) — plus the time to rebuild a
+session from its stores via ``open_broker(resume_from=...)``.
+
+Asserted acceptance criteria (CI gates):
+
+* exact match-set equivalence across all three backends;
+* the recovered broker is match-equivalent to a never-restarted one on the
+  documents published after the restart.
+
+Results are written to ``BENCH_durability.json`` (repo root, or
+``$REPRO_BENCH_JSON_DIR``): one row per backend with ``ms_per_doc`` and
+``overhead_pct`` relative to the in-run memory baseline, and one recovery
+row with ``recovery_ms``.
+
+Set ``REPRO_BENCH_TINY=1`` to run the whole file at smoke scale (CI).
+"""
+
+import functools
+import os
+import random
+import tempfile
+import time
+
+import pytest
+
+from repro import RuntimeConfig, open_broker
+from repro.bench.reporting import rows_to_json
+from repro.workloads.querygen import generate_query
+from repro.workloads.synthetic import build_document
+from repro.xmlmodel.schema import two_level_schema
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+SCHEMA = two_level_schema(6)
+NUM_QUERIES = 4 if TINY else 16
+NUM_DOCS = 10 if TINY else 48
+NUM_EXTRA_DOCS = 4 if TINY else 8
+
+#: backend keyword -> (storage, durability)
+BACKENDS = {
+    "memory": ("memory", "epoch"),
+    "sqlite-epoch": ("sqlite", "epoch"),
+    "sqlite-relaxed": ("sqlite", "relaxed"),
+}
+
+_ROWS: list[dict] = []
+_MS_PER_DOC: dict[str, float] = {}
+_MATCH_KEYS: dict[str, frozenset] = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_json():
+    """Write the collected rows as BENCH_durability.json after the run."""
+    yield
+    if not _ROWS:
+        return
+    baseline = _MS_PER_DOC.get("memory")
+    for row in _ROWS:
+        if baseline and "ms_per_doc" in row:
+            row["overhead_pct"] = round(
+                (row["ms_per_doc"] / baseline - 1.0) * 100.0, 1
+            )
+    out_dir = os.environ.get(
+        "REPRO_BENCH_JSON_DIR", os.path.dirname(os.path.dirname(__file__))
+    )
+    rows_to_json(
+        _ROWS,
+        path=os.path.join(out_dir, "BENCH_durability.json"),
+        meta={
+            "experiment": "durability",
+            "tiny": TINY,
+            "num_queries": NUM_QUERIES,
+            "num_docs": NUM_DOCS,
+        },
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _queries():
+    rng = random.Random(11)
+    return tuple(
+        generate_query(SCHEMA, (i % 2) + 1, rng, window=float("inf"))
+        for i in range(NUM_QUERIES)
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _documents(num_docs, start=0):
+    documents = []
+    for i in range(start, start + num_docs):
+        documents.append(
+            build_document(
+                SCHEMA,
+                docid=f"doc{i}",
+                timestamp=float(i + 1),
+                leaf_values=[f"v{i % 3}"] * SCHEMA.num_leaves,
+                internal_marker=f"doc{i}",
+            )
+        )
+    return documents
+
+
+def _config(backend, path=None):
+    storage, durability = BACKENDS[backend]
+    return RuntimeConfig(
+        storage=storage,
+        durability=durability,
+        storage_path=path,
+        construct_outputs=False,
+        auto_timestamp=False,
+    )
+
+
+def _ingest(backend, path=None):
+    """Subscribe + publish the workload; returns (ms_per_doc, match keys)."""
+    broker = open_broker(_config(backend, path))
+    try:
+        for i, query in enumerate(_queries()):
+            broker.subscribe(query, subscription_id=f"q{i}")
+        documents = _documents(NUM_DOCS)
+        t0 = time.perf_counter()
+        deliveries = broker.publish_many(documents)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        keys = frozenset(
+            d.match.key() for d in deliveries if d.match is not None
+        )
+        return elapsed_ms / len(documents), keys
+    finally:
+        broker.close()
+
+
+@pytest.mark.parametrize("backend", list(BACKENDS))
+def bench_durability_ingest(benchmark, backend):
+    path = tempfile.mkdtemp(prefix="bench-durability-") if backend != "memory" else None
+    ms_per_doc, keys = benchmark.pedantic(
+        lambda: _ingest(backend, path), rounds=1, iterations=1
+    )
+    _MS_PER_DOC[backend] = ms_per_doc
+    _MATCH_KEYS[backend] = keys
+    reference = _MATCH_KEYS.get("memory")
+    if reference is not None:
+        assert keys == reference, f"{backend} lost match-equivalence"
+    assert keys, "the workload produced no matches — the benchmark is vacuous"
+    _ROWS.append(
+        {
+            "approach": backend,
+            "storage": BACKENDS[backend][0],
+            "durability": BACKENDS[backend][1],
+            "num_queries": NUM_QUERIES,
+            "num_docs": NUM_DOCS,
+            "ms_per_doc": round(ms_per_doc, 4),
+            "num_matches": len(keys),
+            "figure": "durability_ingest",
+        }
+    )
+    benchmark.extra_info.update(
+        {"figure": "durability_ingest", "backend": backend, "ms_per_doc": ms_per_doc}
+    )
+
+
+def bench_durability_recovery(benchmark):
+    """Time ``open_broker(resume_from=...)`` on a populated store set."""
+    path = tempfile.mkdtemp(prefix="bench-durability-rec-")
+    extra = _documents(NUM_EXTRA_DOCS, start=NUM_DOCS)
+
+    # the uninterrupted reference for the post-restart documents
+    reference_broker = open_broker(_config("memory"))
+    for i, query in enumerate(_queries()):
+        reference_broker.subscribe(query, subscription_id=f"q{i}")
+    reference_broker.publish_many(_documents(NUM_DOCS))
+    reference = frozenset(
+        d.match.key()
+        for d in reference_broker.publish_many(extra)
+        if d.match is not None
+    )
+    reference_broker.close()
+
+    # the crashed session
+    broker = open_broker(_config("sqlite-epoch", path))
+    for i, query in enumerate(_queries()):
+        broker.subscribe(query, subscription_id=f"q{i}")
+    broker.publish_many(_documents(NUM_DOCS))
+    broker.close()
+
+    def recover():
+        t0 = time.perf_counter()
+        resumed = open_broker(resume_from=path)
+        recovery_ms = (time.perf_counter() - t0) * 1000.0
+        return resumed, recovery_ms
+
+    resumed, recovery_ms = benchmark.pedantic(recover, rounds=1, iterations=1)
+    try:
+        keys = frozenset(
+            d.match.key()
+            for d in resumed.publish_many(extra)
+            if d.match is not None
+        )
+    finally:
+        resumed.close()
+    assert keys == reference, "recovered broker lost match-equivalence"
+    _ROWS.append(
+        {
+            "approach": "recovery",
+            "num_queries": NUM_QUERIES,
+            "num_docs": NUM_DOCS,
+            "recovery_ms": round(recovery_ms, 3),
+            "num_matches": len(keys),
+            "figure": "durability_recovery",
+        }
+    )
+    benchmark.extra_info.update(
+        {"figure": "durability_recovery", "recovery_ms": recovery_ms}
+    )

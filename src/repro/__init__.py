@@ -47,10 +47,12 @@ from repro.pubsub import (
 )
 from repro.runtime import ShardedBroker
 from repro.session import open_broker
+from repro.storage import MemoryStore, SQLiteStore, StateStore
+from repro.storage.recovery import RecoveryError
 from repro.xmlmodel import XmlDocument, element, parse_document, to_xml
 from repro.xscl import parse_query, XsclQuery
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # session API
@@ -68,6 +70,11 @@ __all__ = [
     "CollectingSink",
     "QueueSink",
     "BatchingSink",
+    # durable storage
+    "StateStore",
+    "MemoryStore",
+    "SQLiteStore",
+    "RecoveryError",
     # engines and matches
     "MMQJPEngine",
     "SequentialEngine",

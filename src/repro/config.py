@@ -37,6 +37,8 @@ __all__ = [
     "INDEXING_MODES",
     "PARTITIONERS",
     "EXECUTORS",
+    "STORAGE_BACKENDS",
+    "DURABILITY_MODES",
     "RuntimeConfig",
     "coerce_config",
 ]
@@ -56,6 +58,19 @@ PARTITIONERS = ("hash", "least-loaded")
 #: Built-in shard-executor keywords (must match
 #: :data:`repro.runtime.executor.EXECUTORS`).
 EXECUTORS = ("serial", "threads")
+
+#: State-storage backends (canonical definition; re-exported by
+#: :mod:`repro.storage`).  ``"memory"`` keeps all state in process —
+#: byte-for-byte today's behavior; ``"sqlite"`` externalizes join state,
+#: subscription registry and documents to per-member SQLite files so a
+#: session can be resumed after a crash (``open_broker(resume_from=...)``).
+STORAGE_BACKENDS = ("memory", "sqlite")
+
+#: Durability modes for the ``"sqlite"`` backend: ``"epoch"`` commits every
+#: document epoch before the next document starts; ``"relaxed"`` batches
+#: commits (write-behind) — a crash may lose the most recent epochs but
+#: never tears one.
+DURABILITY_MODES = ("epoch", "relaxed")
 
 
 @dataclass(frozen=True)
@@ -116,6 +131,20 @@ class RuntimeConfig:
     result_limit:
         Bound on each subscription's legacy ``results`` collection
         (``None`` keeps it unbounded — the pre-sink behavior).
+    storage:
+        State-storage backend: ``"memory"`` (default, all state in
+        process) or ``"sqlite"`` (durable join state, registry and
+        documents; resumable via ``open_broker(resume_from=...)``).
+    durability:
+        Commit policy of the ``"sqlite"`` backend: ``"epoch"`` (default,
+        one durable commit per document) or ``"relaxed"`` (write-behind
+        batched commits — faster ingest, a crash may lose the most recent
+        epochs but never tears one).
+    storage_path:
+        Directory holding the ``"sqlite"`` backend's database files (one
+        per broker member: ``broker.sqlite3``, ``shard-N.sqlite3``).
+        ``None`` with ``storage="sqlite"`` creates a fresh temporary
+        directory (exposed as the broker's ``storage_path``).
     """
 
     engine: str = "mmqjp"
@@ -134,6 +163,9 @@ class RuntimeConfig:
     executor: Union[str, Any] = "serial"
     max_workers: Optional[int] = None
     result_limit: Optional[int] = 1024
+    storage: str = "memory"
+    durability: str = "epoch"
+    storage_path: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # validation (the single point for the whole stack)
@@ -166,6 +198,18 @@ class RuntimeConfig:
         if isinstance(self.executor, str) and self.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; choose one of {EXECUTORS}"
+            )
+        if self.storage not in STORAGE_BACKENDS:
+            raise ValueError(
+                f"unknown storage backend {self.storage!r}; choose one of {STORAGE_BACKENDS}"
+            )
+        if self.durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"unknown durability mode {self.durability!r}; choose one of {DURABILITY_MODES}"
+            )
+        if self.storage_path is not None and self.storage != "sqlite":
+            raise ValueError(
+                f"storage_path requires storage='sqlite', got storage={self.storage!r}"
             )
 
     def validate_outputs(self) -> None:

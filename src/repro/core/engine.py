@@ -26,6 +26,7 @@ from repro.core.witnesses import WitnessRelations
 from repro.templates.registry import TemplateRegistry
 from repro.xmlmodel.document import XmlDocument
 from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serialize import to_xml
 from repro.xpath.evaluator import Stage1Registrations, XPathEvaluator
 from repro.xscl.ast import INFINITE_WINDOW, JoinOperator, JoinSpec, ValueJoinPredicate, XsclQuery
 from repro.xscl.normalize import VariableCatalog, canonicalize_query
@@ -91,7 +92,12 @@ class _BaseEngine:
         self.auto_prune = config.auto_prune
         self.documents: dict[str, XmlDocument] = {}
         self._qid_counter = itertools.count(1)
-        self._clock = itertools.count(1)
+        self._clock_value = 0
+        # Optional durable state store (repro.storage); None — the default,
+        # and always the case for storage="memory" — keeps the processing
+        # path free of any storage cost.  Attached via attach_store().
+        self.store = None
+        self._catalog_watermark = 0
         self._registered: dict[str, XsclQuery] = {}
         self._root_vars: dict[str, tuple[Optional[str], Optional[str]]] = {}
         self._max_finite_window = 0.0
@@ -142,6 +148,8 @@ class _BaseEngine:
         self._register_with_processor(qid, canonical)
         if canonical.join.operator is JoinOperator.JOIN:
             self._register_with_processor(qid + _SWAP_SUFFIX, _swap_query(canonical))
+        if self.store is not None:
+            self._persist_registration()
         return qid
 
     def register_queries(self, queries: Iterable[Union[str, XsclQuery]]) -> list[str]:
@@ -214,8 +222,14 @@ class _BaseEngine:
         if not self._registered:
             self._processor().clear_state()
             self.documents.clear()
+            if self.store is not None:
+                self.store.clear_state()
         elif dead_vars:
             self._processor().drop_variables(dead_vars)
+            if self.store is not None:
+                self.store.delete_variables(dead_vars)
+        if self.store is not None:
+            self._persist_registration()
 
     def _deregister_with_processor(self, qid: str) -> None:
         raise NotImplementedError
@@ -245,11 +259,14 @@ class _BaseEngine:
         if timestamp is not None:
             document.timestamp = float(timestamp)
         elif self.auto_timestamp and document.timestamp == 0.0:
-            document.timestamp = float(next(self._clock))
+            self._clock_value += 1
+            document.timestamp = float(self._clock_value)
         return document
 
     def _process_prepared(self, document: XmlDocument) -> list[Match]:
         """Run both stages on an already-prepared document."""
+        if self.store is not None:
+            return self._process_prepared_durable(document)
         witnesses = self.evaluator.evaluate(document)
         relations = WitnessRelations.from_witnesses(witnesses)
         raw_matches = self._processor().process(relations)
@@ -262,6 +279,59 @@ class _BaseEngine:
         matches = self._normalize_matches(raw_matches)
         self.num_documents_processed += 1
         self.num_matches += len(matches)
+        return matches
+
+    def _process_prepared_durable(self, document: XmlDocument) -> list[Match]:
+        """The storage-backed twin of :meth:`_process_prepared`.
+
+        Identical processing, wrapped in one store *epoch* per document: the
+        merged state partitions, any in-epoch pruning, the serialized source
+        document and the engine counters all land in a single atomic commit,
+        so a crash at any point leaves either the whole document or none of
+        it.  On failure the epoch is aborted — the in-memory state may then
+        be ahead of the store, which is exactly the situation recovery
+        resolves by rebuilding from the store alone.
+        """
+        store = self.store
+        witnesses = self.evaluator.evaluate(document)
+        relations = WitnessRelations.from_witnesses(witnesses)
+        raw_matches = self._processor().process(relations)
+        docid = document.docid
+        store.begin_epoch(docid)
+        try:
+            self._processor().maintain_state(relations)
+            store.upsert_rows(
+                "Rbin", docid, [(docid,) + row for row in relations.rbinw.rows]
+            )
+            store.upsert_rows(
+                "Rdoc", docid, [(docid,) + row for row in relations.rdocw.rows]
+            )
+            store.upsert_rows(
+                "Rvar", docid, [(docid,) + row for row in relations.rvarw.rows]
+            )
+            store.upsert_rows("RdocTS", docid, list(relations.rdoctsw.rows))
+            self._after_state_maintenance(document)
+            if self.store_documents:
+                self.documents[docid] = document
+                store.put_document(
+                    docid, document.timestamp, document.stream,
+                    to_xml(document, pretty=False),
+                )
+            matches = self._normalize_matches(raw_matches)
+            self.num_documents_processed += 1
+            self.num_matches += len(matches)
+            store.set_meta(
+                "engine_counters",
+                {
+                    "documents": self.num_documents_processed,
+                    "matches": self.num_matches,
+                    "clock": self._clock_value,
+                },
+            )
+            store.commit_epoch()
+        except BaseException:
+            store.abort_epoch()
+            raise
         return matches
 
     def process_document(
@@ -338,10 +408,17 @@ class _BaseEngine:
         can prune on demand (e.g. with ``auto_prune=False``).  Returns the
         number of documents removed from the join state.
         """
+        stale: set[str] = set()
+        if self.store is not None:
+            stale = self._processor().state.stale_docids(min_timestamp)
         removed = self._prune(min_timestamp)
         if removed and self.store_documents:
             alive = self._processor().state.document_ids()
             self.documents = {d: doc for d, doc in self.documents.items() if d in alive}
+        if stale:
+            # Inside a document epoch this joins the epoch's transaction,
+            # keeping the merge and its window-pruning atomic.
+            self.store.delete_documents(stale)
         return removed
 
     def _prune(self, min_timestamp: float) -> int:
@@ -367,6 +444,48 @@ class _BaseEngine:
                 seen.add(match.key())
                 out.append(match)
         return out
+
+    # ------------------------------------------------------------------ #
+    # durable storage
+    # ------------------------------------------------------------------ #
+    def attach_store(self, store) -> None:
+        """Attach a :class:`~repro.storage.StateStore` to this engine.
+
+        Subsequent registrations, document epochs, prunes and retractions
+        are mirrored to the store.  Registrations made *before* the attach
+        are persisted immediately, so programmatic register-then-attach use
+        still recovers.
+        """
+        self.store = store
+        if store is not None and self._registered:
+            self._persist_registration()
+
+    def _persist_catalog(self) -> None:
+        """Persist canonical-name entries added since the last persist."""
+        entries = self.catalog.entries()
+        if len(entries) > self._catalog_watermark:
+            self.store.save_catalog_entries(entries[self._catalog_watermark :])
+            self._catalog_watermark = len(entries)
+
+    def _persist_registration(self) -> None:
+        """Persist registration-derived facts: catalog entries + template refcounts.
+
+        The refcounts are stored as a sorted multiset (template ids are
+        assigned in registration order and churn under cancel/resubscribe,
+        so the ids themselves are not stable across a restart); recovery
+        cross-checks the replayed registry against this multiset.
+        """
+        self._persist_catalog()
+        registry = getattr(self, "registry", None)
+        if registry is not None:
+            self.store.set_meta(
+                "template_refcounts", sorted(registry.template_sizes().values())
+            )
+
+    def close(self) -> None:
+        """Flush and close the attached state store (idempotent; no-op without one)."""
+        if self.store is not None:
+            self.store.close()
 
     # ------------------------------------------------------------------ #
     # results and stats
@@ -550,6 +669,7 @@ class SequentialEngine(_BaseEngine):
 def make_engine(
     engine: "str | RuntimeConfig | None" = None,
     config: Optional[RuntimeConfig] = None,
+    store=None,
     **legacy,
 ) -> _BaseEngine:
     """Construct an engine from a :class:`~repro.config.RuntimeConfig`.
@@ -563,6 +683,11 @@ def make_engine(
     still accepted but emit a :class:`DeprecationWarning`.  This is the
     single factory used by :class:`repro.pubsub.Broker` and by every shard
     of :class:`repro.runtime.ShardedBroker`.
+
+    ``store`` optionally attaches a :class:`~repro.storage.StateStore` (the
+    brokers open one per engine when ``config.storage == "sqlite"``; each
+    shard persists to its own database file, so the store cannot be derived
+    from the shared config and is injected here instead).
     """
     if isinstance(engine, RuntimeConfig):
         if config is not None:
@@ -575,7 +700,11 @@ def make_engine(
         # The selection keyword decides view materialization: a plain
         # "mmqjp" ignores any view_cache_size (matching the historical
         # factory), "mmqjp-vm" enables it.
-        return MMQJPEngine(config, use_view_materialization=False)
-    if config.engine == "mmqjp-vm":
-        return MMQJPEngine(config, use_view_materialization=True)
-    return SequentialEngine(config)
+        built = MMQJPEngine(config, use_view_materialization=False)
+    elif config.engine == "mmqjp-vm":
+        built = MMQJPEngine(config, use_view_materialization=True)
+    else:
+        built = SequentialEngine(config)
+    if store is not None:
+        built.attach_store(store)
+    return built

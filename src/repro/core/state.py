@@ -93,6 +93,21 @@ class JoinState:
         self.rdocts.insert((docid, timestamp))
         self._timestamps[docid] = timestamp
 
+    def restore_rows(self, relation_name: str, rows: list[tuple]) -> None:
+        """Load persisted full-schema rows of one state relation (recovery path).
+
+        Rows carry the relation's complete schema, ``docid`` column
+        included (unlike :meth:`insert_document_rows`, which prepends it).
+        ``RdocTS`` rows additionally rebuild the timestamp map that drives
+        window pruning.
+        """
+        relation = self.relations()[relation_name]
+        for row in rows:
+            relation.insert(tuple(row))
+        if relation_name == "RdocTS":
+            for docid, timestamp in rows:
+                self._timestamps[docid] = timestamp
+
     # ------------------------------------------------------------------ #
     # pruning
     # ------------------------------------------------------------------ #

@@ -20,7 +20,6 @@ directly still works (and still reroutes on ``shards=N``, with a
 
 from __future__ import annotations
 
-import itertools
 import warnings
 from typing import Iterable, Optional, Union
 
@@ -29,10 +28,13 @@ from repro.core.engine import ENGINES, make_engine
 from repro.pubsub.filters import FilterFrontEnd, deliver_filter_matches
 from repro.pubsub.stream import StreamRegistry
 from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
+from repro.storage import SubscriptionRecord, open_member_store, resolve_storage
+from repro.storage.recovery import config_snapshot
 from repro.xmlmodel.document import XmlDocument
 from repro.xmlmodel.parser import parse_document
 from repro.xscl.ast import XsclQuery
 from repro.xscl.parser import parse_query
+from repro.xscl.render import render_query
 
 __all__ = ["Broker", "ENGINES", "deliver_filter_matches"]
 
@@ -108,13 +110,29 @@ class Broker:
         config.validate_outputs()
         self.config = config
         self.engine_name = config.engine
-        self.engine = make_engine(config=config)
+        # Durable storage: "memory" attaches nothing anywhere; "sqlite"
+        # opens one registry store for the broker and one state store for
+        # the engine (the single "shard" of the unsharded topology, so the
+        # on-disk layout matches ShardedBroker's and recovery is uniform).
+        self.storage, self.storage_path = resolve_storage(config)
+        self._store = open_member_store(
+            self.storage, self.storage_path, "broker", config.durability
+        )
+        self.engine = make_engine(
+            config=config,
+            store=open_member_store(
+                self.storage, self.storage_path, "shard-0", config.durability
+            ),
+        )
         self.construct_outputs = config.construct_outputs
         self.streams = StreamRegistry(history_size=config.stream_history)
         self._subscriptions: dict[str, Subscription] = {}
         self._filters = FilterFrontEnd()
-        self._sub_counter = itertools.count(1)
+        self._sub_counter = 1
+        self._reg_seq = 0
         self._closed = False
+        if self._store is not None:
+            self._store.set_meta("config", config_snapshot(config))
 
     # ------------------------------------------------------------------ #
     # subscriptions
@@ -135,7 +153,7 @@ class Broker:
         """
         if isinstance(query, str):
             query = parse_query(query, window_symbols=window_symbols)
-        sid = subscription_id if subscription_id is not None else f"sub{next(self._sub_counter)}"
+        sid = subscription_id if subscription_id is not None else self._next_sid()
         if sid in self._subscriptions:
             raise ValueError(f"subscription id {sid!r} already exists")
         subscription = Subscription(
@@ -151,6 +169,54 @@ class Broker:
         else:
             self._filters.register(sid, subscription)
         self._subscriptions[sid] = subscription
+        subscription._retract = self.cancel
+        if self._store is not None:
+            self._persist_subscription(sid, query)
+        return subscription
+
+    def _next_sid(self) -> str:
+        sid = f"sub{self._sub_counter}"
+        self._sub_counter += 1
+        return sid
+
+    def _persist_subscription(self, sid: str, query: XsclQuery) -> None:
+        """Record one registration in the durable registry.
+
+        The query is persisted as rendered text (windows numeric, so no
+        window-symbol table is needed to replay it); ``seq`` preserves the
+        broker-wide registration order recovery replays in.
+        """
+        self._reg_seq += 1
+        self._store.save_subscription(
+            SubscriptionRecord(
+                seq=self._reg_seq,
+                subscription_id=sid,
+                query_text=render_query(query),
+                kind="join" if query.is_join_query else "filter",
+                shard=None,
+            )
+        )
+        self._store.set_meta("sub_counter", self._sub_counter)
+
+    def _restore_subscription(self, record: SubscriptionRecord, query: XsclQuery) -> Subscription:
+        """Re-register one persisted subscription (recovery replay path).
+
+        Runs the live registration code path — engine templates, Stage 1
+        registrations, plans and relevance postings rebuild exactly as they
+        would on a fresh ``subscribe`` — but skips re-persisting the record.
+        Callbacks and sinks are process-local and cannot be recovered;
+        subscribers re-attach via ``broker.subscription(sid)``.
+        """
+        subscription = Subscription(
+            subscription_id=record.subscription_id,
+            query=query,
+            result_limit=self.config.result_limit,
+        )
+        if query.is_join_query:
+            self.engine.register_query(query, qid=record.subscription_id)
+        else:
+            self._filters.register(record.subscription_id, subscription)
+        self._subscriptions[record.subscription_id] = subscription
         subscription._retract = self.cancel
         return subscription
 
@@ -172,6 +238,8 @@ class Broker:
         if not self._filters.cancel(subscription_id):
             self.engine.deregister_query(subscription_id)
         subscription._mark_cancelled()
+        if self._store is not None:
+            self._store.remove_subscription(subscription_id)
         return True
 
     def unsubscribe(self, subscription_id: str) -> None:
@@ -330,6 +398,7 @@ class Broker:
         return {
             "engine": self.engine_name,
             "indexing": self.engine.indexing,
+            "storage": self.storage,
             "streams": stream_counts,
             "num_subscriptions": len(self._subscriptions),
             "num_filter_subscriptions": self._filters.num_subscriptions,
@@ -344,12 +413,15 @@ class Broker:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """End the session: flush and close every subscription's sinks (idempotent)."""
+        """End the session (idempotent): close sinks, flush and close the stores."""
         if self._closed:
             return
         self._closed = True
         for subscription in self._subscriptions.values():
             subscription.close_sinks()
+        self.engine.close()
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "Broker":
         return self

@@ -77,6 +77,23 @@ class Partitioner:
         if shard is not None and self.loads[shard] > 0:
             self.loads[shard] -= 1
 
+    def restore_assignment(self, query: XsclQuery, shard: int) -> None:
+        """Force ``query``'s template onto ``shard`` (crash-recovery replay).
+
+        Recovery must reproduce the crashed session's recorded placements —
+        per-shard join state is placement-dependent, and a load-sensitive
+        strategy replaying only the surviving subscriptions could place a
+        template differently.  Updates the load accounting like a normal
+        :meth:`shard_for` call, so post-recovery placements balance against
+        the true population.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"recorded shard {shard} is out of range for {self.num_shards} shards"
+            )
+        self._assigned[template_key(query)] = shard
+        self.loads[shard] += 1
+
     def _place(self, key: tuple) -> int:
         raise NotImplementedError
 

@@ -32,7 +32,6 @@ historical per-knob keyword arguments still work but warn.
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.config import RuntimeConfig, coerce_config
@@ -44,10 +43,13 @@ from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
 from repro.runtime.executor import make_executor
 from repro.runtime.partition import make_partitioner
 from repro.runtime.shard import EngineShard
+from repro.storage import SubscriptionRecord, open_member_store, resolve_storage
+from repro.storage.recovery import config_snapshot
 from repro.xmlmodel.document import XmlDocument
 from repro.xmlmodel.parser import parse_document
 from repro.xscl.ast import XsclQuery
 from repro.xscl.parser import parse_query
+from repro.xscl.render import render_query
 
 
 class ShardedBroker:
@@ -89,8 +91,25 @@ class ShardedBroker:
         shard_config = config.replace(
             auto_timestamp=False, store_documents=store_documents
         )
+        # Durable storage: one registry store for the broker plus one state
+        # store per shard ("memory" attaches nothing anywhere).
+        self.storage, self.storage_path = resolve_storage(config)
+        self._store = open_member_store(
+            self.storage, self.storage_path, "broker", config.durability
+        )
         self.shards = [
-            EngineShard(shard_id, make_engine(config=shard_config))
+            EngineShard(
+                shard_id,
+                make_engine(
+                    config=shard_config,
+                    store=open_member_store(
+                        self.storage,
+                        self.storage_path,
+                        f"shard-{shard_id}",
+                        config.durability,
+                    ),
+                ),
+            )
             for shard_id in range(config.shards)
         ]
         self._partitioner = make_partitioner(config.partitioner, config.shards)
@@ -99,10 +118,13 @@ class ShardedBroker:
         self._subscriptions: dict[str, Subscription] = {}
         self._shard_of: dict[str, EngineShard] = {}
         self._filters = FilterFrontEnd()
-        self._sub_counter = itertools.count(1)
-        self._clock = itertools.count(1)
+        self._sub_counter = 1
+        self._reg_seq = 0
+        self._clock_value = 0
         self._num_published = 0
         self._closed = False
+        if self._store is not None:
+            self._store.set_meta("config", config_snapshot(config))
 
     # ------------------------------------------------------------------ #
     # subscriptions
@@ -124,7 +146,7 @@ class ShardedBroker:
         """
         if isinstance(query, str):
             query = parse_query(query, window_symbols=window_symbols)
-        sid = subscription_id if subscription_id is not None else f"sub{next(self._sub_counter)}"
+        sid = subscription_id if subscription_id is not None else self._next_sid()
         if sid in self._subscriptions:
             raise ValueError(f"subscription id {sid!r} already exists")
         subscription = Subscription(
@@ -142,6 +164,54 @@ class ShardedBroker:
         else:
             self._filters.register(sid, subscription)
         self._subscriptions[sid] = subscription
+        subscription._retract = self.cancel
+        if self._store is not None:
+            self._persist_subscription(sid, query)
+        return subscription
+
+    def _next_sid(self) -> str:
+        sid = f"sub{self._sub_counter}"
+        self._sub_counter += 1
+        return sid
+
+    def _persist_subscription(self, sid: str, query: XsclQuery) -> None:
+        """Record one registration (with its shard placement) durably."""
+        shard = self._shard_of.get(sid)
+        self._reg_seq += 1
+        self._store.save_subscription(
+            SubscriptionRecord(
+                seq=self._reg_seq,
+                subscription_id=sid,
+                query_text=render_query(query),
+                kind="join" if query.is_join_query else "filter",
+                shard=shard.shard_id if shard is not None else None,
+            )
+        )
+        self._store.set_meta("sub_counter", self._sub_counter)
+
+    def _restore_subscription(self, record, query: XsclQuery) -> Subscription:
+        """Re-register one persisted subscription on its *recorded* shard.
+
+        Documents are replicated but subscriptions are partitioned, so each
+        shard's persisted join state reflects the queries it owned; replay
+        must honor the recorded placement rather than re-running the
+        partitioner (a load-sensitive strategy could choose differently
+        after churn).  The partitioner's template map and load accounting
+        are restored alongside, so post-recovery placements stay cohesive.
+        """
+        subscription = Subscription(
+            subscription_id=record.subscription_id,
+            query=query,
+            result_limit=self.config.result_limit,
+        )
+        if query.is_join_query:
+            shard = self.shards[record.shard]
+            self._partitioner.restore_assignment(query, record.shard)
+            shard.register(record.subscription_id, query)
+            self._shard_of[record.subscription_id] = shard
+        else:
+            self._filters.register(record.subscription_id, subscription)
+        self._subscriptions[record.subscription_id] = subscription
         subscription._retract = self.cancel
         return subscription
 
@@ -164,6 +234,8 @@ class ShardedBroker:
         else:
             self._filters.cancel(subscription_id)
         subscription._mark_cancelled()
+        if self._store is not None:
+            self._store.remove_subscription(subscription_id)
         return True
 
     def unsubscribe(self, subscription_id: str) -> None:
@@ -213,6 +285,7 @@ class ShardedBroker:
         should batch through :meth:`publish_many`.
         """
         document = self._prepare(document, timestamp, stream)
+        self._persist_clock()
         per_shard = self._executor.map(
             lambda shard: shard.process_one(document), self.shards
         )
@@ -238,6 +311,7 @@ class ShardedBroker:
         batch = [self._prepare(document, timestamp, stream) for document in documents]
         if not batch:
             return []
+        self._persist_clock()
 
         per_shard = self._executor.map(
             lambda shard: shard.process_batch(batch), self.shards
@@ -273,10 +347,22 @@ class ShardedBroker:
         if timestamp is not None:
             document.timestamp = float(timestamp)
         elif self.auto_timestamp and document.timestamp == 0.0:
-            document.timestamp = float(next(self._clock))
+            self._clock_value += 1
+            document.timestamp = float(self._clock_value)
         self.streams.get_or_create(document.stream).record(document)
         self._num_published += 1
         return document
+
+    def _persist_clock(self) -> None:
+        """Persist the central timestamp clock (once per publish call).
+
+        Stamps must keep increasing across a restart — a recovered clock
+        behind the persisted state would assign duplicate timestamps and
+        break window semantics.
+        """
+        if self._store is not None:
+            self._store.set_meta("clock", self._clock_value)
+            self._store.set_meta("num_published", self._num_published)
 
     def _deliver_matches(self, matches: Sequence[Match]) -> list[SubscriptionResult]:
         deliveries: list[SubscriptionResult] = []
@@ -319,6 +405,7 @@ class ShardedBroker:
         return {
             "engine": self.engine_name,
             "indexing": self.indexing,
+            "storage": self.storage,
             "shards": self.num_shards,
             "executor": self._executor.name,
             "streams": self.streams.stats(),
@@ -340,11 +427,16 @@ class ShardedBroker:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut down the executor's workers and flush all sinks (idempotent)."""
-        if not self._closed:
-            self._closed = True
-            for subscription in self._subscriptions.values():
-                subscription.close_sinks()
+        """End the session (idempotent): sinks, shard stores, registry, executor."""
+        if self._closed:
+            return
+        self._closed = True
+        for subscription in self._subscriptions.values():
+            subscription.close_sinks()
+        for shard in self.shards:
+            shard.engine.close()
+        if self._store is not None:
+            self._store.close()
         self._executor.close()
 
     def __enter__(self) -> "ShardedBroker":

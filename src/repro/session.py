@@ -20,14 +20,18 @@ making the broker flavor an implementation detail instead of a
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from repro.config import RuntimeConfig
 
 __all__ = ["open_broker"]
 
 
-def open_broker(config: Union[RuntimeConfig, str, None] = None, **overrides):
+def open_broker(
+    config: Union[RuntimeConfig, str, None] = None,
+    resume_from: Optional[str] = None,
+    **overrides,
+):
     """Open a publish/subscribe session for ``config``.
 
     ``config`` may be a :class:`~repro.config.RuntimeConfig`, an engine
@@ -37,11 +41,26 @@ def open_broker(config: Union[RuntimeConfig, str, None] = None, **overrides):
     :meth:`RuntimeConfig.replace` — ``open_broker(shards=4)`` is the
     concise spelling of ``open_broker(RuntimeConfig(shards=4))``.
 
+    ``resume_from`` recovers a crashed/closed session from the SQLite
+    stores under the given directory (a previous session's
+    ``storage_path``): the subscription registry is replayed, join state,
+    documents, variable catalog and counters are restored, and the
+    returned broker is match-equivalent on future documents to one that
+    never restarted (see :mod:`repro.storage.recovery`).  With ``config``
+    ``None`` the crashed session's persisted config is reused; delivery
+    callbacks and sinks are process-local and must be re-attached via
+    ``broker.subscription(sid)``.
+
     Returns a :class:`repro.pubsub.Broker` for ``shards == 1`` and a
     :class:`repro.runtime.ShardedBroker` otherwise; both support the
     context-manager protocol (``close()`` flushes every subscription's
-    delivery sinks and shuts down any shard executor).
+    delivery sinks, flushes and closes the state stores, and shuts down
+    any shard executor).
     """
+    if resume_from is not None:
+        from repro.storage.recovery import resume_broker
+
+        return resume_broker(config, resume_from, overrides)
     if config is None:
         config = RuntimeConfig()
     elif isinstance(config, str):

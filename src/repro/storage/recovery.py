@@ -1,0 +1,228 @@
+"""Crash recovery: rebuild a live broker session from its SQLite stores.
+
+:func:`resume_broker` is the engine behind
+``repro.open_broker(resume_from=path)``.  The stores hold four things the
+process lost — the subscription registry, the variable catalog, the join
+state, and the serialized documents — and recovery replays them in an order
+that makes the rebuilt broker *match-equivalent* to one that never
+restarted:
+
+1. **Catalog first.**  Canonical variable names are assigned in
+   registration order with collision suffixes (``x2`` vs ``x2_2``), so a
+   catalog re-derived from replaying only the *surviving* subscriptions
+   (cancelled ones are gone from the registry) could assign different names
+   than the ones frozen into the persisted state rows.  Restoring the
+   persisted catalog before any replay pins every name.
+2. **Replay registrations** in their original sequence.  This rebuilds the
+   derived structures — templates, ``RT`` tuples, Stage 1 registrations,
+   compiled plans, relevance-index postings — through the exact same code
+   path as a live ``subscribe``; on a sharded broker each join subscription
+   is forced onto its recorded shard (document replication makes per-shard
+   state placement-dependent).
+3. **Load state rows and documents** straight into each engine's
+   :class:`~repro.core.state.JoinState` and document map, and restore the
+   persisted counters (timestamp clock, id counters) so future stamps and
+   auto-generated ids continue where the crashed session stopped.
+
+A persisted-vs-replayed template-refcount cross-check guards against a
+registry/state mismatch (e.g. resuming with an incompatible config);
+mismatches raise :class:`RecoveryError` rather than silently mis-joining.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Mapping, Optional
+
+from repro.config import RuntimeConfig
+from repro.storage.base import STABLE_RELATIONS
+from repro.storage.sqlite import SQLiteStore
+
+__all__ = ["RecoveryError", "resume_broker", "config_snapshot"]
+
+
+class RecoveryError(RuntimeError):
+    """The stores are missing, inconsistent, or contradict the given config."""
+
+
+def config_snapshot(config: RuntimeConfig) -> dict:
+    """The JSON-serializable view of a config persisted in the broker store.
+
+    ``storage_path`` is omitted (the snapshot lives *inside* that
+    directory; recovery re-supplies it), and pluggable instances
+    (partitioner/executor objects) degrade to their keyword names.
+    """
+    out: dict = {}
+    for field in dataclasses.fields(config):
+        if field.name == "storage_path":
+            continue
+        value = getattr(config, field.name)
+        if value is None or isinstance(value, (str, int, float, bool)):
+            out[field.name] = value
+        else:
+            out[field.name] = getattr(value, "name", str(value))
+    return out
+
+
+def resume_broker(
+    config: "RuntimeConfig | str | None",
+    path: str,
+    overrides: Optional[Mapping[str, Any]] = None,
+):
+    """Rebuild the broker session persisted under ``path``.
+
+    ``config`` may be ``None`` (reconstruct the crashed session's config
+    from its persisted snapshot), an engine-name string, or an explicit
+    :class:`~repro.config.RuntimeConfig`; ``overrides`` are applied on top.
+    Whatever is supplied, ``storage``/``storage_path`` are forced back to
+    the stores being resumed, and ``shards`` must match the persisted
+    topology (join-state placement is per shard).
+    """
+    changes = dict(overrides or {})
+    if isinstance(config, str):
+        changes.setdefault("engine", config)
+        config = None
+    broker_db = os.path.join(path, "broker.sqlite3")
+    if not os.path.exists(broker_db):
+        raise RecoveryError(f"no broker store found at {broker_db!r}")
+    probe = SQLiteStore(broker_db)
+    try:
+        stored = probe.get_meta("config")
+    finally:
+        probe.close()
+    if stored is None:
+        raise RecoveryError(
+            f"broker store {broker_db!r} has no persisted config snapshot"
+        )
+
+    if config is None:
+        known = {f.name for f in dataclasses.fields(RuntimeConfig)}
+        config = RuntimeConfig(**{k: v for k, v in stored.items() if k in known})
+    elif not isinstance(config, RuntimeConfig):
+        raise TypeError(
+            f"resume_from expects a RuntimeConfig, an engine name, or None; "
+            f"got {type(config).__name__}"
+        )
+    changes["storage"] = "sqlite"
+    changes["storage_path"] = path
+    config = config.replace(**changes)
+    if config.shards != stored.get("shards", config.shards):
+        raise RecoveryError(
+            f"cannot resume a {stored.get('shards')}-shard session with "
+            f"shards={config.shards}; join-state placement is per shard"
+        )
+
+    if config.shards > 1:
+        from repro.runtime.sharded_broker import ShardedBroker
+
+        broker = ShardedBroker(config)
+    else:
+        from repro.pubsub.broker import Broker
+
+        broker = Broker(config)
+    try:
+        _restore(broker)
+    except BaseException:
+        broker.close()
+        raise
+    return broker
+
+
+def _engines(broker) -> list:
+    shards = getattr(broker, "shards", None)
+    if isinstance(shards, list):
+        return [shard.engine for shard in shards]
+    return [broker.engine]
+
+
+def _restore(broker) -> None:
+    from repro.xscl.parser import parse_query
+
+    engines = _engines(broker)
+
+    # 1. Pin canonical variable names before any registration replays.
+    for engine in engines:
+        entries = engine.store.catalog_entries()
+        engine.catalog.restore(entries)
+        engine._catalog_watermark = len(entries)
+
+    # Capture the integrity expectations now — the replay below re-persists
+    # registration metadata through the live code path.
+    expected_refcounts = [
+        engine.store.get_meta("template_refcounts") for engine in engines
+    ]
+
+    # 2. Replay the surviving registrations in their original order.
+    records = broker._store.subscriptions()
+    for record in records:
+        query = parse_query(record.query_text)
+        broker._restore_subscription(record, query)
+
+    for engine, expected in zip(engines, expected_refcounts):
+        registry = getattr(engine, "registry", None)
+        if expected is None or registry is None:
+            continue
+        live = sorted(registry.template_sizes().values())
+        if live != sorted(expected):
+            raise RecoveryError(
+                f"template refcounts after replay {live} do not match the "
+                f"persisted refcounts {sorted(expected)}; the stores were "
+                "written by an incompatible session"
+            )
+
+    # 3. Join state, documents, and counters.
+    for engine in engines:
+        _restore_engine_state(engine)
+    _restore_broker_counters(broker, records)
+    _advance_docid_counter(engines)
+
+
+def _advance_docid_counter(engines) -> None:
+    """Move the process-global auto-docid counter past every persisted docid.
+
+    Auto-generated docids (``doc0``, ``doc1``, ...) come from a counter that
+    restarts with the process; without this, the first unnamed document
+    published after recovery would reuse a recovered docid and replace its
+    state partitions.
+    """
+    import re
+
+    from repro.xmlmodel.document import advance_docid_counter
+
+    floor = 0
+    for engine in engines:
+        for docid in engine.store.state_docids():
+            m = re.fullmatch(r"doc(\d+)", docid)
+            if m:
+                floor = max(floor, int(m.group(1)) + 1)
+    if floor:
+        advance_docid_counter(floor)
+
+
+def _restore_engine_state(engine) -> None:
+    from repro.xmlmodel.parser import parse_document
+
+    store = engine.store
+    state = engine._processor().state
+    for relation in STABLE_RELATIONS:
+        state.restore_rows(relation, store.state_rows(relation))
+    if engine.store_documents:
+        for doc in store.documents():
+            engine.documents[doc.docid] = parse_document(
+                doc.xml, docid=doc.docid, timestamp=doc.timestamp, stream=doc.stream
+            )
+    counters = store.get_meta("engine_counters") or {}
+    engine.num_documents_processed = int(counters.get("documents", 0))
+    engine.num_matches = int(counters.get("matches", 0))
+    engine._clock_value = int(counters.get("clock", 0))
+
+
+def _restore_broker_counters(broker, records) -> None:
+    store = broker._store
+    broker._sub_counter = int(store.get_meta("sub_counter", broker._sub_counter))
+    broker._reg_seq = max((record.seq for record in records), default=0)
+    if hasattr(broker, "_clock_value"):
+        broker._clock_value = int(store.get_meta("clock", 0))
+    if hasattr(broker, "_num_published"):
+        broker._num_published = int(store.get_meta("num_published", 0))

@@ -59,8 +59,30 @@ class VariableCatalog:
         """The definition registered under a canonical name, if any."""
         return self._definitions.get(name)
 
-    def __len__(self) -> int:
-        return len(self._by_definition)
+    def entries(self) -> list[tuple[str, str, str]]:
+        """All registrations as ``(name, stream, path)``, in registration order.
+
+        The persistence view: canonical names are assigned in registration
+        order (collisions get ``_2``-style suffixes), so the order is part
+        of the catalog's identity and must survive externalization.
+        """
+        return [
+            (name, stream, path)
+            for (stream, path), name in self._by_definition.items()
+        ]
+
+    def restore(self, entries: "list[tuple[str, str, str]]") -> None:
+        """Re-register persisted ``(name, stream, path)`` entries verbatim.
+
+        Used by crash recovery *before* any query is (re-)canonicalized:
+        replaying only the surviving subscriptions would re-derive names in
+        a different registration order than the crashed session, and the
+        names frozen into the persisted join-state rows would no longer
+        resolve.  Restoring the catalog verbatim pins every name first.
+        """
+        for name, stream, path in entries:
+            self._by_definition[(stream, path)] = name
+            self._definitions[name] = (stream, path)
 
 
 def check_value_join_normal_form(query: XsclQuery) -> None:

@@ -32,6 +32,11 @@ REPRO_ALL = {
     "CollectingSink",
     "QueueSink",
     "BatchingSink",
+    # durable storage
+    "StateStore",
+    "MemoryStore",
+    "SQLiteStore",
+    "RecoveryError",
     # engines and matches
     "MMQJPEngine",
     "SequentialEngine",

@@ -1,0 +1,85 @@
+"""Legacy-kwarg DeprecationWarnings must point at the *caller's* line.
+
+``coerce_config`` is called at different depths (directly by the engines,
+through ``make_engine``, through ``Broker.__new__``'s config peek), so each
+path needs its own ``stacklevel``; a wrong one makes ``python -W error``
+users chase a frame inside repro instead of their own call site.  These
+tests pin every legacy entry point to this file.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import MMQJPEngine, SequentialEngine
+from repro.core.engine import make_engine
+from repro.pubsub import Broker
+from repro.runtime import ShardedBroker
+
+
+def _deprecations():
+    ctx = warnings.catch_warnings(record=True)
+    record = ctx.__enter__()
+    warnings.simplefilter("always")
+    return ctx, record
+
+
+def _assert_points_here(record):
+    assert record, "expected at least one DeprecationWarning"
+    for w in record:
+        assert issubclass(w.category, DeprecationWarning), w.message
+        assert w.filename == __file__, (
+            f"warning attributed to {w.filename!r}, not the caller: {w.message}"
+        )
+
+
+def test_broker_legacy_kwarg_warns_at_caller():
+    ctx, record = _deprecations()
+    try:
+        broker = Broker(engine="mmqjp", indexing="off")
+        broker.close()
+    finally:
+        ctx.__exit__(None, None, None)
+    _assert_points_here(record)
+
+
+def test_broker_shards_reroute_warns_at_caller():
+    ctx, record = _deprecations()
+    try:
+        broker = Broker(shards=2)
+        broker.close()
+    finally:
+        ctx.__exit__(None, None, None)
+    assert isinstance(broker, ShardedBroker)
+    _assert_points_here(record)
+
+
+def test_sharded_broker_legacy_kwarg_warns_at_caller():
+    ctx, record = _deprecations()
+    try:
+        broker = ShardedBroker(shards=2, indexing="off")
+        broker.close()
+    finally:
+        ctx.__exit__(None, None, None)
+    _assert_points_here(record)
+
+
+def test_make_engine_legacy_kwarg_warns_at_caller():
+    ctx, record = _deprecations()
+    try:
+        make_engine("mmqjp", indexing="off")
+    finally:
+        ctx.__exit__(None, None, None)
+    _assert_points_here(record)
+
+
+@pytest.mark.parametrize("engine_class", [MMQJPEngine, SequentialEngine])
+def test_engine_legacy_kwarg_warns_at_caller(engine_class):
+    ctx, record = _deprecations()
+    try:
+        engine_class(indexing="off")
+    finally:
+        ctx.__exit__(None, None, None)
+    _assert_points_here(record)
