@@ -17,6 +17,7 @@ from repro.bench.harness import (
     run_technical_benchmark,
     run_rss_throughput,
     run_plan_scaling,
+    run_parallel_topic_throughput,
     run_sharded_rss_throughput,
     register_mmqjp,
     register_sequential,
@@ -29,6 +30,7 @@ __all__ = [
     "run_technical_benchmark",
     "run_rss_throughput",
     "run_plan_scaling",
+    "run_parallel_topic_throughput",
     "run_sharded_rss_throughput",
     "register_mmqjp",
     "register_sequential",

@@ -440,6 +440,30 @@ def run_delta_scaling(
 # --------------------------------------------------------------------------- #
 # the sharded-runtime throughput benchmark
 # --------------------------------------------------------------------------- #
+def _routing_extra(broker: ShardedBroker) -> dict:
+    """Routing counters of one finished run, flattened for reporting.
+
+    ``pct_shards_skipped`` is the fraction of (document, candidate shard)
+    dispatches the router pruned; ``num_active_shards`` counts the shards
+    that owned at least one subscription (an all-on-one-shard placement
+    gives routing nothing to skip, so gates key off this).
+    """
+    stats = broker.stats()
+    routing = stats.get("routing")
+    extra: dict = {
+        "route_dispatch": routing is not None,
+        "workers": stats.get("workers") or 0,
+        "num_active_shards": sum(1 for shard in broker.shards if shard.qids),
+    }
+    if routing is not None:
+        considered = routing["shards_dispatched"] + routing["shards_skipped"]
+        extra["shards_skipped"] = routing["shards_skipped"]
+        extra["pct_shards_skipped"] = round(
+            100.0 * routing["shards_skipped"] / considered if considered else 0.0, 2
+        )
+    return extra
+
+
 def run_sharded_rss_throughput(
     queries: Sequence[XsclQuery],
     documents: Iterable[XmlDocument],
@@ -447,6 +471,8 @@ def run_sharded_rss_throughput(
     approach: str = APPROACH_MMQJP,
     partitioner: str = "hash",
     executor: str = "serial",
+    route_dispatch: bool = True,
+    max_workers: Optional[int] = None,
     batch_size: Optional[int] = None,
     view_cache_size: Optional[int] = 4096,
     indexing: str = "eager",
@@ -457,8 +483,8 @@ def run_sharded_rss_throughput(
     phase uses batched ingestion (``publish_many``), dispatching the stream
     in batches of ``batch_size`` documents (the whole stream at once when
     ``None``).  The result's ``approach`` is tagged
-    ``"<engine>-sharded<N>-<executor>"`` and the shard/executor/partitioner
-    configuration is reported in ``extra``.
+    ``"<engine>-sharded<N>-<executor>"`` and the shard/executor/partitioner/
+    routing configuration is reported in ``extra``.
     """
     documents = list(documents)
     broker = ShardedBroker(
@@ -469,6 +495,8 @@ def run_sharded_rss_throughput(
             shards=shards,
             partitioner=partitioner,
             executor=executor,
+            route_dispatch=route_dispatch,
+            max_workers=max_workers,
             store_documents=False,
             auto_timestamp=False,
             indexing=indexing,
@@ -493,6 +521,7 @@ def run_sharded_rss_throughput(
         elapsed = time.perf_counter() - start
 
         stats = broker.merged_engine_stats()
+        routing_extra = _routing_extra(broker)
     finally:
         broker.close()
 
@@ -511,5 +540,93 @@ def run_sharded_rss_throughput(
             "partitioner": partitioner,
             "executor": executor,
             "batch_size": batch_size if batch_size is not None else len(documents),
+            **routing_extra,
         },
     )
+
+
+# --------------------------------------------------------------------------- #
+# the parallel-scaling benchmark (process shards + relevance routing)
+# --------------------------------------------------------------------------- #
+def run_parallel_topic_throughput(
+    queries: Sequence[XsclQuery],
+    documents: Iterable[XmlDocument],
+    shards: int,
+    approach: str = APPROACH_MMQJP,
+    executor: str = "serial",
+    route_dispatch: bool = True,
+    max_workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    indexing: str = "eager",
+) -> tuple[ApproachResult, frozenset]:
+    """Stream a topic-sharded document workload through a sharded broker.
+
+    The end-to-end measurement of the parallel runtime: topic-disjoint
+    templates spread across shards, and every document both probes the
+    retained same-topic state and becomes state itself (both query-block
+    roles), so routing decisions affect correctness if they are wrong —
+    which is why the runner also returns the frozen match-key set, asserted
+    identical across every executor × shards × routing cell by the
+    benchmark.  ``extra`` reports ``ms_per_doc`` (the scaling quantity) and
+    the routing counters (``pct_shards_skipped``).
+    """
+    documents = list(documents)
+    broker = ShardedBroker(
+        RuntimeConfig(
+            engine=approach,
+            construct_outputs=False,
+            shards=shards,
+            executor=executor,
+            route_dispatch=route_dispatch,
+            max_workers=max_workers,
+            store_documents=False,
+            auto_timestamp=False,
+            indexing=indexing,
+        )
+    )
+    try:
+        for i, query in enumerate(queries):
+            broker.subscribe(query, subscription_id=f"q{i}")
+
+        if batch_size is None or batch_size >= len(documents):
+            batches = [documents]
+        else:
+            batches = [
+                documents[i : i + batch_size]
+                for i in range(0, len(documents), batch_size)
+            ]
+
+        match_keys: set[tuple] = set()
+        start = time.perf_counter()
+        num_matches = 0
+        for batch in batches:
+            deliveries = broker.publish_many(batch)
+            num_matches += len(deliveries)
+            match_keys.update(d.match.key() for d in deliveries)
+        elapsed = time.perf_counter() - start
+
+        stats = broker.merged_engine_stats()
+        routing_extra = _routing_extra(broker)
+    finally:
+        broker.close()
+
+    throughput = len(documents) / elapsed if elapsed > 0 else float("inf")
+    result = ApproachResult(
+        approach=f"{approach}-parallel{shards}-{executor}",
+        num_queries=len(queries),
+        elapsed_ms=elapsed * 1000.0,
+        num_matches=num_matches,
+        num_templates=stats.num_templates,
+        breakdown_ms=dict(stats.costs),
+        extra={
+            "events_per_second": round(throughput, 2),
+            "ms_per_doc": round(elapsed * 1000.0 / max(1, len(documents)), 4),
+            "num_events": len(documents),
+            "shards": shards,
+            "executor": executor,
+            "max_workers": max_workers,
+            "batch_size": batch_size if batch_size is not None else len(documents),
+            **routing_extra,
+        },
+    )
+    return result, frozenset(match_keys)

@@ -56,8 +56,11 @@ INDEXING_MODES = ("eager", "lazy", "off")
 PARTITIONERS = ("hash", "least-loaded")
 
 #: Built-in shard-executor keywords (must match
-#: :data:`repro.runtime.executor.EXECUTORS`).
-EXECUTORS = ("serial", "threads")
+#: :data:`repro.runtime.executor.EXECUTORS`).  ``"processes"`` runs each
+#: shard engine in a long-lived worker process (true CPU parallelism for
+#: the pure-Python engines); the shard engines are then constructed
+#: in-worker from the pickled config, so the config must be picklable.
+EXECUTORS = ("serial", "threads", "processes")
 
 #: State-storage backends (canonical definition; re-exported by
 #: :mod:`repro.storage`).  ``"memory"`` keeps all state in process —
@@ -124,10 +127,19 @@ class RuntimeConfig:
         ``"hash"`` (default), ``"least-loaded"``, or a
         :class:`~repro.runtime.partition.Partitioner` instance.
     executor:
-        ``"serial"`` (default), ``"threads"``, or a
+        ``"serial"`` (default), ``"threads"``, ``"processes"`` (one
+        long-lived worker process per shard — true CPU parallelism), or a
         :class:`~repro.runtime.executor.ShardExecutor` instance.
     max_workers:
-        Worker cap for the ``"threads"`` executor (default: one per shard).
+        Worker cap for the ``"threads"`` and ``"processes"`` executors
+        (default: one per shard; fewer workers co-locate several shards
+        per thread/process).
+    route_dispatch:
+        Relevance-aware fan-out routing in the sharded runtime (default):
+        the broker maintains a variable→shard-set inverted index and only
+        dispatches a document to shards hosting templates it can bind.
+        ``False`` replicates every document to every shard (the pre-routing
+        behavior, kept for ablation and equivalence testing).
     result_limit:
         Bound on each subscription's legacy ``results`` collection
         (``None`` keeps it unbounded — the pre-sink behavior).
@@ -162,6 +174,7 @@ class RuntimeConfig:
     partitioner: Union[str, Any] = "hash"
     executor: Union[str, Any] = "serial"
     max_workers: Optional[int] = None
+    route_dispatch: bool = True
     result_limit: Optional[int] = 1024
     storage: str = "memory"
     durability: str = "epoch"
@@ -198,6 +211,10 @@ class RuntimeConfig:
         if isinstance(self.executor, str) and self.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; choose one of {EXECUTORS}"
+            )
+        if not isinstance(self.route_dispatch, bool):
+            raise ValueError(
+                f"route_dispatch must be True or False, got {self.route_dispatch!r}"
             )
         if self.storage not in STORAGE_BACKENDS:
             raise ValueError(
@@ -272,11 +289,16 @@ class RuntimeConfig:
         """The all-knobs-off ablation baseline.
 
         Unindexed join state, plan-per-call evaluation, full-state joins,
-        and visit-every-template dispatch — the behavior of the seed
-        system, kept for equivalence and ablation runs.
+        visit-every-template dispatch and replicate-to-every-shard fan-out
+        — the behavior of the seed system, kept for equivalence and
+        ablation runs.
         """
         base: dict = dict(
-            indexing="off", plan_cache=False, prune_dispatch=False, delta_join=False
+            indexing="off",
+            plan_cache=False,
+            prune_dispatch=False,
+            delta_join=False,
+            route_dispatch=False,
         )
         base.update(overrides)
         return cls(**base)

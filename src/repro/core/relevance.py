@@ -22,6 +22,12 @@ queries), never to the total registry.
 Members are individually removable (:meth:`RelevanceIndex.remove`): when a
 subscription is cancelled its postings disappear, so the index shrinks with
 the registry instead of accumulating dead queries forever.
+
+The sharded runtime reuses the same structure one level up:
+:class:`~repro.runtime.router.ShardRouter` posts each join subscription's
+block variables under its owning *shard*, turning the broker's document
+fan-out into a relevance query — only the shards hosting templates the
+document can bind are dispatched to.
 """
 
 from __future__ import annotations
@@ -118,6 +124,11 @@ class RelevanceIndex:
     def num_members(self) -> int:
         """Number of registered members (queries)."""
         return len(self._members) + len(self._always)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables with at least one posting (index width)."""
+        return len(self._postings)
 
     @property
     def num_groups(self) -> int:

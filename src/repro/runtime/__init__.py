@@ -12,17 +12,25 @@ broker-level view.
   (also reachable as ``repro.pubsub.Broker(..., shards=N)``).
 * :mod:`~repro.runtime.partition` — hash-by-template and least-loaded
   placement strategies.
-* :mod:`~repro.runtime.executor` — serial (deterministic) and thread-pool
-  execution of the per-shard tasks.
+* :mod:`~repro.runtime.executor` — serial (deterministic), thread-pool and
+  process-pipelined execution of the per-shard tasks.
+* :mod:`~repro.runtime.process` — the process runtime: engines living in
+  long-lived worker processes behind pipe-command shard handles.
+* :mod:`~repro.runtime.router` — relevance-aware fan-out routing: documents
+  are dispatched only to the shards hosting templates they can bind.
 """
 
 from repro.runtime.executor import (
     EXECUTORS,
+    ProcessExecutor,
     SerialExecutor,
     ShardExecutor,
     ThreadedExecutor,
+    executor_env_override,
     make_executor,
 )
+from repro.runtime.process import ProcessShardHandle, ShardWorkerError, ShardWorkerGroup
+from repro.runtime.router import ShardRouter
 from repro.runtime.partition import (
     PARTITIONERS,
     HashTemplatePartitioner,
@@ -46,6 +54,12 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "EXECUTORS",
     "make_executor",
+    "executor_env_override",
+    "ProcessShardHandle",
+    "ShardWorkerGroup",
+    "ShardWorkerError",
+    "ShardRouter",
 ]

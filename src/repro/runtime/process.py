@@ -1,0 +1,358 @@
+"""Process-resident shards: each engine lives in a long-lived worker process.
+
+The process runtime (``RuntimeConfig(executor="processes")``) keeps the
+sharded broker's architecture — subscriptions partitioned, documents fanned
+out, results merged in shard order — but moves every
+:class:`~repro.core.engine._BaseEngine` out of the broker process:
+
+* A :class:`ShardWorkerGroup` owns one worker process hosting one or more
+  shard engines (``max_workers`` caps the process count; shards are
+  assigned round-robin).  The engines are constructed *in-worker* from the
+  pickled :class:`~repro.config.RuntimeConfig`, and storage-attached shards
+  open their own ``shard-N.sqlite3`` in-worker, so neither engine state nor
+  SQLite connections ever cross the process boundary.
+* A :class:`ProcessShardHandle` stands in for
+  :class:`~repro.runtime.shard.EngineShard` on the broker side: the same
+  method surface, implemented as commands over a duplex pipe.
+  Registrations and cancellations are forwarded as commands (the worker
+  engine replays the exact ``register_query``/``deregister_query`` code
+  path), documents cross as pickled batches reusing the engine's
+  ``process_batch`` fast path, and match rows come back as compact tuples
+  that are re-materialized broker-side — so delivery callbacks and
+  :class:`~repro.pubsub.sinks.DeliverySink` objects fire in the parent and
+  never need to be picklable.
+* Requests and responses are strictly ordered per channel, and
+  :class:`~repro.runtime.executor.ProcessExecutor` keeps at most one
+  request in flight per channel, so responses are matched to requests
+  positionally — no request ids, no response reordering.
+
+A worker that dies mid-conversation (crash, ``kill -9``) surfaces as a
+:class:`ShardWorkerError` on the next send or receive instead of a hang:
+the parent closes its copy of the child's pipe end right after the fork, so
+a dead worker turns reads into immediate ``EOFError``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Any, Optional, Sequence
+
+from repro.core.results import Match
+
+__all__ = [
+    "ShardWorkerError",
+    "ShardWorkerGroup",
+    "ProcessShardHandle",
+    "encode_match",
+    "decode_match",
+]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process died or its command pipe broke."""
+
+
+# --------------------------------------------------------------------- #
+# wire format
+# --------------------------------------------------------------------- #
+def encode_match(match: Match) -> tuple:
+    """Compact wire form of a :class:`Match` (plain tuples, no dataclass)."""
+    return (
+        match.qid,
+        match.lhs_docid,
+        match.rhs_docid,
+        match.lhs_timestamp,
+        match.rhs_timestamp,
+        tuple(match.lhs_bindings.items()),
+        tuple(match.rhs_bindings.items()),
+        match.window,
+    )
+
+
+def decode_match(wire: tuple) -> Match:
+    """Re-materialize a :class:`Match` from its wire form (broker side)."""
+    return Match(
+        qid=wire[0],
+        lhs_docid=wire[1],
+        rhs_docid=wire[2],
+        lhs_timestamp=wire[3],
+        rhs_timestamp=wire[4],
+        lhs_bindings=dict(wire[5]),
+        rhs_bindings=dict(wire[6]),
+        window=wire[7],
+    )
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+def _dispatch(engine, method: str, args: tuple):
+    """Apply one command to one in-worker engine."""
+    if method == "process_batch":
+        (documents,) = args
+        return [
+            [encode_match(m) for m in matches]
+            for matches in engine.process_batch(documents)
+        ]
+    if method == "process_one":
+        (document,) = args
+        return [encode_match(m) for m in engine.process_document(document)]
+    if method == "register":
+        qid, query = args
+        engine.register_query(query, qid=qid)
+        return None
+    if method == "deregister":
+        (qid,) = args
+        engine.deregister_query(qid)
+        return None
+    if method == "prune":
+        (min_timestamp,) = args
+        return engine.prune(min_timestamp)
+    if method == "stats":
+        return engine.stats()
+    if method == "output_document":
+        (wire,) = args
+        return engine.output_document(decode_match(wire))
+    if method == "recover_catalog":
+        from repro.storage.recovery import recover_engine_catalog
+
+        return recover_engine_catalog(engine)
+    if method == "registry_refcounts":
+        from repro.storage.recovery import engine_registry_refcounts
+
+        return engine_registry_refcounts(engine)
+    if method == "recover_state":
+        from repro.storage.recovery import docid_floor, restore_engine_state
+
+        restore_engine_state(engine)
+        return docid_floor(engine)
+    raise ValueError(f"unknown shard-worker command {method!r}")
+
+
+def _portable(exc: BaseException) -> BaseException:
+    """An exception safe to send back over the pipe (degrade if unpicklable)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _shard_worker_main(
+    conn,
+    config_bytes: bytes,
+    shard_ids: Sequence[int],
+    storage: str,
+    storage_path: Optional[str],
+    durability: str,
+) -> None:
+    """Entry point of one worker process: build the engines, serve commands."""
+    from repro.core.engine import make_engine
+    from repro.storage import open_member_store
+
+    engines = {}
+    try:
+        config = pickle.loads(config_bytes)
+        for shard_id in shard_ids:
+            store = open_member_store(
+                storage, storage_path, f"shard-{shard_id}", durability
+            )
+            engines[shard_id] = make_engine(config=config, store=store)
+    except BaseException as exc:
+        conn.send((False, _portable(exc)))
+        conn.close()
+        return
+    conn.send((True, "ready"))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        shard_id, method, args = message
+        try:
+            response = (True, _dispatch(engines[shard_id], method, args))
+        except BaseException as exc:
+            response = (False, _portable(exc))
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):
+            break
+    for engine in engines.values():
+        engine.close()
+    conn.close()
+
+
+# --------------------------------------------------------------------- #
+# broker side
+# --------------------------------------------------------------------- #
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    # fork starts in milliseconds and inherits the loaded modules; spawn is
+    # the portability fallback (the worker entry point is a module-level
+    # function, so both work).
+    return "fork" if "fork" in methods else methods[0]
+
+
+class ShardWorkerGroup:
+    """One worker process hosting the engines of one or more shards."""
+
+    def __init__(
+        self,
+        config_bytes: bytes,
+        shard_ids: Sequence[int],
+        storage: str,
+        storage_path: Optional[str],
+        durability: str,
+    ):
+        ctx = multiprocessing.get_context(_start_method())
+        parent_conn, child_conn = ctx.Pipe()
+        self.shard_ids = tuple(shard_ids)
+        self.process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, config_bytes, list(shard_ids), storage, storage_path, durability),
+            daemon=True,
+            name="repro-shards-" + "-".join(str(s) for s in shard_ids),
+        )
+        self.process.start()
+        # With the child's copy closed here, a dead worker turns recv() into
+        # an immediate EOFError instead of a hang.
+        child_conn.close()
+        self._conn = parent_conn
+        self._closed = False
+        self.recv()  # readiness handshake; construction errors re-raise here
+
+    def send(self, shard_id: int, method: str, args: tuple) -> None:
+        try:
+            self._conn.send((shard_id, method, args))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerError(
+                f"shard worker {self.process.name!r} is gone "
+                f"(exit code {self.process.exitcode}); {method!r} was not sent"
+            ) from exc
+
+    def recv(self):
+        try:
+            ok, payload = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardWorkerError(
+                f"shard worker {self.process.name!r} died "
+                f"(exit code {self.process.exitcode}) before responding"
+            ) from exc
+        if not ok:
+            if isinstance(payload, BaseException):
+                raise payload
+            raise ShardWorkerError(str(payload))
+        return payload
+
+    def call(self, shard_id: int, method: str, *args):
+        """One synchronous command round-trip (the control plane)."""
+        self.send(shard_id, method, args)
+        return self.recv()
+
+    def close(self) -> None:
+        """Shut the worker down (idempotent); terminate if it won't exit."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self.process.is_alive():
+                self._conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=10)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=10)
+
+
+class ProcessShardHandle:
+    """The broker-side stand-in for an :class:`~repro.runtime.shard.EngineShard`.
+
+    Same surface (``register``/``deregister``/``process_one``/
+    ``process_batch``/``prune``/``stats``/``output_document``), delegating
+    every call to the engine living in :attr:`channel`'s worker process.
+    ``submit``/``collect`` expose the split halves of a call so
+    :class:`~repro.runtime.executor.ProcessExecutor` can pipeline across
+    workers; responses decode by the method name recorded at submit time
+    (the channel is strictly FIFO with one request in flight).
+    """
+
+    def __init__(self, shard_id: int, group: ShardWorkerGroup):
+        self.shard_id = shard_id
+        self.channel = group
+        self.qids: list[str] = []
+        self._pending: list[str] = []
+
+    # -- control plane -------------------------------------------------- #
+    def register(self, qid: str, query) -> None:
+        self.channel.call(self.shard_id, "register", qid, query)
+        self.qids.append(qid)
+
+    def deregister(self, qid: str) -> None:
+        self.channel.call(self.shard_id, "deregister", qid)
+        self.qids.remove(qid)
+
+    def prune(self, min_timestamp: float) -> int:
+        return self.channel.call(self.shard_id, "prune", min_timestamp)
+
+    def stats(self):
+        return self.channel.call(self.shard_id, "stats")
+
+    def output_document(self, match: Match):
+        return self.channel.call(self.shard_id, "output_document", encode_match(match))
+
+    # -- recovery plane (see repro.storage.recovery) --------------------- #
+    def recover_catalog(self):
+        return self.channel.call(self.shard_id, "recover_catalog")
+
+    def registry_refcounts(self):
+        return self.channel.call(self.shard_id, "registry_refcounts")
+
+    def recover_state(self):
+        return self.channel.call(self.shard_id, "recover_state")
+
+    # -- data plane ------------------------------------------------------ #
+    def submit(self, method: str, args: tuple) -> None:
+        self.channel.send(self.shard_id, method, args)
+        self._pending.append(method)
+
+    def collect(self):
+        method = self._pending.pop(0)
+        payload = self.channel.recv()
+        if method == "process_one":
+            return [decode_match(wire) for wire in payload]
+        if method == "process_batch":
+            return [[decode_match(wire) for wire in row] for row in payload]
+        return payload
+
+    def process_one(self, document) -> list[Match]:
+        if not self.qids:
+            return []
+        self.submit("process_one", (document,))
+        return self.collect()
+
+    def process_batch(self, documents) -> list[list[Match]]:
+        if not self.qids:
+            return [[] for _ in documents]
+        self.submit("process_batch", (documents,))
+        return self.collect()
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.qids)
+
+    def close(self) -> None:
+        """Nothing to do per shard; the broker closes the worker groups."""
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProcessShardHandle {self.shard_id} queries={self.num_queries} "
+            f"worker={self.channel.process.name!r}>"
+        )

@@ -1,11 +1,15 @@
 """One engine shard: an independent two-stage engine plus its bookkeeping.
 
-A shard owns a disjoint subset of the registered join subscriptions but sees
-*every* published document (subscription-partitioned, document-replicated
-parallelism — the natural decomposition for a pub/sub join system, where
-any subscription may pair the current document with any earlier one).  Each
-shard therefore maintains its own Stage 1 evaluator, template registry and
-join state, and shards never need to communicate during processing.
+A shard owns a disjoint subset of the registered join subscriptions and
+sees every published document its queries could bind (subscription-
+partitioned, document-replicated parallelism, thinned by the broker's
+:class:`~repro.runtime.router.ShardRouter` when routing is enabled).  Each
+shard maintains its own Stage 1 evaluator, template registry and join
+state, and shards never need to communicate during processing.
+
+In the ``"processes"`` runtime this same surface is provided by
+:class:`~repro.runtime.process.ProcessShardHandle`, with the engine living
+in a worker process.
 """
 
 from __future__ import annotations
@@ -74,6 +78,10 @@ class EngineShard:
         """Prune this shard's join state; returns documents removed."""
         return self.engine.prune(min_timestamp)
 
+    def output_document(self, match: Match) -> XmlDocument:
+        """Construct the output XML document of one of this shard's matches."""
+        return self.engine.output_document(match)
+
     @property
     def num_queries(self) -> int:
         """Number of subscriptions owned by this shard."""
@@ -82,6 +90,10 @@ class EngineShard:
     def stats(self) -> EngineStats:
         """This shard's engine statistics."""
         return self.engine.stats()
+
+    def close(self) -> None:
+        """Close this shard's engine (flushes an attached state store)."""
+        self.engine.close()
 
     def __repr__(self) -> str:
         return f"<EngineShard {self.shard_id} queries={self.num_queries}>"

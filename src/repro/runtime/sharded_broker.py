@@ -7,12 +7,22 @@ several independent Stage 1 + Stage 2 engines:
 * **Subscriptions are partitioned** by a :class:`~repro.runtime.partition.Partitioner`
   that keeps all queries of one template (same CQT) on the same shard, so
   the paper's template sharing is preserved inside every shard.
-* **Documents are replicated**: every published document is fanned out to
-  all shards (any subscription may join the current document with any
-  earlier one, so no shard can skip a document).  Per-shard work shrinks
-  roughly with the shard's share of templates; the shard tasks are
-  independent and are scheduled by a pluggable
-  :class:`~repro.runtime.executor.ShardExecutor`.
+* **Documents are routed**: by default a
+  :class:`~repro.runtime.router.ShardRouter` dispatches each published
+  document only to the shards hosting templates it can bind (a
+  variable→shard-set inverted index maintained on subscribe/cancel);
+  ``route_dispatch=False`` falls back to replicating every document to
+  every shard.  Routing is a pure dispatch optimization — the match set is
+  identical either way, because a document no query on a shard can bind
+  produces no consumable witnesses there.
+* **Shard tasks are scheduled** by a pluggable
+  :class:`~repro.runtime.executor.ShardExecutor`: in the calling thread
+  (``"serial"``), on a thread pool (``"threads"``), or — for true CPU
+  parallelism — against engines living in long-lived worker processes
+  (``"processes"``, see :mod:`repro.runtime.process`).  In the process
+  runtime documents cross as pickled batches and matches return as compact
+  tuples re-materialized here, so callbacks and delivery sinks always fire
+  in the parent process.
 * **Results are merged** in shard order: matches are unioned (shards own
   disjoint query ids, and every shard assigns the same timestamps because
   the broker stamps documents centrally before the fan-out), statistics via
@@ -22,8 +32,9 @@ Filter (single-block) subscriptions are evaluated once at the front end by
 a shared Stage 1 evaluator, exactly like the unsharded broker.
 
 Batched ingestion (:meth:`ShardedBroker.publish_many`) dispatches one task
-per shard for a whole batch of documents, amortizing executor handoff over
-the batch — the intended path for high-rate streams.
+per shard for a whole batch of documents — routed per document into
+per-shard sub-batches — amortizing executor handoff over the batch; the
+intended path for high-rate streams.
 
 Construction goes through :class:`~repro.config.RuntimeConfig` (the blessed
 entry point is :func:`repro.open_broker` with ``shards > 1``); the
@@ -32,6 +43,7 @@ historical per-knob keyword arguments still work but warn.
 
 from __future__ import annotations
 
+import pickle
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.config import RuntimeConfig, coerce_config
@@ -40,8 +52,10 @@ from repro.core.results import Match
 from repro.pubsub.filters import FilterFrontEnd
 from repro.pubsub.stream import StreamRegistry
 from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
-from repro.runtime.executor import make_executor
+from repro.runtime.executor import executor_env_override, make_executor
 from repro.runtime.partition import make_partitioner
+from repro.runtime.process import ProcessShardHandle, ShardWorkerGroup
+from repro.runtime.router import ShardRouter
 from repro.runtime.shard import EngineShard
 from repro.storage import SubscriptionRecord, open_member_store, resolve_storage
 from repro.storage.recovery import config_snapshot
@@ -59,9 +73,9 @@ class ShardedBroker:
     ----------
     config:
         A :class:`~repro.config.RuntimeConfig`; ``shards``, ``partitioner``,
-        ``executor`` and ``max_workers`` select the runtime topology, the
-        remaining fields configure every shard engine identically.  The
-        historical keyword arguments are accepted with a
+        ``executor``, ``max_workers`` and ``route_dispatch`` select the
+        runtime topology, the remaining fields configure every shard engine
+        identically.  The historical keyword arguments are accepted with a
         :class:`DeprecationWarning`; purely-legacy construction keeps the
         historical default of two shards.
     """
@@ -97,26 +111,34 @@ class ShardedBroker:
         self._store = open_member_store(
             self.storage, self.storage_path, "broker", config.durability
         )
-        self.shards = [
-            EngineShard(
-                shard_id,
-                make_engine(
-                    config=shard_config,
-                    store=open_member_store(
-                        self.storage,
-                        self.storage_path,
-                        f"shard-{shard_id}",
-                        config.durability,
+        executor_spec = executor_env_override(config.executor)
+        self._executor = make_executor(
+            executor_spec, max_workers=config.max_workers, num_shards=config.shards
+        )
+        self._worker_groups: list[ShardWorkerGroup] = []
+        if self._executor.name == "processes":
+            self.shards = self._spawn_process_shards(shard_config)
+        else:
+            self.shards = [
+                EngineShard(
+                    shard_id,
+                    make_engine(
+                        config=shard_config,
+                        store=open_member_store(
+                            self.storage,
+                            self.storage_path,
+                            f"shard-{shard_id}",
+                            config.durability,
+                        ),
                     ),
-                ),
-            )
-            for shard_id in range(config.shards)
-        ]
+                )
+                for shard_id in range(config.shards)
+            ]
         self._partitioner = make_partitioner(config.partitioner, config.shards)
-        self._executor = make_executor(config.executor, max_workers=config.max_workers)
+        self._router = ShardRouter() if config.route_dispatch else None
         self.streams = StreamRegistry(history_size=config.stream_history)
         self._subscriptions: dict[str, Subscription] = {}
-        self._shard_of: dict[str, EngineShard] = {}
+        self._shard_of: dict[str, Union[EngineShard, ProcessShardHandle]] = {}
         self._filters = FilterFrontEnd()
         self._sub_counter = 1
         self._reg_seq = 0
@@ -125,6 +147,51 @@ class ShardedBroker:
         self._closed = False
         if self._store is not None:
             self._store.set_meta("config", config_snapshot(config))
+
+    def _spawn_process_shards(self, shard_config: RuntimeConfig) -> list[ProcessShardHandle]:
+        """Start the worker processes and return one handle per shard.
+
+        The worker engines are built from the pickled shard config
+        (executor and partitioner are broker-level concerns, so they are
+        normalized to plain keywords first); shards are assigned to
+        ``min(shards, max_workers)`` workers round-robin.
+        """
+        worker_config = shard_config.replace(executor="serial", partitioner="hash")
+        try:
+            config_bytes = pickle.dumps(worker_config)
+        except Exception as exc:
+            raise ValueError(
+                "executor='processes' builds the shard engines in worker "
+                "processes, which requires a picklable RuntimeConfig; "
+                f"this one does not pickle: {exc}"
+            ) from exc
+        num_shards = shard_config.shards
+        num_workers = min(num_shards, shard_config.max_workers or num_shards)
+        assignments = [
+            [s for s in range(num_shards) if s % num_workers == w]
+            for w in range(num_workers)
+        ]
+        group_of: dict[int, ShardWorkerGroup] = {}
+        try:
+            for shard_ids in assignments:
+                group = ShardWorkerGroup(
+                    config_bytes,
+                    shard_ids,
+                    self.storage,
+                    self.storage_path,
+                    shard_config.durability,
+                )
+                self._worker_groups.append(group)
+                for shard_id in shard_ids:
+                    group_of[shard_id] = group
+        except BaseException:
+            for group in self._worker_groups:
+                group.close()
+            raise
+        return [
+            ProcessShardHandle(shard_id, group_of[shard_id])
+            for shard_id in range(num_shards)
+        ]
 
     # ------------------------------------------------------------------ #
     # subscriptions
@@ -139,8 +206,9 @@ class ShardedBroker:
     ) -> Subscription:
         """Register a subscription and return its :class:`Subscription` handle.
 
-        Join subscriptions are placed on one engine shard by the partitioner;
-        filter subscriptions stay on the broker's shared front-end evaluator.
+        Join subscriptions are placed on one engine shard by the partitioner
+        (and indexed by the fan-out router, when enabled); filter
+        subscriptions stay on the broker's shared front-end evaluator.
         ``sink`` attaches an additional delivery sink, as on
         :meth:`repro.pubsub.Broker.subscribe`.
         """
@@ -161,6 +229,8 @@ class ShardedBroker:
             shard = self.shards[self._partitioner.shard_for(query)]
             shard.register(sid, query)
             self._shard_of[sid] = shard
+            if self._router is not None:
+                self._router.register(sid, query, shard.shard_id)
         else:
             self._filters.register(sid, subscription)
         self._subscriptions[sid] = subscription
@@ -192,12 +262,14 @@ class ShardedBroker:
     def _restore_subscription(self, record, query: XsclQuery) -> Subscription:
         """Re-register one persisted subscription on its *recorded* shard.
 
-        Documents are replicated but subscriptions are partitioned, so each
-        shard's persisted join state reflects the queries it owned; replay
-        must honor the recorded placement rather than re-running the
-        partitioner (a load-sensitive strategy could choose differently
-        after churn).  The partitioner's template map and load accounting
-        are restored alongside, so post-recovery placements stay cohesive.
+        Documents are partitioned by the router but subscriptions by the
+        partitioner, so each shard's persisted join state reflects the
+        queries it owned; replay must honor the recorded placement rather
+        than re-running the partitioner (a load-sensitive strategy could
+        choose differently after churn).  The partitioner's template map
+        and load accounting are restored alongside, so post-recovery
+        placements stay cohesive — and the router is rebuilt through the
+        same indexing path as a live subscribe.
         """
         subscription = Subscription(
             subscription_id=record.subscription_id,
@@ -209,6 +281,8 @@ class ShardedBroker:
             self._partitioner.restore_assignment(query, record.shard)
             shard.register(record.subscription_id, query)
             self._shard_of[record.subscription_id] = shard
+            if self._router is not None:
+                self._router.register(record.subscription_id, query, shard.shard_id)
         else:
             self._filters.register(record.subscription_id, subscription)
         self._subscriptions[record.subscription_id] = subscription
@@ -221,8 +295,9 @@ class ShardedBroker:
         Same contract as :meth:`repro.pubsub.Broker.cancel`: the engine-side
         query registration (templates, relevance postings, compiled plans,
         reclaimable join state) disappears from the owning shard, the
-        partitioner's load accounting is released, and the handle is kept
-        (cancelled) so the id is never silently reused.
+        router's postings disappear (so retracted templates stop attracting
+        documents), the partitioner's load accounting is released, and the
+        handle is kept (cancelled) so the id is never silently reused.
         """
         subscription = self._subscriptions.get(subscription_id)
         if subscription is None or subscription.cancelled:
@@ -231,6 +306,8 @@ class ShardedBroker:
         if shard is not None:
             shard.deregister(subscription_id)
             self._partitioner.release(subscription.query)
+            if self._router is not None:
+                self._router.cancel(subscription_id)
         else:
             self._filters.cancel(subscription_id)
         subscription._mark_cancelled()
@@ -270,6 +347,21 @@ class ShardedBroker:
     # ------------------------------------------------------------------ #
     # publishing
     # ------------------------------------------------------------------ #
+    def _dispatch_targets(self, document: XmlDocument, candidates: list) -> list:
+        """The shards one document must reach (routing, when enabled).
+
+        ``candidates`` are the shards with at least one subscription (an
+        empty shard skips processing regardless — Stage 1 witnesses are
+        computed at arrival time, so a document processed before a query
+        registers can never join with it).
+        """
+        if self._router is None:
+            return candidates
+        relevant = self._router.route(document)
+        targets = [shard for shard in candidates if shard.shard_id in relevant]
+        self._router.account(len(targets), len(candidates))
+        return targets
+
     def publish(
         self,
         document: Union[str, XmlDocument],
@@ -278,16 +370,18 @@ class ShardedBroker:
     ) -> list[SubscriptionResult]:
         """Publish one document and deliver all resulting matches.
 
-        The direct single-document path: one :meth:`EngineShard.process_one`
-        task per shard, skipping the batch assembly, per-batch hooks and
+        The direct single-document path: one ``process_one`` task per
+        routed shard, skipping the batch assembly, per-batch hooks and
         per-document result nesting that :meth:`publish_many` pays — the
         latency path for interactive publishes, while high-rate streams
         should batch through :meth:`publish_many`.
         """
         document = self._prepare(document, timestamp, stream)
         self._persist_clock()
-        per_shard = self._executor.map(
-            lambda shard: shard.process_one(document), self.shards
+        candidates = [shard for shard in self.shards if shard.qids]
+        targets = self._dispatch_targets(document, candidates)
+        per_shard = self._executor.invoke(
+            [(shard, "process_one", (document,)) for shard in targets]
         )
         deliveries: list[SubscriptionResult] = list(self._filters.deliver(document))
         for matches in per_shard:
@@ -303,19 +397,50 @@ class ShardedBroker:
         """Publish a batch of documents with one fan-out per shard.
 
         The whole batch is prepared (parsed, stamped, recorded on its
-        streams) up front, then each shard processes it in one task, so the
-        per-document dispatch overhead is paid once per batch per shard.
-        Deliveries are returned in arrival order (per document: filter
-        deliveries first, then join matches in shard order).
+        streams) up front and routed per document into per-shard
+        sub-batches; each shard then processes its sub-batch in one task,
+        so the per-document dispatch overhead is paid once per batch per
+        shard.  Deliveries are returned in arrival order (per document:
+        filter deliveries first, then join matches in shard order).
         """
         batch = [self._prepare(document, timestamp, stream) for document in documents]
         if not batch:
             return []
         self._persist_clock()
 
-        per_shard = self._executor.map(
-            lambda shard: shard.process_batch(batch), self.shards
-        )
+        candidates = [shard for shard in self.shards if shard.qids]
+        if self._router is None:
+            assignments = [(shard, range(len(batch))) for shard in candidates]
+        else:
+            indices: dict[int, list[int]] = {
+                shard.shard_id: [] for shard in candidates
+            }
+            for index, document in enumerate(batch):
+                targets = self._dispatch_targets(document, candidates)
+                for shard in targets:
+                    indices[shard.shard_id].append(index)
+            assignments = [
+                (shard, indices[shard.shard_id])
+                for shard in candidates
+                if indices[shard.shard_id]
+            ]
+        calls = []
+        for shard, doc_indices in assignments:
+            sub_batch = (
+                batch
+                if len(doc_indices) == len(batch)
+                else [batch[i] for i in doc_indices]
+            )
+            calls.append((shard, "process_batch", (sub_batch,)))
+        per_call = self._executor.invoke(calls)
+
+        # Scatter the per-sub-batch results back to per-document, keeping
+        # shard order within each document (``assignments`` iterates
+        # ``candidates``, which preserves shard order).
+        matches_by_doc: list[list[Match]] = [[] for _ in batch]
+        for (shard, doc_indices), rows in zip(assignments, per_call):
+            for index, matches in zip(doc_indices, rows):
+                matches_by_doc[index].extend(matches)
 
         # Filters are evaluated in the merge loop (they do not depend on the
         # shard results) so subscriber callbacks fire in the same per-document
@@ -324,8 +449,7 @@ class ShardedBroker:
         deliveries: list[SubscriptionResult] = []
         for index, document in enumerate(batch):
             deliveries.extend(self._filters.deliver(document))
-            for shard_matches in per_shard:
-                deliveries.extend(self._deliver_matches(shard_matches[index]))
+            deliveries.extend(self._deliver_matches(matches_by_doc[index]))
         return deliveries
 
     def publish_stream(
@@ -383,7 +507,7 @@ class ShardedBroker:
         shard = self._shard_of.get(match.qid)
         if shard is None:
             raise KeyError(f"no shard owns query id {match.qid!r}")
-        return shard.engine.output_document(match)
+        return shard.output_document(match)
 
     # ------------------------------------------------------------------ #
     # state management and stats
@@ -401,13 +525,14 @@ class ShardedBroker:
         return merge_engine_stats([shard.stats() for shard in self.shards])
 
     def stats(self) -> dict:
-        """Broker statistics: streams, subscriptions, merged + per-shard engines."""
+        """Broker statistics: streams, subscriptions, routing, merged + per-shard engines."""
         return {
             "engine": self.engine_name,
             "indexing": self.indexing,
             "storage": self.storage,
             "shards": self.num_shards,
             "executor": self._executor.name,
+            "workers": len(self._worker_groups) or None,
             "streams": self.streams.stats(),
             "num_subscriptions": len(self._subscriptions),
             "num_filter_subscriptions": self._filters.num_subscriptions,
@@ -415,6 +540,7 @@ class ShardedBroker:
                 1 for s in self._subscriptions.values() if s.cancelled
             ),
             "num_documents_published": self._num_published,
+            "routing": self._router.stats() if self._router is not None else None,
             "engine_stats": self.merged_engine_stats().__dict__,
             "per_shard": [
                 {"shard": shard.shard_id, **shard.stats().__dict__}
@@ -427,14 +553,16 @@ class ShardedBroker:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """End the session (idempotent): sinks, shard stores, registry, executor."""
+        """End the session (idempotent): sinks, shards, workers, registry, executor."""
         if self._closed:
             return
         self._closed = True
         for subscription in self._subscriptions.values():
             subscription.close_sinks()
         for shard in self.shards:
-            shard.engine.close()
+            shard.close()
+        for group in self._worker_groups:
+            group.close()
         if self._store is not None:
             self._store.close()
         self._executor.close()

@@ -39,7 +39,15 @@ from repro.config import RuntimeConfig
 from repro.storage.base import STABLE_RELATIONS
 from repro.storage.sqlite import SQLiteStore
 
-__all__ = ["RecoveryError", "resume_broker", "config_snapshot"]
+__all__ = [
+    "RecoveryError",
+    "resume_broker",
+    "config_snapshot",
+    "recover_engine_catalog",
+    "engine_registry_refcounts",
+    "restore_engine_state",
+    "docid_floor",
+]
 
 
 class RecoveryError(RuntimeError):
@@ -129,29 +137,50 @@ def resume_broker(
     return broker
 
 
-def _engines(broker) -> list:
+class _EngineMember:
+    """Recovery adapter over an in-process engine (unsharded broker or
+    :class:`~repro.runtime.shard.EngineShard`).
+
+    :class:`~repro.runtime.process.ProcessShardHandle` exposes the same
+    three methods as worker commands, so recovery drives every topology —
+    in-process or process-parallel — through one member interface, and the
+    worker-side implementations are these very helpers.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def recover_catalog(self):
+        return recover_engine_catalog(self.engine)
+
+    def registry_refcounts(self):
+        return engine_registry_refcounts(self.engine)
+
+    def recover_state(self):
+        restore_engine_state(self.engine)
+        return docid_floor(self.engine)
+
+
+def _members(broker) -> list:
     shards = getattr(broker, "shards", None)
     if isinstance(shards, list):
-        return [shard.engine for shard in shards]
-    return [broker.engine]
+        return [
+            _EngineMember(shard.engine) if hasattr(shard, "engine") else shard
+            for shard in shards
+        ]
+    return [_EngineMember(broker.engine)]
 
 
 def _restore(broker) -> None:
     from repro.xscl.parser import parse_query
 
-    engines = _engines(broker)
+    members = _members(broker)
 
-    # 1. Pin canonical variable names before any registration replays.
-    for engine in engines:
-        entries = engine.store.catalog_entries()
-        engine.catalog.restore(entries)
-        engine._catalog_watermark = len(entries)
-
-    # Capture the integrity expectations now — the replay below re-persists
-    # registration metadata through the live code path.
-    expected_refcounts = [
-        engine.store.get_meta("template_refcounts") for engine in engines
-    ]
+    # 1. Pin canonical variable names before any registration replays; the
+    # same round-trip captures the integrity expectations, because the
+    # replay below re-persists registration metadata through the live code
+    # path.
+    expected_refcounts = [member.recover_catalog() for member in members]
 
     # 2. Replay the surviving registrations in their original order.
     records = broker._store.subscriptions()
@@ -159,11 +188,12 @@ def _restore(broker) -> None:
         query = parse_query(record.query_text)
         broker._restore_subscription(record, query)
 
-    for engine, expected in zip(engines, expected_refcounts):
-        registry = getattr(engine, "registry", None)
-        if expected is None or registry is None:
+    for member, expected in zip(members, expected_refcounts):
+        if expected is None:
             continue
-        live = sorted(registry.template_sizes().values())
+        live = member.registry_refcounts()
+        if live is None:
+            continue
         if live != sorted(expected):
             raise RecoveryError(
                 f"template refcounts after replay {live} do not match the "
@@ -172,35 +202,55 @@ def _restore(broker) -> None:
             )
 
     # 3. Join state, documents, and counters.
-    for engine in engines:
-        _restore_engine_state(engine)
+    floor = max(member.recover_state() for member in members)
     _restore_broker_counters(broker, records)
-    _advance_docid_counter(engines)
-
-
-def _advance_docid_counter(engines) -> None:
-    """Move the process-global auto-docid counter past every persisted docid.
-
-    Auto-generated docids (``doc0``, ``doc1``, ...) come from a counter that
-    restarts with the process; without this, the first unnamed document
-    published after recovery would reuse a recovered docid and replace its
-    state partitions.
-    """
-    import re
-
-    from repro.xmlmodel.document import advance_docid_counter
-
-    floor = 0
-    for engine in engines:
-        for docid in engine.store.state_docids():
-            m = re.fullmatch(r"doc(\d+)", docid)
-            if m:
-                floor = max(floor, int(m.group(1)) + 1)
     if floor:
+        from repro.xmlmodel.document import advance_docid_counter
+
         advance_docid_counter(floor)
 
 
-def _restore_engine_state(engine) -> None:
+def recover_engine_catalog(engine):
+    """Pin one engine's persisted catalog; returns the expected refcounts.
+
+    Restoring the catalog *before* any registration replays is step 1 of
+    recovery (see the module docstring); the returned value is the
+    persisted ``template_refcounts`` multiset (or ``None``), captured in
+    the same round-trip for the post-replay cross-check.
+    """
+    entries = engine.store.catalog_entries()
+    engine.catalog.restore(entries)
+    engine._catalog_watermark = len(entries)
+    return engine.store.get_meta("template_refcounts")
+
+
+def engine_registry_refcounts(engine):
+    """One engine's live template-refcount multiset (``None`` without registry)."""
+    registry = getattr(engine, "registry", None)
+    if registry is None:
+        return None
+    return sorted(registry.template_sizes().values())
+
+
+def docid_floor(engine) -> int:
+    """The smallest safe auto-docid counter value for one engine's state.
+
+    Auto-generated docids (``doc0``, ``doc1``, ...) come from a counter
+    that restarts with the process; without advancing it past every
+    persisted docid, the first unnamed document published after recovery
+    would reuse a recovered docid and replace its state partitions.
+    """
+    import re
+
+    floor = 0
+    for docid in engine.store.state_docids():
+        m = re.fullmatch(r"doc(\d+)", docid)
+        if m:
+            floor = max(floor, int(m.group(1)) + 1)
+    return floor
+
+
+def restore_engine_state(engine) -> None:
     from repro.xmlmodel.parser import parse_document
 
     store = engine.store

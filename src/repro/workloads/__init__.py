@@ -18,6 +18,7 @@ from repro.workloads.synthetic import (
     build_document,
     build_plan_scaling_data,
     build_technical_benchmark_data,
+    build_topic_documents,
     leaf_variable,
     group_variable,
     root_variable,
@@ -37,6 +38,7 @@ __all__ = [
     "build_document",
     "build_plan_scaling_data",
     "build_technical_benchmark_data",
+    "build_topic_documents",
     "leaf_variable",
     "group_variable",
     "root_variable",

@@ -375,6 +375,46 @@ def build_plan_scaling_data(
     )
 
 
+def build_topic_documents(
+    schemas: list[DocumentSchema],
+    num_documents: int,
+    value_pool: int = 8,
+    seed: int = 13,
+) -> list[XmlDocument]:
+    """An XML document stream over topic-sharded schemas (round-robin).
+
+    The end-to-end twin of :func:`build_plan_scaling_data`'s probes: actual
+    parseable documents, published through a broker instead of loaded as
+    witness rows.  All leaves of one document share a single value from a
+    per-topic pool of ``value_pool`` strings, so any two same-topic
+    documents join with probability ≈ ``1 / value_pool`` per side — and
+    never across topics (disjoint tag namespaces).  Because topics alternate
+    in the stream, every document also plays *both* query-block roles: it
+    probes the retained same-topic documents and becomes retained state for
+    the following ones.  Docids and timestamps are explicit, so repeated
+    runs produce identical match keys.
+    """
+    import random
+
+    rng = random.Random(seed)
+    num_topics = len(schemas)
+    documents = []
+    for i in range(num_documents):
+        topic = i % num_topics
+        schema = schemas[topic]
+        shared = f"t{topic}val{rng.randrange(value_pool)}"
+        documents.append(
+            build_document(
+                schema,
+                docid=f"td{i}",
+                timestamp=float(i + 1),
+                leaf_values=[shared] * schema.num_leaves,
+                internal_marker=f"td{i}",
+            )
+        )
+    return documents
+
+
 @dataclass
 class DeltaScalingData(StateScalingData):
     """Workload of the delta-scaling benchmark: growing state, fixed delta.

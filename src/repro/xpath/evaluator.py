@@ -245,6 +245,23 @@ class XPathEvaluator:
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
+    def match_variables(self, document: XmlDocument) -> set[str]:
+        """The registered variables with at least one binding in ``document``.
+
+        The cheap prefix of :meth:`evaluate`: one NFA run, no
+        structural-edge evaluation and no string-value extraction.  This is
+        what broker-level fan-out routing keys on — it only needs to know
+        *which* variables a document can bind, never where.
+        """
+        nfa = self._nfas.get(document.stream)
+        if nfa is None:
+            return set()
+        return {
+            variable
+            for variable, node_ids in nfa.match_document(document).items()
+            if node_ids
+        }
+
     def evaluate(self, document: XmlDocument) -> DocumentWitnesses:
         """Produce the witnesses of ``document`` (Stage 1 of query processing)."""
         witnesses = DocumentWitnesses(docid=document.docid, timestamp=document.timestamp)

@@ -78,8 +78,14 @@ RUNTIME_ALL = {
     "ShardExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "EXECUTORS",
     "make_executor",
+    "executor_env_override",
+    "ProcessShardHandle",
+    "ShardWorkerGroup",
+    "ShardWorkerError",
+    "ShardRouter",
 }
 
 CORE_ALL = {

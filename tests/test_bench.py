@@ -122,6 +122,31 @@ def test_experiment_sharded_throughput_tiny():
     assert all(row["events_per_second"] > 0 for row in rows)
 
 
+def test_run_parallel_topic_throughput_tiny():
+    from repro.bench import run_parallel_topic_throughput
+    from repro.workloads.querygen import generate_topic_queries
+    from repro.workloads.synthetic import build_topic_documents, topic_schemas
+
+    schemas = topic_schemas(4)
+    queries = generate_topic_queries(schemas, 8, window=1000.0)
+    documents = build_topic_documents(schemas, 24)
+
+    result, routed_keys = run_parallel_topic_throughput(
+        queries, documents, shards=4, executor="serial", route_dispatch=True
+    )
+    _, replicated_keys = run_parallel_topic_throughput(
+        queries, documents, shards=4, executor="serial", route_dispatch=False
+    )
+    # Routing changes which shards see a document, never the match set.
+    assert routed_keys == replicated_keys
+    assert routed_keys
+    assert result.approach == "mmqjp-parallel4-serial"
+    assert result.extra["ms_per_doc"] > 0
+    assert result.extra["route_dispatch"] is True
+    if result.extra["num_active_shards"] > 1:
+        assert result.extra["pct_shards_skipped"] > 0
+
+
 def test_experiment_ablation_graph_minor_tiny():
     rows = experiments.ablation_graph_minor(num_queries=40)
     by_flag = {row["graph_minor"]: row for row in rows}

@@ -44,7 +44,8 @@ def test_config_defaults_are_valid():
         {"max_workers": 0},
         {"result_limit": 0},
         {"partitioner": "round-robin"},
-        {"executor": "processes"},
+        {"executor": "fibers"},
+        {"route_dispatch": 1},
     ],
 )
 def test_config_validation_rejects_bad_values(kwargs):

@@ -345,8 +345,14 @@ def test_crash_mid_batch_leaves_no_torn_state(tmp_path):
 
 
 def test_crash_on_one_shard_recovers(tmp_path):
+    # fault injection pokes shard.engine.store directly, which only exists
+    # with in-process shards: pin a SerialExecutor *instance* so a
+    # REPRO_EXECUTOR=processes replay leaves this test in-process
+    from repro.runtime import SerialExecutor
+
     config = RuntimeConfig(
         shards=2,
+        executor=SerialExecutor(),
         storage="sqlite",
         storage_path=str(tmp_path),
         construct_outputs=False,
@@ -393,7 +399,9 @@ def test_close_is_idempotent_and_releases_stores(shards, tmp_path):
     broker.close()
     assert broker._store.closed
     engines = (
-        [s.engine for s in broker.shards]
+        # process shard handles have no parent-side engine; their stores
+        # live (and are closed) in the worker process
+        [s.engine for s in broker.shards if hasattr(s, "engine")]
         if isinstance(broker, ShardedBroker)
         else [broker.engine]
     )
