@@ -1,0 +1,276 @@
+"""Columnar storage: interned-id column vectors vs. the row-at-a-time path.
+
+The workload reuses the delta-scaling generator
+(:func:`repro.workloads.synthetic.build_delta_scaling_data`): the retained
+Stage-2 join state grows while the delta-connected slice stays fixed.  The
+timed quantity is per-document Stage 2 cost with the ``columnar`` knob on
+and off, in two join regimes:
+
+* ``delta_join=False`` (full-state probing) — every probe scans/reduces the
+  whole retained state, so the vectorized kernels dominate and the columnar
+  win grows with state size.  **This is the gated configuration.**
+* ``delta_join=True`` (the PR-5 delta-driven path) — the semi-join
+  reduction already shrinks the touched state to the alive slice, so the
+  columnar win is bounded (reported, not gated).
+
+Asserted acceptance criteria (CI gates):
+
+* exact match-set equivalence between ``columnar`` on/off at every state
+  size and in both join regimes;
+* at the largest measured state, ``columnar=on`` is ≥ 3× faster than
+  ``columnar=off`` on the full-state path (skipped at smoke scale);
+* match-set equivalence across the ``columnar`` × ``delta_join`` ×
+  ``plan_cache`` knob matrix on both engines with 1/2/4 shards, and across
+  the serial / threads / processes shard executors.
+
+Results are also written to ``BENCH_columnar.json`` (repo root, or
+``$REPRO_BENCH_JSON_DIR``) through :func:`repro.bench.reporting.rows_to_json`.
+
+Set ``REPRO_BENCH_TINY=1`` to run the whole file at smoke scale (CI).
+"""
+
+import functools
+import os
+import random
+
+import pytest
+
+from repro import RuntimeConfig, open_broker
+from repro.bench.harness import register_mmqjp, run_delta_scaling
+from repro.bench.reporting import rows_to_json
+from repro.relational import columnar as columnar_mod
+from repro.workloads.querygen import generate_query
+from repro.workloads.synthetic import build_delta_scaling_data, build_document
+from repro.xmlmodel.schema import two_level_schema
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+SCHEMA = two_level_schema(6)
+NUM_QUERIES = 24 if TINY else 120
+STATE_SIZES = (16, 48) if TINY else (100, 400, 1600)
+NUM_ALIVE = 8 if TINY else 16
+NUM_PROBES = 3 if TINY else 12
+VALUE_POOL = 6 if TINY else 16
+
+#: The columnar speedup gate over the row path, applied to the full-state
+#: join (``delta_join=False``) at the largest measured state.
+GATE_SPEEDUP = 3.0
+
+_ROWS: list[dict] = []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_json():
+    """Write the collected rows as BENCH_columnar.json after the run."""
+    yield
+    if not _ROWS:
+        return
+    out_dir = os.environ.get(
+        "REPRO_BENCH_JSON_DIR", os.path.dirname(os.path.dirname(__file__))
+    )
+    rows_to_json(
+        _ROWS,
+        path=os.path.join(out_dir, "BENCH_columnar.json"),
+        meta={
+            "experiment": "columnar",
+            "tiny": TINY,
+            "numpy": columnar_mod.HAVE_NUMPY,
+            "num_queries": NUM_QUERIES,
+            "state_sizes": list(STATE_SIZES),
+            "num_alive_docs": NUM_ALIVE,
+            "num_probe_docs": NUM_PROBES,
+            "value_pool": VALUE_POOL,
+            "gate": (
+                f"columnar >= {GATE_SPEEDUP}x vs row path on the full-state "
+                "join (delta_join=off) at the largest state size; "
+                "delta_join=on rows are informational (the delta reduction "
+                "already bounds the touched state)"
+            ),
+        },
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _queries_and_registry():
+    rng = random.Random(7)
+    queries = tuple(
+        generate_query(SCHEMA, (i % 2) + 1, rng, window=float("inf"))
+        for i in range(NUM_QUERIES)
+    )
+    return queries, register_mmqjp(queries)
+
+
+@functools.lru_cache(maxsize=None)
+def _workload(num_state_docs):
+    return build_delta_scaling_data(
+        SCHEMA,
+        num_state_docs,
+        num_alive_docs=NUM_ALIVE,
+        num_probe_docs=NUM_PROBES,
+        value_pool=VALUE_POOL,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _row_baseline(num_state_docs, delta_join):
+    """The row path (columnar=False) in the same join regime."""
+    queries, registry = _queries_and_registry()
+    return run_delta_scaling(
+        queries,
+        _workload(num_state_docs),
+        delta_join=delta_join,
+        columnar=False,
+        registry=registry,
+    )
+
+
+@pytest.mark.parametrize("num_state_docs", STATE_SIZES)
+@pytest.mark.parametrize("delta_join", (False, True), ids=("fullstate", "delta"))
+@pytest.mark.parametrize("columnar", (False, True), ids=("col0", "col1"))
+def bench_columnar_scaling(benchmark, columnar, delta_join, num_state_docs):
+    queries, registry = _queries_and_registry()
+    data = _workload(num_state_docs)
+
+    def run_once():
+        return run_delta_scaling(
+            queries,
+            data,
+            delta_join=delta_join,
+            columnar=columnar,
+            registry=registry,
+        )
+
+    result, keys = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    baseline, baseline_keys = _row_baseline(num_state_docs, delta_join)
+    assert keys == baseline_keys, (
+        f"columnar path lost match-equivalence: columnar={columnar} "
+        f"delta_join={delta_join} at {num_state_docs} state docs"
+    )
+    ms = result.extra["ms_per_doc"]
+    baseline_ms = baseline.extra["ms_per_doc"]
+    speedup = baseline_ms / ms if ms else 0.0
+    gated = columnar and not delta_join and num_state_docs >= max(STATE_SIZES)
+    if gated and not TINY and columnar_mod.HAVE_NUMPY:
+        assert speedup >= GATE_SPEEDUP, (
+            f"columnar only {speedup:.2f}x over the row path on the "
+            f"full-state join at {num_state_docs} state docs"
+        )
+    row = result.as_row()
+    row["figure"] = "columnar"
+    row["delta_join"] = delta_join
+    row["num_state_docs"] = num_state_docs
+    row["speedup_vs_row_path"] = round(speedup, 2)
+    row["gated"] = bool(gated)
+    _ROWS.append(row)
+    benchmark.extra_info.update(
+        {
+            "figure": "columnar",
+            "columnar": columnar,
+            "delta_join": delta_join,
+            "num_state_docs": num_state_docs,
+            "num_queries": NUM_QUERIES,
+            "ms_per_doc": ms,
+            "speedup_vs_row_path": round(speedup, 2),
+            "num_matches": result.num_matches,
+        }
+    )
+
+
+# --------------------------------------------------------------------------- #
+# equivalence matrix
+# --------------------------------------------------------------------------- #
+def _equivalence_documents(num_docs):
+    """Small XML documents with colliding leaf values (joins actually fire)."""
+    documents = []
+    for i in range(num_docs):
+        value = f"v{i % 3}"
+        documents.append(
+            build_document(
+                SCHEMA,
+                docid=f"doc{i}",
+                timestamp=float(i + 1),
+                leaf_values=[value] * SCHEMA.num_leaves,
+                internal_marker=f"doc{i}",
+            )
+        )
+    return documents
+
+
+def _stream_match_keys(broker, queries, documents):
+    try:
+        for i, query in enumerate(queries):
+            broker.subscribe(query, subscription_id=f"q{i}")
+        keys = set()
+        for delivery in broker.publish_many(documents):
+            if delivery.match is not None:
+                keys.add(delivery.match.key())
+        return keys
+    finally:
+        broker.close()
+
+
+def bench_columnar_equivalence(benchmark):
+    """Byte-identical match sets across knobs, engines, executors, shards.
+
+    Runs at smoke scale regardless of ``REPRO_BENCH_TINY`` — it gates
+    correctness, not speed.
+    """
+    num_docs = 10 if TINY else 16
+    rng = random.Random(3)
+    queries = [
+        generate_query(SCHEMA, (i % 2) + 1, rng, window=float("inf"))
+        for i in range(16)
+    ]
+    documents = _equivalence_documents(num_docs)
+
+    configs = []
+    # Knob matrix: columnar x delta_join x plan_cache on both engines with
+    # 1/2/4 shards (serial executor).
+    for engine in ("mmqjp", "sequential"):
+        for columnar in (False, True):
+            for delta_join in (False, True):
+                for plan_cache in (False, True):
+                    for shards in (1, 2, 4):
+                        configs.append(
+                            RuntimeConfig(
+                                engine=engine,
+                                construct_outputs=False,
+                                columnar=columnar,
+                                delta_join=delta_join,
+                                plan_cache=plan_cache,
+                                shards=shards,
+                            )
+                        )
+    # Executor matrix: the columnar wire format must not change results on
+    # any shard executor.
+    for executor in ("threads", "processes"):
+        for columnar in (False, True):
+            for shards in (2, 4):
+                configs.append(
+                    RuntimeConfig(
+                        construct_outputs=False,
+                        columnar=columnar,
+                        executor=executor,
+                        shards=shards,
+                    )
+                )
+
+    def sweep():
+        reference = None
+        for config in configs:
+            keys = _stream_match_keys(open_broker(config), queries, documents)
+            if reference is None:
+                reference = keys
+            assert keys == reference, (
+                f"match-set mismatch for engine={config.engine!r} "
+                f"columnar={config.columnar} delta_join={config.delta_join} "
+                f"plan_cache={config.plan_cache} executor={config.executor!r} "
+                f"shards={config.shards}"
+            )
+        return len(reference)
+
+    num_matches = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "columnar_equivalence"
+    benchmark.extra_info["num_configs"] = len(configs)
+    benchmark.extra_info["num_matches"] = num_matches
+    assert num_matches > 0

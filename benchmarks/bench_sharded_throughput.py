@@ -80,6 +80,13 @@ def _emit_json():
             "num_queries": PARALLEL_NUM_QUERIES,
             "num_documents": PARALLEL_NUM_DOCS,
             "shard_sweep": list(PARALLEL_SHARD_SWEEP),
+            "wire_format": (
+                "process shards return match batches as a shared interned "
+                "value table plus packed id rows (one encode per batch, one "
+                "table entry per distinct value) instead of per-match pickled "
+                "tuples; numbers before this change paid per-match "
+                "serialization of repeated qids/docids/bindings on the pipe"
+            ),
         },
     )
 

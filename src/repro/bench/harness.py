@@ -284,6 +284,7 @@ def run_plan_scaling(
     indexing: str = "eager",
     plan_cache: bool = True,
     prune_dispatch: bool = True,
+    columnar: bool = True,
     registry: Optional[TemplateRegistry] = None,
 ) -> tuple[ApproachResult, frozenset]:
     """Per-document join cost on the topic-sharded relevance workload.
@@ -313,6 +314,7 @@ def run_plan_scaling(
             plan_cache=plan_cache,
             prune_dispatch=prune_dispatch,
             delta_join=False,
+            columnar=columnar,
         )
         num_templates = None
     elif approach == APPROACH_MMQJP:
@@ -324,6 +326,7 @@ def run_plan_scaling(
             plan_cache=plan_cache,
             prune_dispatch=prune_dispatch,
             delta_join=False,
+            columnar=columnar,
         )
         num_templates = registry.num_templates
     else:
@@ -338,6 +341,7 @@ def run_plan_scaling(
     extra = {
         "plan_cache": plan_cache,
         "prune_dispatch": prune_dispatch,
+        "columnar": processor.columnar,
         "indexing": indexing,
         "num_topics": data.num_topics,
         "num_state_docs": len(data.state_docs),
@@ -373,6 +377,7 @@ def run_delta_scaling(
     plan_cache: bool = True,
     prune_dispatch: bool = True,
     delta_join: bool = True,
+    columnar: bool = True,
     registry: Optional[TemplateRegistry] = None,
 ) -> tuple[ApproachResult, frozenset]:
     """Per-document join cost on the growing-state / fixed-delta workload.
@@ -394,6 +399,7 @@ def run_delta_scaling(
             plan_cache=plan_cache,
             prune_dispatch=prune_dispatch,
             delta_join=delta_join,
+            columnar=columnar,
         )
         num_templates = None
     elif approach == APPROACH_MMQJP:
@@ -405,6 +411,7 @@ def run_delta_scaling(
             plan_cache=plan_cache,
             prune_dispatch=prune_dispatch,
             delta_join=delta_join,
+            columnar=columnar,
         )
         num_templates = registry.num_templates
     else:
@@ -417,6 +424,7 @@ def run_delta_scaling(
         "delta_join": delta_join,
         "plan_cache": plan_cache,
         "prune_dispatch": prune_dispatch,
+        "columnar": processor.columnar,
         "indexing": indexing,
         "num_state_docs": len(data.state_docs),
         "num_alive_docs": data.num_alive_docs,

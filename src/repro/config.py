@@ -101,6 +101,14 @@ class RuntimeConfig:
         is proportional to delta-connected state rather than total state.
         ``False`` probes the full state relations (the pre-delta behavior,
         kept for ablation and equivalence testing).
+    columnar:
+        Columnar evaluation (default): the join state carries interned-id
+        column vectors behind the row API, and the compiled-plan executor
+        plus the delta-reduction passes run as batch kernels over packed
+        id vectors (vectorized with ``numpy`` when installed — the
+        ``repro[fast]`` extra — pure-``array`` kernels otherwise).
+        ``False`` keeps the row-at-a-time path; match sets are identical
+        either way.
     auto_prune:
         Prune join state by window horizon on the publish path (effective
         while every registered window is finite).
@@ -164,6 +172,7 @@ class RuntimeConfig:
     plan_cache: bool = True
     prune_dispatch: bool = True
     delta_join: bool = True
+    columnar: bool = True
     auto_prune: bool = True
     auto_timestamp: bool = True
     store_documents: Optional[bool] = None
@@ -215,6 +224,10 @@ class RuntimeConfig:
         if not isinstance(self.route_dispatch, bool):
             raise ValueError(
                 f"route_dispatch must be True or False, got {self.route_dispatch!r}"
+            )
+        if not isinstance(self.columnar, bool):
+            raise ValueError(
+                f"columnar must be True or False, got {self.columnar!r}"
             )
         if self.storage not in STORAGE_BACKENDS:
             raise ValueError(
@@ -298,6 +311,7 @@ class RuntimeConfig:
             plan_cache=False,
             prune_dispatch=False,
             delta_join=False,
+            columnar=False,
             route_dispatch=False,
         )
         base.update(overrides)

@@ -546,6 +546,32 @@ class _BaseEngine:
         return self._processor().delta_join
 
     @property
+    def columnar(self) -> bool:
+        """Whether columnar (interned-id vector) evaluation is enabled."""
+        return self._processor().columnar
+
+    def set_match_filter(self, match_filter) -> None:
+        """Install a query-id match filter on the processor (or clear with None).
+
+        The filter decides whether a query id's matches are worth
+        materializing at all (e.g. the broker suppresses matches of paused
+        or cancelled subscriptions before the Match objects are built).
+        The internal ``::swap`` suffix of mirrored symmetric-JOIN
+        registrations is stripped before the filter sees the id, so filters
+        reason about public query ids only.
+        """
+        if match_filter is None:
+            self._processor().set_match_filter(None)
+            return
+
+        def filter_with_swap(qid: str) -> bool:
+            if qid.endswith(_SWAP_SUFFIX):
+                qid = qid[: -len(_SWAP_SUFFIX)]
+            return match_filter(qid)
+
+        self._processor().set_match_filter(filter_with_swap)
+
+    @property
     def delta_stats(self) -> dict[str, int]:
         """The processor's delta-reduction counters (all zero when off)."""
         return dict(self._processor().delta_stats)

@@ -31,7 +31,8 @@ work (all default on; off reproduces the previous behavior for ablation):
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Callable, Optional
 
 from repro.config import RuntimeConfig
 from repro.core.costs import CostBreakdown
@@ -100,13 +101,19 @@ def _resolve_knobs(
     plan_cache: "bool | PlanCache | None",
     prune_dispatch: Optional[bool],
     delta_join: Optional[bool],
+    columnar: Optional[bool] = None,
 ) -> tuple:
     """Fill unset processor knobs from a :class:`~repro.config.RuntimeConfig`.
 
     Explicit knob arguments always win; with neither a knob nor a config the
     historical defaults apply (``plan_cache=True``, ``prune_dispatch=True``,
-    ``delta_join=True``, indexing resolved by :func:`_resolve_state`).
+    ``delta_join=True``, ``columnar=True``, indexing resolved by
+    :func:`_resolve_state`).  ``REPRO_COLUMNAR=0`` in the environment
+    downgrades a *defaulted* columnar resolution to off — the CI replay
+    hook, mirroring ``REPRO_EXECUTOR`` — but never overrides an explicit
+    knob or config value.
     """
+    columnar_explicit = columnar is not None
     if config is not None:
         if indexing is None:
             indexing = config.indexing
@@ -116,13 +123,23 @@ def _resolve_knobs(
             prune_dispatch = config.prune_dispatch
         if delta_join is None:
             delta_join = config.delta_join
+        if columnar is None:
+            columnar = config.columnar
     if plan_cache is None:
         plan_cache = True
     if prune_dispatch is None:
         prune_dispatch = True
     if delta_join is None:
         delta_join = True
-    return indexing, plan_cache, prune_dispatch, delta_join
+    if columnar is None:
+        columnar = True
+    if (
+        columnar
+        and not columnar_explicit
+        and os.environ.get("REPRO_COLUMNAR") == "0"
+    ):
+        columnar = False
+    return indexing, plan_cache, prune_dispatch, delta_join, columnar
 
 
 def _empty_delta_stats() -> dict[str, int]:
@@ -170,15 +187,17 @@ class _DeltaBatchMixin:
             stats[key] += value
 
 
-def _build_state_env(state: JoinState) -> IndexedDatabase:
+def _build_state_env(state: JoinState, columnar: bool = False) -> IndexedDatabase:
     """The shared evaluation environment over a join state.
 
     The state relations are bound as *indexed* — their join keys resolve
     against live, incrementally maintained hash indexes (unless the state's
     indexing mode is ``"off"``).  The per-document witness and view
-    relations are rebound ephemerally each document.
+    relations are rebound ephemerally each document.  With ``columnar`` the
+    environment owns a shared value dictionary and every bound relation
+    carries a lazily synced columnar sidecar.
     """
-    env = IndexedDatabase(indexing=state.indexing)
+    env = IndexedDatabase(indexing=state.indexing, columnar=columnar)
     for name, relation in state.relations().items():
         env.bind(name, relation, indexed=True)
     return env
@@ -215,6 +234,13 @@ class MMQJPJoinProcessor(_DeltaBatchMixin):
         :class:`~repro.relational.conjunctive.DeltaContext` per document,
         shared across templates).  ``False`` probes the full state (the
         pre-delta behavior).
+    columnar:
+        Evaluate over interned-id column vectors: the evaluation
+        environment owns a shared value dictionary, every bound relation
+        carries a columnar sidecar, and the compiled-plan executor and
+        delta-reduction passes run batch kernels over packed id vectors
+        wherever possible.  ``False`` keeps the pure row path; match sets
+        are identical either way.
     """
 
     def __init__(
@@ -227,17 +253,19 @@ class MMQJPJoinProcessor(_DeltaBatchMixin):
         plan_cache: "bool | PlanCache | None" = None,
         prune_dispatch: Optional[bool] = None,
         delta_join: Optional[bool] = None,
+        columnar: Optional[bool] = None,
         config: Optional["RuntimeConfig"] = None,
     ):
-        indexing, plan_cache, prune_dispatch, delta_join = _resolve_knobs(
-            config, indexing, plan_cache, prune_dispatch, delta_join
+        indexing, plan_cache, prune_dispatch, delta_join, columnar = _resolve_knobs(
+            config, indexing, plan_cache, prune_dispatch, delta_join, columnar
         )
         self.registry = registry
         self.state = _resolve_state(state, indexing)
         self.use_view_materialization = bool(use_view_materialization)
         self.view_cache = view_cache
         self.costs = CostBreakdown()
-        self.env = _build_state_env(self.state)
+        self.columnar = bool(columnar)
+        self.env = _build_state_env(self.state, columnar=self.columnar)
         self._last_views: Optional[MaterializedViews] = None
         self.plan_cache: Optional[PlanCache] = _resolve_plan_cache(plan_cache)
         self.relevance: Optional[RelevanceIndex] = (
@@ -249,11 +277,24 @@ class MMQJPJoinProcessor(_DeltaBatchMixin):
         self.delta_join = bool(delta_join)
         self.delta_stats = _empty_delta_stats()
         self._in_batch = False
+        self.match_filter: Optional[Callable[[str], bool]] = None
 
     @property
     def indexing(self) -> str:
         """The indexing mode of the join state / evaluation environment."""
         return self.state.indexing
+
+    def set_match_filter(self, match_filter: Optional[Callable[[str], bool]]) -> None:
+        """Suppress match construction for query ids the filter rejects.
+
+        The filter receives a query id and returns whether its matches are
+        worth materializing (e.g. the broker's "subscription exists and is
+        active" check).  Rejected rows skip Algorithm 3 entirely — no
+        :class:`~repro.core.results.Match` object is ever built — so they
+        also never appear in ``num_matches`` statistics.  ``None`` restores
+        the build-everything behavior.
+        """
+        self.match_filter = match_filter
 
     # ------------------------------------------------------------------ #
     # relevance dispatch
@@ -348,7 +389,11 @@ class MMQJPJoinProcessor(_DeltaBatchMixin):
                 continue
             with self.costs.measure("window_check"):
                 positions = self._positions_of(template, rout)
+                match_filter = self.match_filter
+                qid_pos = positions[0]
                 for row in rout.rows:
+                    if match_filter is not None and not match_filter(row[qid_pos]):
+                        continue  # undeliverable: never build the Match
                     match = self._row_to_match(template, positions, row, witnesses)
                     if match is not None and match.key() not in seen:
                         seen.add(match.key())
@@ -543,14 +588,16 @@ class SequentialJoinProcessor(_DeltaBatchMixin):
         plan_cache: "bool | PlanCache | None" = None,
         prune_dispatch: Optional[bool] = None,
         delta_join: Optional[bool] = None,
+        columnar: Optional[bool] = None,
         config: Optional[RuntimeConfig] = None,
     ):
-        indexing, plan_cache, prune_dispatch, delta_join = _resolve_knobs(
-            config, indexing, plan_cache, prune_dispatch, delta_join
+        indexing, plan_cache, prune_dispatch, delta_join, columnar = _resolve_knobs(
+            config, indexing, plan_cache, prune_dispatch, delta_join, columnar
         )
         self.state = _resolve_state(state, indexing)
         self.costs = CostBreakdown()
-        self.env = _build_state_env(self.state)
+        self.columnar = bool(columnar)
+        self.env = _build_state_env(self.state, columnar=self.columnar)
         self._queries: dict[str, tuple[XsclQuery, ReducedJoinGraph, ConjunctiveQuery]] = {}
         self.plan_cache: Optional[PlanCache] = _resolve_plan_cache(plan_cache)
         self.relevance: Optional[RelevanceIndex] = (
@@ -561,11 +608,21 @@ class SequentialJoinProcessor(_DeltaBatchMixin):
         self.delta_join = bool(delta_join)
         self.delta_stats = _empty_delta_stats()
         self._in_batch = False
+        self.match_filter: Optional[Callable[[str], bool]] = None
 
     @property
     def indexing(self) -> str:
         """The indexing mode of the join state / evaluation environment."""
         return self.state.indexing
+
+    def set_match_filter(self, match_filter: Optional[Callable[[str], bool]]) -> None:
+        """Suppress match construction for query ids the filter rejects.
+
+        Same contract as
+        :meth:`MMQJPJoinProcessor.set_match_filter`: rejected query ids
+        skip Algorithm 3 entirely, so no Match object is built for them.
+        """
+        self.match_filter = match_filter
 
     # ------------------------------------------------------------------ #
     # registration
@@ -646,6 +703,8 @@ class SequentialJoinProcessor(_DeltaBatchMixin):
                     rout = evaluate_conjunctive(cq, env, delta=delta)
             if not rout.rows:
                 continue
+            if self.match_filter is not None and not self.match_filter(qid):
+                continue  # undeliverable query: never build its Matches
             with self.costs.measure("window_check"):
                 positions = self._positions_of(qid, reduced, rout)
                 for row in rout.rows:

@@ -127,12 +127,22 @@ class Broker:
         self.construct_outputs = config.construct_outputs
         self.streams = StreamRegistry(history_size=config.stream_history)
         self._subscriptions: dict[str, Subscription] = {}
+        # Lazy match materialization: a join match whose subscription is
+        # missing, cancelled or paused is dropped by _deliver_matches
+        # anyway, so the processor skips building the Match object at all
+        # (such matches consequently never count toward num_matches).
+        self.engine.set_match_filter(self._match_deliverable)
         self._filters = FilterFrontEnd()
         self._sub_counter = 1
         self._reg_seq = 0
         self._closed = False
         if self._store is not None:
             self._store.set_meta("config", config_snapshot(config))
+
+    def _match_deliverable(self, qid: str) -> bool:
+        """Whether matches of ``qid`` could currently be delivered."""
+        subscription = self._subscriptions.get(qid)
+        return subscription is not None and subscription.active
 
     # ------------------------------------------------------------------ #
     # subscriptions

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.relational import columnar
 from repro.relational.operators import column_value_set, semijoin_in
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, SchemaError
@@ -225,6 +226,7 @@ class DeltaContext:
         "_values",
         "_reductions",
         "_meets",
+        "_domain_arrays",
         "_pins",
         "reductions_computed",
         "reductions_reused",
@@ -236,6 +238,7 @@ class DeltaContext:
         self._values: dict[tuple, frozenset] = {}
         self._reductions: dict[tuple, Relation] = {}
         self._meets: dict[tuple, frozenset] = {}
+        self._domain_arrays: dict[int, object] = {}
         # Memo keys use id(); pinning the keyed objects guarantees a
         # recycled id can never alias a collected relation or domain set.
         self._pins: list = []
@@ -252,18 +255,67 @@ class DeltaContext:
         relation: Relation,
         column: int,
         const_checks: tuple = (),
+        dictionary=None,
     ) -> frozenset:
-        """Memoized distinct values of one column (under constant checks)."""
+        """Memoized distinct values of one column (under constant checks).
+
+        With ``dictionary`` (columnar mode) the domain is a frozenset of
+        interned *ids* instead of raw values; id-space and value-space
+        entries are memoized under distinct keys, so a program that falls
+        back to the row path never observes an id-space domain (and vice
+        versa).
+        """
         try:
-            key = (id(relation), column, const_checks)
+            key = (dictionary is not None, id(relation), column, const_checks)
             cached = self._values.get(key)
         except TypeError:  # unhashable constant: compute without memoizing
+            if dictionary is not None:
+                return self._column_ids(relation, column, const_checks, dictionary)
             return column_value_set(relation, column, const_checks)
         if cached is None:
-            cached = column_value_set(relation, column, const_checks)
+            if dictionary is not None:
+                cached = self._column_ids(relation, column, const_checks, dictionary)
+            else:
+                cached = column_value_set(relation, column, const_checks)
             self._values[key] = cached
             self._pins.append(relation)
         return cached
+
+    def _column_ids(
+        self, relation: Relation, column: int, const_checks: tuple, dictionary
+    ) -> frozenset:
+        """Distinct interned ids of one column (columnar mode)."""
+        store = relation.column_store()
+        if store is not None:
+            constraints = []
+            for col, value in const_checks:
+                vid = dictionary.get_id(value)
+                if vid is None:
+                    return frozenset()  # the constant never occurs anywhere
+                constraints.append((col, frozenset((vid,))))
+            cols = store.columns()
+            if constraints:
+                positions = columnar.select_positions(
+                    cols, len(store), constraints, self._domain_arrays
+                )
+                return columnar.distinct_ids(cols[column], positions)
+            return columnar.distinct_ids(cols[column])
+        # Defensive row fallback (a sidecar vanished mid-run): still id-space.
+        id_of = dictionary.id_of
+        return frozenset(
+            id_of(v) for v in column_value_set(relation, column, const_checks)
+        )
+
+    def _domain_arr(self, domain: frozenset):
+        """Memoized sorted-array form of an id domain (numpy mode only)."""
+        if not columnar.HAVE_NUMPY or len(domain) <= 1:
+            return None
+        arr = self._domain_arrays.get(id(domain))
+        if arr is None:
+            arr = columnar.domain_array(domain)
+            self._domain_arrays[id(domain)] = arr
+            self._pins.append(domain)
+        return arr
 
     def meet(self, a: Optional[frozenset], b: Optional[frozenset]) -> Optional[frozenset]:
         """Intersection of two domains, preserving object identity when possible.
@@ -299,6 +351,7 @@ class DeltaContext:
         const_checks: tuple,
         constraints: tuple,
         index_for=None,
+        dictionary=None,
     ) -> Optional[Relation]:
         """Restrict ``base`` to the rows satisfying every constraint.
 
@@ -308,11 +361,22 @@ class DeltaContext:
         The probe runs over the most selective column — through a
         persistent single-column index when ``index_for`` provides one —
         so the cost is proportional to the matching rows, not ``|base|``.
+
+        With ``dictionary`` (columnar mode) the domains are id-space and
+        the restriction runs as batch mask/selection kernels over the
+        base's packed id columns; the output relation carries a derived
+        columnar sidecar so later passes (and the plan executor) stay in
+        id space without re-interning.
         """
         if not const_checks and not constraints:
             return None
         try:
-            sig = (id(base), const_checks, tuple((c, id(d)) for c, d in constraints))
+            sig = (
+                dictionary is not None,
+                id(base),
+                const_checks,
+                tuple((c, id(d)) for c, d in constraints),
+            )
             cached = self._reductions.get(sig)
         except TypeError:  # unhashable constant: compute without memoizing
             sig, cached = None, None
@@ -320,6 +384,22 @@ class DeltaContext:
             self.reductions_reused += 1
             return cached
 
+        if dictionary is not None:
+            out = self._reduce_columnar(name, base, const_checks, constraints, dictionary)
+        else:
+            out = self._reduce_rows(name, base, const_checks, constraints, index_for)
+        if out is None:
+            return None
+        if sig is not None:
+            self._reductions[sig] = out
+            self._pins.append(base)
+            self._pins.extend(d for _c, d in constraints)
+        return out
+
+    def _reduce_rows(
+        self, name: str, base: Relation, const_checks: tuple, constraints: tuple, index_for
+    ) -> Optional[Relation]:
+        """The row-path restriction (PR-5 behavior, columnar off)."""
         try:
             candidates = [(col, frozenset((value,))) for col, value in const_checks]
         except TypeError:
@@ -341,10 +421,98 @@ class DeltaContext:
         else:
             self.rows_scanned += len(base)
         self.rows_kept += len(out)
-        if sig is not None:
-            self._reductions[sig] = out
-            self._pins.append(base)
-            self._pins.extend(d for _c, d in constraints)
+        return out
+
+    def _reduce_columnar(
+        self, name: str, base: Relation, const_checks: tuple, constraints: tuple, dictionary
+    ) -> Relation:
+        """Batch restriction over packed id columns (columnar mode)."""
+        out = Relation(base.schema, name=name)
+        id_constraints: Optional[list] = []
+        for col, value in const_checks:
+            vid = dictionary.get_id(value)
+            if vid is None:
+                id_constraints = None  # constant unseen anywhere: empty result
+                break
+            id_constraints.append((col, frozenset((vid,))))
+        self.reductions_computed += 1
+        if id_constraints is None:
+            self.rows_scanned += len(base)
+            return out
+        for _col, dom in constraints:
+            self._domain_arr(dom)  # pre-register the sorted-array forms
+        id_constraints.extend(constraints)
+        store = base.column_store()
+        if store is not None:
+            cols = store.columns()
+            n = len(store)
+            positions = None
+            np_mod = columnar._np
+            if np_mod is not None and id_constraints:
+                # Indexed probe over the most selective domain (the same
+                # strategy the row path uses through HashIndex): cost is
+                # proportional to the matching rows, not |base|.
+                probe_col, probe_dom = min(
+                    id_constraints, key=lambda cv: len(cv[1])
+                )
+                if not probe_dom:
+                    positions = np_mod.empty(0, dtype=np_mod.int64)
+                elif len(probe_dom) < max(8, n >> 3):
+                    arr = self._domain_arr(probe_dom)
+                    if arr is None:
+                        arr = columnar.domain_array(probe_dom)
+                    hit = store.probe((probe_col,), [arr])
+                    if hit is not None:
+                        row_pos = hit[1]
+                        rest = list(id_constraints)
+                        rest.remove((probe_col, probe_dom))
+                        if len(row_pos) and rest:
+                            mask = None
+                            for c, dom in rest:
+                                vals = cols[c][row_pos]
+                                if len(dom) == 1:
+                                    m = vals == next(iter(dom))
+                                else:
+                                    d_arr = self._domain_arr(dom)
+                                    if d_arr is None:
+                                        d_arr = columnar.domain_array(dom)
+                                    m = np_mod.isin(vals, d_arr)
+                                mask = m if mask is None else (mask & m)
+                            row_pos = row_pos[mask]
+                        positions = np_mod.sort(row_pos)
+                        self.rows_scanned += len(positions) + len(probe_dom)
+            if positions is None:
+                positions = columnar.select_positions(
+                    cols, n, id_constraints, self._domain_arrays
+                )
+                self.rows_scanned += n
+            pos_list = positions.tolist() if hasattr(positions, "tolist") else positions
+            base_rows = base.rows
+            out.rows = [base_rows[i] for i in pos_list]
+            if columnar.HAVE_NUMPY:
+                derived = [c[positions] for c in cols]
+            else:
+                derived = [
+                    columnar.array("q", (c[i] for i in pos_list)) for c in cols
+                ]
+            out._attach_store(
+                columnar.ColumnStore.from_columns(derived, dictionary, out._stamp())
+            )
+        else:
+            # Defensive row fallback (sidecar vanished mid-run): id-space
+            # membership via the dictionary, row at a time.
+            get_id = dictionary.get_id
+            rows = []
+            for row in base.rows:
+                for col, dom in id_constraints:
+                    rid = get_id(row[col])
+                    if rid is None or rid not in dom:
+                        break
+                else:
+                    rows.append(row)
+            out.rows = rows
+            self.rows_scanned += len(base)
+        self.rows_kept += len(out.rows)
         return out
 
     def stats(self) -> dict[str, int]:
@@ -428,16 +596,12 @@ class DeltaProgram:
         lookup = relations.get if hasattr(relations, "get") else relations.__getitem__
         index_for = getattr(relations, "index_for", None)
 
-        domains: dict[str, Optional[frozenset]] = {}
+        delta_rels: list[tuple[_DeltaAtom, Relation]] = []
         for atom in self._delta:
             relation = lookup(atom.name)
             if relation is None:
                 return None  # the evaluator raises the proper error
-            for col, var in atom.var_cols:
-                domains[var] = ctx.meet(
-                    domains.get(var),
-                    ctx.column_values(relation, col, atom.const_checks),
-                )
+            delta_rels.append((atom, relation))
 
         originals: dict[int, Relation] = {}
         for atom in self._stable:
@@ -445,6 +609,30 @@ class DeltaProgram:
             if relation is None:
                 return None
             originals[atom.position] = relation
+
+        # Columnar (id-space) mode is all-or-nothing per run: every atom's
+        # relation must expose a live sidecar over the environment's shared
+        # dictionary, otherwise the whole pass runs in value space.  Mixing
+        # would compare ids against raw values and silently drop rows.
+        dictionary = getattr(relations, "columnar_dictionary", None)
+        if dictionary is not None:
+            all_stored = all(
+                rel.column_store() is not None for _a, rel in delta_rels
+            ) and all(rel.column_store() is not None for rel in originals.values())
+            if not all_stored:
+                dictionary = None
+        if dictionary is not None:
+            index_for = None  # id-space probes never touch the hash indexes
+
+        domains: dict[str, Optional[frozenset]] = {}
+        for atom, relation in delta_rels:
+            for col, var in atom.var_cols:
+                domains[var] = ctx.meet(
+                    domains.get(var),
+                    ctx.column_values(
+                        relation, col, atom.const_checks, dictionary=dictionary
+                    ),
+                )
 
         reduced: dict[int, Relation] = {}
         sigs: dict[int, tuple] = {}
@@ -478,13 +666,15 @@ class DeltaProgram:
                     best.const_checks,
                     constraints,
                     index_for if pos not in reduced else None,
+                    dictionary=dictionary,
                 )
                 if out is None:
                     continue
                 reduced[pos] = out
                 for col, var in best.var_cols:
                     domains[var] = ctx.meet(
-                        domains.get(var), ctx.column_values(out, col)
+                        domains.get(var),
+                        ctx.column_values(out, col, dictionary=dictionary),
                     )
         if not reduced:
             return None

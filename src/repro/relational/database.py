@@ -88,17 +88,43 @@ class IndexedDatabase:
     snapshot-rehashing behavior exactly (the ablation/equivalence baseline);
     ``"eager"`` updates indexes inline on every mutation; ``"lazy"`` lets
     them go stale and rebuilds on first use after a mutation.
+
+    With ``columnar=True`` the environment owns one shared
+    :class:`~repro.relational.columnar.ValueDictionary` and every bound
+    relation gets a columnar sidecar interning through it (one id space, so
+    cross-relation joins compare ids directly); the vectorized fast paths
+    in the plan executor and the delta-reduction passes detect the
+    dictionary via :attr:`columnar_dictionary` and fall back to the row
+    path wherever a sidecar is unavailable.
     """
 
-    def __init__(self, indexing: str = "eager"):
+    def __init__(
+        self,
+        indexing: str = "eager",
+        columnar: bool = False,
+        dictionary=None,
+    ):
         if indexing not in INDEXING_MODES:
             raise ValueError(
                 f"unknown indexing mode {indexing!r}; choose one of {INDEXING_MODES}"
             )
         self.indexing = indexing
+        if columnar:
+            from repro.relational.columnar import ValueDictionary
+
+            self.columnar_dictionary = (
+                dictionary if dictionary is not None else ValueDictionary()
+            )
+        else:
+            self.columnar_dictionary = None
         self._relations: dict[str, Relation] = {}
         self._indexed: set[str] = set()
         self._stable: set[str] = set()
+
+    @property
+    def columnar(self) -> bool:
+        """Whether this environment interns values for columnar evaluation."""
+        return self.columnar_dictionary is not None
 
     # ------------------------------------------------------------------ #
     # binding
@@ -115,6 +141,8 @@ class IndexedDatabase:
         them — as opposed to the ephemeral per-document bindings.
         """
         self._relations[name] = relation
+        if self.columnar_dictionary is not None:
+            relation.enable_columnar(self.columnar_dictionary)
         if indexed:
             self._stable.add(name)
         else:

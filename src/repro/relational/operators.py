@@ -8,10 +8,33 @@ SQL engine would produce without DISTINCT).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
+from repro.relational import columnar
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, SchemaError
+
+
+def _id_domain(values, dictionary) -> Optional[frozenset]:
+    """Translate a value set to an id domain; ``None`` = use the row path.
+
+    Values the dictionary has never interned cannot occur in any synced
+    column and are simply dropped; an *unhashable* value defeats interning
+    altogether (and could still compare equal to a row value), so the
+    caller must fall back to value-space comparison.
+    """
+    out = set()
+    get_id = dictionary.get_id
+    for v in values:
+        vid = get_id(v)
+        if vid is None:
+            try:
+                hash(v)
+            except TypeError:
+                return None
+            continue
+        out.add(vid)
+    return frozenset(out)
 
 
 # --------------------------------------------------------------------------- #
@@ -201,6 +224,20 @@ def semijoin_in(
     """
     out = Relation(relation.schema, name=name if name is not None else relation.name)
     rows = out.rows
+    if index is None and columnar.HAVE_NUMPY:
+        store = relation.column_store()
+        if store is not None:
+            constraints = [(column, _id_domain(values, store.dictionary))]
+            for c, allowed in extra:
+                constraints.append((c, _id_domain(allowed, store.dictionary)))
+            if all(dom is not None for _c, dom in constraints):
+                if all(dom for _c, dom in constraints):
+                    positions = columnar.select_positions(
+                        store.columns(), len(store), constraints
+                    )
+                    base_rows = relation.rows
+                    rows.extend(base_rows[i] for i in positions.tolist())
+                return out
     if index is not None:
         lookup_key = index.lookup_key
         if extra:
@@ -236,6 +273,30 @@ def column_value_set(
     (witness) atom, the values its variable can take are exactly the
     column's values over the rows satisfying the atom's constants.
     """
+    if columnar.HAVE_NUMPY:
+        store = relation.column_store()
+        if store is not None:
+            constraints = []
+            usable = True
+            for c, v in const_checks:
+                dom = _id_domain((v,), store.dictionary)
+                if dom is None:
+                    usable = False  # unhashable constant: value-space scan
+                    break
+                if not dom:
+                    return frozenset()  # the constant occurs nowhere
+                constraints.append((c, dom))
+            if usable:
+                cols = store.columns()
+                if constraints:
+                    positions = columnar.select_positions(
+                        cols, len(store), constraints
+                    )
+                    ids = columnar.distinct_ids(cols[column], positions)
+                else:
+                    ids = columnar.distinct_ids(cols[column])
+                value_of = store.dictionary.value_of
+                return frozenset(value_of(i) for i in ids)
     if const_checks:
         return frozenset(
             row[column]

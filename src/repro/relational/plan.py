@@ -37,8 +37,10 @@ never because the per-document witness relations changed.
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Mapping, Optional, Sequence
 
+from repro.relational import columnar
 from repro.relational.conjunctive import (
     Atom,
     ConjunctiveQuery,
@@ -256,6 +258,14 @@ class CompiledPlan:
                 out.rows.append(self.const_row)
             return out
 
+        dictionary = getattr(relations, "columnar_dictionary", None)
+        if dictionary is not None and columnar.HAVE_NUMPY:
+            result = self._execute_columnar(
+                relations, dictionary, growth_limit, step_relations, out
+            )
+            if result is not None:
+                return result
+
         lookup = _lookup_of(relations)
         index_for = getattr(relations, "index_for", None)
         limited = growth_limit is not None
@@ -358,6 +368,134 @@ class CompiledPlan:
         else:
             for sol in solutions:
                 rows.append(tuple(v if const else sol[v] for const, v in self.head_ops))
+        return out
+
+    def _execute_columnar(
+        self,
+        relations: Mapping[str, Relation],
+        dictionary,
+        growth_limit: Optional[int],
+        step_relations: Optional[Sequence],
+        out: Relation,
+    ) -> Optional[Relation]:
+        """Vectorized execution over packed id columns, or ``None``.
+
+        The partial-solution table is a list of per-variable int64 id
+        arrays; each step batch-probes a memoized
+        :class:`~repro.relational.columnar.GroupIndex` over the step
+        relation's id columns and the matches expand through
+        ``repeat``/``cumsum`` arithmetic instead of a per-solution Python
+        loop.  Returns ``None`` when any step lacks a usable sidecar or a
+        packed probe key cannot be formed — the caller falls back to the
+        row path *before* ``out`` is touched, so a fallback never leaks a
+        partial result.  The same growth budget applies as on the row path
+        (totals are checked per step, so a breach can trigger at slightly
+        different points; :class:`PlanCache` re-plans either way).
+        """
+        np = columnar._np
+        lookup = _lookup_of(relations)
+        resolved = []
+        for step_index, step in enumerate(self.steps):
+            override = (
+                step_relations[step_index] if step_relations is not None else None
+            )
+            relation = override if override is not None else lookup(step.relation_name)
+            if relation is None:
+                raise SchemaError(
+                    f"unknown relation {step.relation_name!r} in compiled plan"
+                )
+            store = relation.column_store()
+            if store is None or store.dictionary is not dictionary:
+                return None
+            resolved.append(store)
+
+        limited = growth_limit is not None
+        sols: list = []  # one int64 id array per bound variable
+        num_sols = 1     # starts at the single empty solution
+        for step, store in zip(self.steps, resolved):
+            cols = store.columns()
+            const_ids: list[int] = []
+            for _col, value in step.const_checks:
+                cid = dictionary.get_id(value)
+                if cid is None:
+                    try:
+                        hash(value)
+                    except TypeError:
+                        return None  # unhashable constant: row-path equality
+                    return out  # the constant occurs nowhere in this state
+                const_ids.append(cid)
+            eq = step.within_eq
+            positions = step.join_positions
+            if positions:
+                probe_cols = [sols[p] for p in positions]
+                probe_cols.extend(
+                    np.full(num_sols, cid, dtype=np.int64) for cid in const_ids
+                )
+                hit = store.probe(step.key_cols, probe_cols)
+                if hit is None:
+                    return None  # packed key would overflow int64: row path
+                probe_idx, row_pos = hit
+                if eq and len(row_pos):
+                    mask = None
+                    for a, b in eq:
+                        m = cols[a][row_pos] == cols[b][row_pos]
+                        mask = m if mask is None else (mask & m)
+                    probe_idx, row_pos = probe_idx[mask], row_pos[mask]
+                if limited and len(row_pos) > growth_limit:
+                    raise PlanBudgetExceeded(self._budget_message(step))
+                sols = [col[probe_idx] for col in sols]
+                sols.extend(cols[c][row_pos] for c in step.new_var_cols)
+                num_sols = len(row_pos)
+            else:
+                if const_ids:
+                    constraints = [
+                        (col, frozenset((cid,)))
+                        for (col, _v), cid in zip(step.const_checks, const_ids)
+                    ]
+                    matched = columnar.select_positions(cols, len(store), constraints)
+                else:
+                    matched = np.arange(len(store), dtype=np.int64)
+                if eq and len(matched):
+                    mask = None
+                    for a, b in eq:
+                        m = cols[a][matched] == cols[b][matched]
+                        mask = m if mask is None else (mask & m)
+                    matched = matched[mask]
+                r = len(matched)
+                if limited and num_sols * r > growth_limit:
+                    raise PlanBudgetExceeded(self._budget_message(step))
+                sols = [np.repeat(col, r) for col in sols]
+                sols.extend(
+                    np.tile(cols[c][matched], num_sols) for c in step.new_var_cols
+                )
+                num_sols *= r
+            if not num_sols:
+                return out
+
+        if self.head_ops is None:
+            raise SchemaError(self.head_error)
+        rows = out.rows
+        if not self.head_ops:  # zero-arity head: same dedup as the row path
+            if self.distinct:
+                rows.append(())
+            else:
+                rows.extend(() for _ in range(num_sols))
+            return out
+        values = dictionary.values
+        columns = []
+        for const, v in self.head_ops:
+            if const:
+                columns.append(repeat(v, num_sols))
+            else:
+                columns.append([values[i] for i in sols[v].tolist()])
+        if self.distinct:
+            seen: set[tuple] = set()
+            for row in zip(*columns):
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+        else:
+            rows.extend(zip(*columns))
         return out
 
     def _budget_message(self, step: PlanStep) -> str:

@@ -60,7 +60,9 @@ class Relation:
         "index_maintenance",
         "_ndv_cache",
         "_version",
+        "_deletes",
         "_indexes",
+        "_colstore",
     )
 
     def __init__(
@@ -82,7 +84,9 @@ class Relation:
         self.index_maintenance = index_maintenance
         self._ndv_cache: dict[int, tuple[tuple[int, int], int]] = {}
         self._version = 0
+        self._deletes = 0
         self._indexes: dict[tuple[int, ...], "HashIndex"] = {}
+        self._colstore = None
         self.rows: list[tuple] = []
         for row in rows:
             self.insert(row)
@@ -150,6 +154,7 @@ class Relation:
         """Remove all rows."""
         self.rows.clear()
         self._version += 1
+        self._deletes += 1
         for index in self._indexes.values():
             index.clear()
             index.version = self._version
@@ -172,19 +177,30 @@ class Relation:
     def delete_rows(self, predicate: Callable[[tuple], bool]) -> int:
         """Delete every row for which ``predicate`` (on the raw tuple) is true.
 
-        Returns the number of rows removed.  Deletion is the retraction
-        path (cancelled subscriptions), not the hot path: attached indexes
-        are left stale (the version bump makes :meth:`index_on` rebuild
-        them on next use) rather than updated inline.
+        Returns the number of rows removed.  Eagerly maintained indexes
+        that were in sync before the deletion are updated inline (bucket
+        removals proportional to the rows deleted); stale or lazily
+        maintained indexes keep relying on the version bump to rebuild on
+        next use.  A deletion that removes nothing leaves the version (and
+        every derived artifact) untouched.
         """
-        kept = [row for row in self.rows if not predicate(row)]
-        removed = len(self.rows) - len(kept)
-        if not removed:
+        kept: list[tuple] = []
+        gone: list[tuple] = []
+        for row in self.rows:
+            (gone if predicate(row) else kept).append(row)
+        if not gone:
             return 0
         self.rows = kept
         self._ndv_cache.clear()
+        previous = self._version
         self._version += 1
-        return removed
+        self._deletes += 1
+        if self._indexes and self.index_maintenance == "eager":
+            for index in self._indexes.values():
+                if index.version == previous:
+                    index.remove_rows(gone)
+                    index.version = self._version
+        return len(gone)
 
     def _row_added(self, t: tuple) -> None:
         previous = self._version
@@ -233,6 +249,49 @@ class Relation:
         """Number of attached live indexes (stats/tests)."""
         return len(self._indexes)
 
+    # ------------------------------------------------------------------ #
+    # the columnar sidecar (see repro.relational.columnar)
+    # ------------------------------------------------------------------ #
+    def enable_columnar(self, dictionary) -> None:
+        """Attach a columnar sidecar interning through ``dictionary``.
+
+        Idempotent per dictionary; binding the same relation into a
+        different columnar environment re-homes the sidecar.  The sidecar
+        is synchronized lazily by :meth:`column_store` — enabling it costs
+        nothing until a columnar fast path asks for the columns.
+        """
+        from repro.relational.columnar import ColumnStore
+
+        store = self._colstore
+        if store is None or store.dictionary is not dictionary:
+            self._colstore = ColumnStore(len(self.schema), dictionary)
+
+    def column_store(self):
+        """The synced columnar sidecar, or ``None`` when unavailable.
+
+        Returns ``None`` when no sidecar is attached (non-columnar
+        environments) or when it disabled itself (unhashable row values).
+        The validity stamp is ``(version, len(rows), deletes)`` — the same
+        trick the NDV cache uses to also catch direct ``rows``
+        manipulation by legacy callers.
+        """
+        store = self._colstore
+        if store is None or store.disabled:
+            return None
+        rows = self.rows
+        stamp = (self._version, len(rows), self._deletes)
+        if store.stamp != stamp and not store.sync(rows, stamp):
+            return None
+        return store
+
+    def _attach_store(self, store) -> None:
+        """Adopt a precomputed (frozen) sidecar — derived-relation path."""
+        self._colstore = store
+
+    def _stamp(self) -> tuple[int, int, int]:
+        """The mutation stamp sidecars validate against."""
+        return (self._version, len(self.rows), self._deletes)
+
     @property
     def version(self) -> int:
         """The mutation counter (bumped on every insert/drop/clear).
@@ -273,7 +332,19 @@ class Relation:
         cached = self._ndv_cache.get(column_index)
         if cached is not None and cached[0] == stamp:
             return cached[1]
-        count = len({row[column_index] for row in self.rows})
+        store = self._colstore
+        if (
+            store is not None
+            and not store.disabled
+            and store.stamp == (stamp[0], stamp[1], self._deletes)
+        ):
+            # Columnar fast path over an already-synced sidecar (a derived
+            # reduced relation, typically) — no new interning is forced.
+            from repro.relational.columnar import distinct_ids
+
+            count = len(distinct_ids(store.columns()[column_index]))
+        else:
+            count = len({row[column_index] for row in self.rows})
         self._ndv_cache[column_index] = (stamp, count)
         return count
 
@@ -385,6 +456,7 @@ class PartitionedRelation(Relation):
         self._size = 0
         self._ndv_counters = {}
         self._version += 1
+        self._deletes += 1
         for t in new_rows:
             self._partitions.setdefault(t[self._pcol], []).append(t)
             self._flat.append(t)
@@ -424,6 +496,7 @@ class PartitionedRelation(Relation):
         self._size = 0
         self._ndv_counters = {}
         self._version += 1
+        self._deletes += 1
         for index in self._indexes.values():
             index.clear()
             index.version = self._version
@@ -432,14 +505,19 @@ class PartitionedRelation(Relation):
         """Delete matching rows across all partitions; returns rows removed.
 
         Mirrors :meth:`Relation.delete_rows` on the partitioned layout:
-        partitions emptied by the deletion are dropped, the flat view is
-        re-stitched lazily, and NDV counters and indexes recompute on next
-        use (retraction path, not the per-document hot path).
+        partitions emptied by the deletion are dropped and the flat view is
+        re-stitched lazily.  NDV counters are decremented per deleted row
+        (O(removed), like :meth:`drop_partitions`) instead of being thrown
+        away, and eagerly maintained in-sync indexes are updated inline —
+        a probe right after a retraction no longer pays a full rebuild.
         """
         removed = 0
+        gone: list[tuple] = []
         emptied: list[object] = []
         for key, part in self._partitions.items():
-            kept = [row for row in part if not predicate(row)]
+            kept: list[tuple] = []
+            for row in part:
+                (gone if predicate(row) else kept).append(row)
             if len(kept) != len(part):
                 removed += len(part) - len(kept)
                 if kept:
@@ -452,8 +530,23 @@ class PartitionedRelation(Relation):
             del self._partitions[key]
         self._size -= removed
         self._flat_dirty = True
-        self._ndv_counters = {}
+        previous = self._version
         self._version += 1
+        self._deletes += 1
+        if self._ndv_counters:
+            for row in gone:
+                for col, counter in self._ndv_counters.items():
+                    v = row[col]
+                    left = counter[v] - 1
+                    if left:
+                        counter[v] = left
+                    else:
+                        del counter[v]
+        if self._indexes and self.index_maintenance == "eager":
+            for index in self._indexes.values():
+                if index.version == previous:
+                    index.remove_rows(gone)
+                    index.version = self._version
         return removed
 
     def drop_partitions(self, keys: Iterable[object]) -> int:
@@ -477,6 +570,7 @@ class PartitionedRelation(Relation):
         self._flat_dirty = True
         previous = self._version
         self._version += 1
+        self._deletes += 1
         if self._ndv_counters:
             for part in dropped:
                 for row in part:

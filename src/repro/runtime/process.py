@@ -17,10 +17,11 @@ out, results merged in shard order — but moves every
   Registrations and cancellations are forwarded as commands (the worker
   engine replays the exact ``register_query``/``deregister_query`` code
   path), documents cross as pickled batches reusing the engine's
-  ``process_batch`` fast path, and match rows come back as compact tuples
-  that are re-materialized broker-side — so delivery callbacks and
-  :class:`~repro.pubsub.sinks.DeliverySink` objects fire in the parent and
-  never need to be picklable.
+  ``process_batch`` fast path, and match rows come back in a columnar
+  batch form — a shared value table plus per-match id tuples (see
+  :func:`encode_match_batch`) — re-materialized broker-side, so delivery
+  callbacks and :class:`~repro.pubsub.sinks.DeliverySink` objects fire in
+  the parent and never need to be picklable.
 * Requests and responses are strictly ordered per channel, and
   :class:`~repro.runtime.executor.ProcessExecutor` keeps at most one
   request in flight per channel, so responses are matched to requests
@@ -46,6 +47,8 @@ __all__ = [
     "ProcessShardHandle",
     "encode_match",
     "decode_match",
+    "encode_match_batch",
+    "decode_match_batch",
 ]
 
 
@@ -84,6 +87,100 @@ def decode_match(wire: tuple) -> Match:
     )
 
 
+def _intern(value, table: list, index: dict) -> int:
+    """Index of ``value`` in the batch value table (appending if new).
+
+    Keys include the concrete type so ``1``/``1.0``/``True`` round-trip
+    exactly; an unhashable value is appended without deduplication.
+    """
+    try:
+        key = (value.__class__, value)
+        slot = index.get(key)
+    except TypeError:
+        table.append(value)
+        return len(table) - 1
+    if slot is None:
+        slot = index[key] = len(table)
+        table.append(value)
+    return slot
+
+
+def encode_match_batch(match_lists: Sequence[Sequence[Match]]) -> tuple:
+    """Columnar wire form of one batch response (one inner list per document).
+
+    Instead of pickling each match as a self-contained tuple of values
+    (the per-match :func:`encode_match` form), the whole batch shares a
+    single value table: every qid, docid, binding key/value, and window
+    is interned once, and each match becomes a tuple of small integer
+    ids (timestamps stay raw floats).  Because the same qids, docids,
+    and binding keys recur across the matches of a batch, the pickled
+    payload shrinks and the parent re-materializes shared strings once.
+    """
+    table: list = []
+    index: dict = {}
+    counts = []
+    rows = []
+    for matches in match_lists:
+        counts.append(len(matches))
+        for m in matches:
+            lhs = m.lhs_bindings
+            rhs = m.rhs_bindings
+            rows.append(
+                (
+                    _intern(m.qid, table, index),
+                    _intern(m.lhs_docid, table, index),
+                    _intern(m.rhs_docid, table, index),
+                    m.lhs_timestamp,
+                    m.rhs_timestamp,
+                    tuple(
+                        _intern(x, table, index)
+                        for kv in lhs.items()
+                        for x in kv
+                    ),
+                    tuple(
+                        _intern(x, table, index)
+                        for kv in rhs.items()
+                        for x in kv
+                    ),
+                    _intern(m.window, table, index),
+                )
+            )
+    return (table, tuple(counts), rows)
+
+
+def decode_match_batch(payload: tuple) -> list[list[Match]]:
+    """Re-materialize one batch response from its columnar wire form."""
+    table, counts, rows = payload
+    out: list[list[Match]] = []
+    cursor = 0
+    for count in counts:
+        matches = []
+        for wire in rows[cursor : cursor + count]:
+            lhs_ids = wire[5]
+            rhs_ids = wire[6]
+            matches.append(
+                Match(
+                    qid=table[wire[0]],
+                    lhs_docid=table[wire[1]],
+                    rhs_docid=table[wire[2]],
+                    lhs_timestamp=wire[3],
+                    rhs_timestamp=wire[4],
+                    lhs_bindings={
+                        table[lhs_ids[i]]: table[lhs_ids[i + 1]]
+                        for i in range(0, len(lhs_ids), 2)
+                    },
+                    rhs_bindings={
+                        table[rhs_ids[i]]: table[rhs_ids[i + 1]]
+                        for i in range(0, len(rhs_ids), 2)
+                    },
+                    window=table[wire[7]],
+                )
+            )
+        cursor += count
+        out.append(matches)
+    return out
+
+
 # --------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------- #
@@ -91,13 +188,10 @@ def _dispatch(engine, method: str, args: tuple):
     """Apply one command to one in-worker engine."""
     if method == "process_batch":
         (documents,) = args
-        return [
-            [encode_match(m) for m in matches]
-            for matches in engine.process_batch(documents)
-        ]
+        return encode_match_batch(engine.process_batch(documents))
     if method == "process_one":
         (document,) = args
-        return [encode_match(m) for m in engine.process_document(document)]
+        return encode_match_batch([engine.process_document(document)])
     if method == "register":
         qid, query = args
         engine.register_query(query, qid=qid)
@@ -327,9 +421,9 @@ class ProcessShardHandle:
         method = self._pending.pop(0)
         payload = self.channel.recv()
         if method == "process_one":
-            return [decode_match(wire) for wire in payload]
+            return decode_match_batch(payload)[0]
         if method == "process_batch":
-            return [[decode_match(wire) for wire in row] for row in payload]
+            return decode_match_batch(payload)
         return payload
 
     def process_one(self, document) -> list[Match]:

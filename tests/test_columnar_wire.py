@@ -1,0 +1,152 @@
+"""Columnar wire encoding for the process-parallel shard pipe.
+
+Match batches cross the worker pipe as a shared value table plus packed id
+rows instead of per-match pickled tuples.  These tests pin the round-trip
+semantics of :func:`encode_match_batch` / :func:`decode_match_batch`
+(type-exact interning, unhashable values, batch splitting) and check the
+processes executor end-to-end against the serial one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RuntimeConfig, open_broker
+from repro.core.results import Match
+from repro.runtime.process import (
+    decode_match,
+    decode_match_batch,
+    encode_match,
+    encode_match_batch,
+)
+from tests.conftest import (
+    PAPER_Q1,
+    PAPER_Q2,
+    PAPER_WINDOWS,
+    make_blog_article,
+    make_book_announcement,
+)
+
+
+def _match(i: int, **overrides) -> Match:
+    fields = dict(
+        qid=f"q{i}",
+        lhs_docid=f"d{i}",
+        rhs_docid=f"d{i + 1}",
+        lhs_timestamp=float(i),
+        rhs_timestamp=float(i) + 0.5,
+        lhs_bindings={"a": i, "b": i + 1},
+        rhs_bindings={"c": i + 2},
+        window=10.0,
+    )
+    fields.update(overrides)
+    return Match(**fields)
+
+
+def _assert_same(a: Match, b: Match) -> None:
+    assert a.key() == b.key()
+    assert a.lhs_timestamp == b.lhs_timestamp
+    assert a.rhs_timestamp == b.rhs_timestamp
+    assert a.window == b.window
+    assert a.lhs_bindings == b.lhs_bindings
+    assert a.rhs_bindings == b.rhs_bindings
+
+
+def test_batch_round_trip_preserves_structure():
+    batches = [
+        [_match(0), _match(1)],
+        [],
+        [_match(2)],
+    ]
+    decoded = decode_match_batch(encode_match_batch(batches))
+    assert [len(b) for b in decoded] == [2, 0, 1]
+    for got, want in zip(decoded, batches):
+        for g, w in zip(got, want):
+            _assert_same(g, w)
+
+
+def test_empty_batch_list_round_trips():
+    assert decode_match_batch(encode_match_batch([])) == []
+    assert decode_match_batch(encode_match_batch([[], []])) == [[], []]
+
+
+def test_shared_values_are_interned_once():
+    # Twenty matches of the same query against the same lhs document: the
+    # repeated qid/docid/window values appear once in the value table.
+    matches = [
+        _match(0, rhs_docid=f"r{i}", lhs_bindings={"a": 7}, rhs_bindings={})
+        for i in range(20)
+    ]
+    table, counts, rows = encode_match_batch([matches])
+    assert counts == (20,)
+    assert len(rows) == 20
+    assert table.count("q0") == 1
+    assert table.count("d0") == 1
+    assert table.count(7) == 1
+
+
+def test_interning_is_type_exact():
+    # 1, 1.0 and True are ==/hash-equal but must round-trip with their
+    # original types (docids and bindings are compared type-sensitively
+    # downstream).
+    m = _match(
+        0,
+        lhs_bindings={"x": 1, "y": True},
+        rhs_bindings={"z": 1.0},
+    )
+    (got,) = decode_match_batch(encode_match_batch([[m]]))[0]
+    assert got.lhs_bindings["x"] == 1 and type(got.lhs_bindings["x"]) is int
+    assert got.lhs_bindings["y"] is True
+    assert got.rhs_bindings["z"] == 1.0 and type(got.rhs_bindings["z"]) is float
+
+
+def test_unhashable_values_survive_without_dedup():
+    m = _match(0, lhs_bindings={"nodes": [1, 2, 3]})
+    (got,) = decode_match_batch(encode_match_batch([[m]]))[0]
+    assert got.lhs_bindings["nodes"] == [1, 2, 3]
+
+
+def test_single_match_codec_still_round_trips():
+    m = _match(3)
+    _assert_same(decode_match(encode_match(m)), m)
+
+
+def test_infinite_window_round_trips():
+    m = _match(0, window=float("inf"))
+    (got,) = decode_match_batch(encode_match_batch([[m]]))[0]
+    assert got.window == float("inf")
+
+
+# --------------------------------------------------------------------------- #
+# end to end: processes executor over the columnar wire
+# --------------------------------------------------------------------------- #
+def _collect_keys(config: RuntimeConfig) -> list[tuple]:
+    broker = open_broker(config)
+    try:
+        broker.subscribe(PAPER_Q1, subscription_id="Q1", window_symbols=PAPER_WINDOWS)
+        broker.subscribe(PAPER_Q2, subscription_id="Q2", window_symbols=PAPER_WINDOWS)
+        documents = [
+            make_book_announcement("d1", 1.0),
+            make_blog_article("d2", 2.0),
+            make_book_announcement("d3", 3.0),
+            make_blog_article("d4", 4.0),
+        ]
+        keys = []
+        for delivery in broker.publish_many(documents):
+            if delivery.match is not None:
+                keys.append(delivery.match.key())
+        return keys
+    finally:
+        broker.close()
+
+
+@pytest.mark.slow
+def test_processes_executor_matches_serial_over_wire():
+    serial = _collect_keys(
+        RuntimeConfig(shards=2, executor="serial", construct_outputs=False)
+    )
+    processes = _collect_keys(
+        RuntimeConfig(shards=2, executor="processes", construct_outputs=False)
+    )
+    assert sorted(serial) == sorted(processes)
+    assert serial  # the workload must actually produce matches
