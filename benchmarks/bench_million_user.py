@@ -1,0 +1,329 @@
+"""Million-user stress: latency tails at 10⁵ live subscriptions.
+
+The timed experiment drives :func:`repro.stress.run_stress` through the
+four lifecycle phases (ramp, steady, burst, churn) of the DBLP-style
+workload and reports, per phase, p50/p95/p99/max publish latency and
+delivery lag from the broker's metrics registry.  Two correctness gates
+ride along:
+
+* ``bench_million_user_overhead`` — enabling ``RuntimeConfig(metrics=True)``
+  must cost ≤ 5% wall time on a fixed publish workload (min-of-N on both
+  sides to dampen scheduler noise);
+* ``bench_million_user_equivalence`` — metrics on/off must produce
+  byte-identical match sets (and, per configuration, identical delivery
+  order) across both engines, the serial/threads/processes executors and
+  1/2/4 shards.
+
+Results land in ``BENCH_million_user.json`` (repo root, or
+``$REPRO_BENCH_JSON_DIR``).  Set ``REPRO_BENCH_TINY=1`` for the CI smoke
+scale; the full run ramps to 100 000 live subscriptions.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import RuntimeConfig, open_broker
+from repro.bench.reporting import rows_to_json
+from repro.stress import StressConfig, run_stress
+from repro.workloads.dblp import (
+    DblpWorkloadConfig,
+    generate_dblp_stream,
+    generate_dblp_subscriptions,
+)
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+#: Retraction cost at 30k live subscriptions, measured on this workload
+#: before/after the in-PR fixes (incremental window-horizon refcounts,
+#: O(1) swap-delete RT retraction, membership checks instead of row-list
+#: copies).  Kept in the bench meta so the perf trajectory is documented.
+CANCEL_NOTE = (
+    "cancel at 30k live subscriptions: 36734us/op before -> 63us/op after "
+    "(~580x; was O(live subscriptions) per cancel from the window-horizon "
+    "rescan plus O(RT rows) list removal, now O(1) amortized)"
+)
+
+STRESS = StressConfig(
+    subscriptions=1_500 if TINY else 100_000,
+    # At smoke scale the default corpus (50 venues, 5000 authors) is too
+    # sparse for joins to fire within 30 documents; densify it so every
+    # phase still reports delivery-lag tails.
+    workload=(
+        DblpWorkloadConfig(num_venues=10, num_authors=200)
+        if TINY
+        else DblpWorkloadConfig()
+    ),
+    ramp_chunk=500 if TINY else 10_000,
+    ramp_probe_documents=5 if TINY else 10,
+    steady_documents=30 if TINY else 300,
+    burst_count=3 if TINY else 10,
+    burst_size=20 if TINY else 100,
+    churn_cycles=60 if TINY else 500,
+    churn_publish_every=20 if TINY else 25,
+)
+
+_ROWS: list[dict] = []
+_EXTRA_META: dict = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _emit_json():
+    """Write the collected rows as BENCH_million_user.json after the run."""
+    yield
+    if not _ROWS:
+        return
+    out_dir = os.environ.get(
+        "REPRO_BENCH_JSON_DIR", os.path.dirname(os.path.dirname(__file__))
+    )
+    meta = {
+        "experiment": "million_user",
+        "tiny": TINY,
+        "subscriptions": STRESS.subscriptions,
+        "num_venues": STRESS.workload.num_venues,
+        "num_authors": STRESS.workload.num_authors,
+        "window": STRESS.workload.window,
+        "cancel_cost_note": CANCEL_NOTE,
+    }
+    meta.update(_EXTRA_META)
+    rows_to_json(
+        _ROWS,
+        path=os.path.join(out_dir, "BENCH_million_user.json"),
+        meta=meta,
+    )
+
+
+def _tail_columns(row: dict, prefix: str, tails) -> None:
+    if tails is None:
+        return
+    for key in ("count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"):
+        row[f"{prefix}_{key}"] = tails[key]
+
+
+def bench_million_user_stress(benchmark):
+    """Ramp to the target population and report per-phase latency tails."""
+    report = benchmark.pedantic(
+        lambda: run_stress(STRESS), rounds=1, iterations=1
+    )
+
+    assert report["live_subscriptions"] == STRESS.subscriptions
+    phases = report["phases"]
+    assert set(phases) == {"ramp", "steady", "burst", "churn"}
+    # The interactive path must report full latency tails...
+    assert phases["steady"]["publish_latency"] is not None
+    assert phases["steady"]["delivery_lag"] is not None
+    # ...the ingestion path batch tails...
+    assert phases["burst"]["publish_batch_latency"] is not None
+    # ...and churn must have exercised the retraction path with publishes.
+    assert phases["churn"]["documents_published"] > 0
+
+    # Per-subscribe cost must stay flat while the population grows: the
+    # last ramp chunk may not take disproportionately longer than the
+    # first (each chunk subscribes the same number of queries).
+    chunks = phases["ramp"]["chunk_seconds"]
+    if not TINY and len(chunks) >= 3 and chunks[0] > 0:
+        assert chunks[-1] <= 3.0 * chunks[0], (
+            f"per-subscribe cost grew with the live population: "
+            f"ramp chunks {chunks}"
+        )
+
+    for phase_name, summary in phases.items():
+        row = {
+            "figure": "million_user",
+            "phase": phase_name,
+            "live_subscriptions": report["live_subscriptions"],
+            "seconds": summary["seconds"],
+            "documents_published": summary["documents_published"],
+            "results_delivered": summary["results_delivered"],
+        }
+        _tail_columns(row, "publish", summary["publish_latency"])
+        _tail_columns(row, "publish_batch", summary["publish_batch_latency"])
+        _tail_columns(row, "delivery_lag", summary["delivery_lag"])
+        if phase_name == "ramp":
+            row["chunk_seconds"] = summary["chunk_seconds"]
+        _ROWS.append(row)
+
+    _EXTRA_META["num_templates"] = report["num_templates"]
+    _EXTRA_META["documents_published"] = report["documents_published"]
+    benchmark.extra_info.update(
+        {
+            "figure": "million_user",
+            "live_subscriptions": report["live_subscriptions"],
+            "num_templates": report["num_templates"],
+        }
+    )
+
+
+# --------------------------------------------------------------------------
+# Metrics-overhead gate
+
+
+def _overhead_workload():
+    # Fixed size even at smoke scale: a 5% wall-clock gate needs runs long
+    # enough (~1s) that min-of-N converges below the gate's resolution.
+    config = DblpWorkloadConfig(num_venues=6, num_authors=80, seed=5)
+    queries = list(generate_dblp_subscriptions(200, config, seed=11))
+    documents = list(generate_dblp_stream(config, 200, seed=12))
+    return queries, documents
+
+
+def _publish_seconds(metrics: bool, queries, documents) -> float:
+    """Wall time of the publish loop alone (subscribe excluded)."""
+    broker = open_broker(
+        RuntimeConfig(construct_outputs=False, metrics=metrics)
+    )
+    try:
+        for i, query in enumerate(queries):
+            broker.subscribe(query, subscription_id=f"q{i}")
+        start = time.perf_counter()
+        broker.publish_many(documents)
+        return time.perf_counter() - start
+    finally:
+        broker.close()
+
+
+def bench_million_user_overhead(benchmark):
+    """Metrics must cost ≤ 5% on the publish path (min-of-N both sides)."""
+    queries, documents = _overhead_workload()
+    rounds = 9
+
+    def measure():
+        # Interleave the off/on runs so slow phases of the host (GC, CPU
+        # contention) hit both sides equally; min-of-N is the noise floor.
+        offs, ons = [], []
+        for _ in range(rounds):
+            offs.append(_publish_seconds(False, queries, documents))
+            ons.append(_publish_seconds(True, queries, documents))
+        return min(offs), min(ons)
+
+    off_seconds, on_seconds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = (on_seconds - off_seconds) / off_seconds if off_seconds else 0.0
+    _ROWS.append(
+        {
+            "figure": "metrics_overhead",
+            "phase": "overhead_gate",
+            "metrics_off_seconds": round(off_seconds, 4),
+            "metrics_on_seconds": round(on_seconds, 4),
+            "overhead_pct": round(overhead * 100.0, 2),
+        }
+    )
+    benchmark.extra_info.update(
+        {
+            "figure": "metrics_overhead",
+            "overhead_pct": round(overhead * 100.0, 2),
+        }
+    )
+    assert overhead <= 0.05, (
+        f"metrics=True costs {overhead * 100.0:.1f}% on the publish path "
+        f"(off={off_seconds * 1e3:.1f}ms on={on_seconds * 1e3:.1f}ms); gate is 5%"
+    )
+
+
+# --------------------------------------------------------------------------
+# Metrics on/off equivalence across engines, executors and shard counts
+
+
+def _delivery_log(config: RuntimeConfig, queries, documents):
+    """Ordered (subscription, match-key) log plus the match-key set."""
+    broker = open_broker(config)
+    try:
+        for i, query in enumerate(queries):
+            broker.subscribe(query, subscription_id=f"q{i}")
+        ordered = []
+        for delivery in broker.publish_many(documents):
+            if delivery.match is not None:
+                ordered.append((delivery.subscription_id, delivery.match.key()))
+        return ordered, frozenset(ordered)
+    finally:
+        broker.close()
+
+
+def _normalized(keys):
+    """Match keys with canonical variable *names* stripped.
+
+    Template sharing renames query variables per template, and template
+    composition depends on how queries partition across shards — so the
+    names inside ``Match.key()`` are topology-dependent even though the
+    matches (documents and witness values) are identical.  For the
+    cross-topology comparison, keep the values and drop the names.
+    """
+
+    def strip(part):
+        if (
+            isinstance(part, tuple)
+            and part
+            and all(isinstance(b, tuple) and len(b) == 2 for b in part)
+        ):
+            return tuple(sorted(value for _, value in part))
+        return part
+
+    return frozenset(
+        (sid, tuple(strip(part) for part in key)) for sid, key in keys
+    )
+
+
+def bench_million_user_equivalence(benchmark):
+    """Metrics on/off: byte-identical match sets, identical delivery order.
+
+    Runs at smoke scale regardless of ``REPRO_BENCH_TINY`` — it gates
+    correctness, not speed.
+    """
+    config = DblpWorkloadConfig(
+        num_venues=3, num_authors=12, title_pool_size=6, seed=9
+    )
+    queries = list(generate_dblp_subscriptions(24, config, seed=21))
+    documents = list(generate_dblp_stream(config, 40, seed=22))
+    topologies = (
+        (1, "serial"),
+        (2, "serial"),
+        (4, "serial"),
+        (2, "threads"),
+        (4, "threads"),
+        (2, "processes"),
+        (4, "processes"),
+    )
+
+    def sweep():
+        reference = None
+        for engine in ("mmqjp", "sequential"):
+            for shards, executor in topologies:
+                logs, keysets = {}, {}
+                for metrics in (False, True):
+                    logs[metrics], keysets[metrics] = _delivery_log(
+                        RuntimeConfig(
+                            engine=engine,
+                            construct_outputs=False,
+                            shards=shards,
+                            executor=executor,
+                            metrics=metrics,
+                        ),
+                        queries,
+                        documents,
+                    )
+                # The ISSUE's gate: metrics on/off byte-identical — same
+                # match set AND same delivery order for this configuration.
+                assert keysets[False] == keysets[True], (
+                    f"metrics=True changed the match set: engine={engine!r} "
+                    f"shards={shards} executor={executor!r}"
+                )
+                assert logs[False] == logs[True], (
+                    f"metrics=True changed delivery order: engine={engine!r} "
+                    f"shards={shards} executor={executor!r}"
+                )
+                # Across topologies, canonical variable names inside the
+                # keys shift with template composition; compare the
+                # name-normalized match sets instead.
+                normalized = _normalized(keysets[False])
+                if reference is None:
+                    reference = normalized
+                assert normalized == reference, (
+                    f"match-set mismatch vs reference topology: "
+                    f"engine={engine!r} shards={shards} executor={executor!r}"
+                )
+        return len(reference)
+
+    num_matches = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "million_user_equivalence"
+    benchmark.extra_info["num_matches"] = num_matches
+    assert num_matches > 0

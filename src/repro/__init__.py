@@ -31,10 +31,18 @@ User-facing entry points:
   and a simulated RSS feed stream.
 * :mod:`repro.bench` — the experiment harness regenerating every figure and
   table of the evaluation section.
+* :mod:`repro.metrics` — the observability layer behind
+  ``RuntimeConfig(metrics=True)``: counters, latency histograms with
+  p50/p95/p99 tails, per-stage timers and per-subscription delivery lag.
+* :mod:`repro.stress` — the million-user stress harness
+  (:func:`repro.stress.run_stress`) driving ramp/steady/burst/churn phases
+  over the DBLP-style workload of :mod:`repro.workloads.dblp`.
 """
 
 from repro.config import ENGINES, RuntimeConfig
 from repro.core import MMQJPEngine, SequentialEngine, Match
+from repro.metrics import MetricsRegistry
+from repro.stress import StressConfig, run_stress
 from repro.pubsub import (
     BatchingSink,
     Broker,
@@ -52,7 +60,7 @@ from repro.storage.recovery import RecoveryError
 from repro.xmlmodel import XmlDocument, element, parse_document, to_xml
 from repro.xscl import parse_query, XsclQuery
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # session API
@@ -75,6 +83,10 @@ __all__ = [
     "MemoryStore",
     "SQLiteStore",
     "RecoveryError",
+    # observability and stress
+    "MetricsRegistry",
+    "StressConfig",
+    "run_stress",
     # engines and matches
     "MMQJPEngine",
     "SequentialEngine",

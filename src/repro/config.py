@@ -28,6 +28,7 @@ knob off — the plan-per-call, visit-every-template, unindexed baseline).
 from __future__ import annotations
 
 import dataclasses
+import os
 import warnings
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Union
@@ -41,6 +42,7 @@ __all__ = [
     "DURABILITY_MODES",
     "RuntimeConfig",
     "coerce_config",
+    "metrics_enabled",
 ]
 
 #: Engine selection keywords (canonical definition; re-exported by
@@ -165,6 +167,16 @@ class RuntimeConfig:
         per broker member: ``broker.sqlite3``, ``shard-N.sqlite3``).
         ``None`` with ``storage="sqlite"`` creates a fresh temporary
         directory (exposed as the broker's ``storage_path``).
+    metrics:
+        Runtime observability (default off): the brokers and engines
+        record publish-latency and per-stage histograms (p50/p95/p99/max)
+        plus per-subscription delivery lag into
+        :class:`repro.metrics.MetricsRegistry` objects, surfaced merged
+        under ``broker.stats()["metrics"]``.  Disabled, the hot path pays
+        one attribute check.  Match sets are identical either way.  The
+        ``REPRO_METRICS=1`` environment variable force-enables it (replay
+        override for running existing suites with metrics on; see
+        :func:`metrics_enabled`).
     """
 
     engine: str = "mmqjp"
@@ -188,6 +200,7 @@ class RuntimeConfig:
     storage: str = "memory"
     durability: str = "epoch"
     storage_path: Optional[str] = None
+    metrics: bool = False
 
     # ------------------------------------------------------------------ #
     # validation (the single point for the whole stack)
@@ -228,6 +241,10 @@ class RuntimeConfig:
         if not isinstance(self.columnar, bool):
             raise ValueError(
                 f"columnar must be True or False, got {self.columnar!r}"
+            )
+        if not isinstance(self.metrics, bool):
+            raise ValueError(
+                f"metrics must be True or False, got {self.metrics!r}"
             )
         if self.storage not in STORAGE_BACKENDS:
             raise ValueError(
@@ -316,6 +333,20 @@ class RuntimeConfig:
         )
         base.update(overrides)
         return cls(**base)
+
+
+def metrics_enabled(config: "RuntimeConfig") -> bool:
+    """Whether ``config`` asks for runtime metrics, honoring ``REPRO_METRICS``.
+
+    Mirrors the ``REPRO_EXECUTOR`` / ``REPRO_STORAGE`` replay overrides:
+    setting ``REPRO_METRICS=1`` (or ``true`` / ``on``) in the environment
+    turns metrics on for every broker and engine without touching call
+    sites, so existing suites and benchmarks replay with observability
+    enabled.  Metrics never change match sets, so force-enabling is safe.
+    """
+    if config.metrics:
+        return True
+    return os.environ.get("REPRO_METRICS", "").strip().lower() in ("1", "true", "on")
 
 
 #: All field names of :class:`RuntimeConfig` (the legal legacy kwargs).

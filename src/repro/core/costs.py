@@ -16,13 +16,28 @@ from typing import Iterable
 
 @dataclass
 class CostBreakdown:
-    """Accumulated wall-clock seconds per named processing phase."""
+    """Accumulated wall-clock seconds per named processing phase.
+
+    With a :class:`repro.metrics.MetricsRegistry` attached
+    (:meth:`attach_metrics`), every measured span is additionally recorded
+    into the registry's ``stage:<phase>`` histogram — the same
+    instrumentation points then yield latency *distributions*
+    (p50/p95/p99/max per span) on top of the accumulated totals.  Without
+    one attached (the default), :meth:`add` pays a single ``None`` check.
+    """
 
     seconds: dict[str, float] = field(default_factory=dict)
+    metrics: object = field(default=None, repr=False, compare=False)
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror subsequent measurements into ``registry`` (None detaches)."""
+        self.metrics = registry
 
     def add(self, phase: str, elapsed: float) -> None:
         """Add ``elapsed`` seconds to ``phase``."""
         self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
+        if self.metrics is not None:
+            self.metrics.histogram("stage:" + phase).record(elapsed)
 
     @contextmanager
     def measure(self, phase: str):

@@ -16,9 +16,10 @@ import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
-from repro.config import ENGINES, RuntimeConfig, coerce_config
+from repro.config import ENGINES, RuntimeConfig, coerce_config, metrics_enabled
 from repro.core.costs import CostBreakdown
 from repro.core.materialize import ViewCache
+from repro.metrics import MetricsRegistry
 from repro.core.processor import MMQJPJoinProcessor, SequentialJoinProcessor
 from repro.core.results import Match, build_output_document
 from repro.core.state import JoinState
@@ -102,6 +103,12 @@ class _BaseEngine:
         self._root_vars: dict[str, tuple[Optional[str], Optional[str]]] = {}
         self._max_finite_window = 0.0
         self._has_infinite_window = False
+        # Window refcounts backing the horizon: finite windows by value plus
+        # an infinite-window count, so retraction adjusts the horizon in
+        # O(1) (O(#distinct windows) when the largest loses its last user)
+        # instead of rescanning every registered query.
+        self._finite_window_counts: dict[float, int] = {}
+        self._infinite_windows = 0
         # Stage 1 bookkeeping for retraction: per processor-registration key
         # (qid or its ::swap twin), the variables and edges it registered,
         # refcounted engine-wide.  Canonicalization shares variables across
@@ -110,6 +117,12 @@ class _BaseEngine:
         self._stage1 = Stage1Registrations()
         self.num_documents_processed = 0
         self.num_matches = 0
+        # Observability (RuntimeConfig.metrics / REPRO_METRICS): engine-side
+        # per-stage latency histograms.  None — the default — keeps the hot
+        # path at a single attribute check per document.  The processor's
+        # CostBreakdown mirrors its measured phases in (the subclasses
+        # attach it once the processor exists).
+        self.metrics = MetricsRegistry() if metrics_enabled(config) else None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -139,11 +152,7 @@ class _BaseEngine:
             canonical.right.root_variable if canonical.right else None,
         )
 
-        window = canonical.join.window
-        if window == INFINITE_WINDOW:
-            self._has_infinite_window = True
-        else:
-            self._max_finite_window = max(self._max_finite_window, window)
+        self._track_window(canonical.join.window)
 
         self._register_with_processor(qid, canonical)
         if canonical.join.operator is JoinOperator.JOIN:
@@ -218,7 +227,7 @@ class _BaseEngine:
         if dead_vars or dead_edges:
             self.evaluator.deregister(variables=dead_vars, edges=dead_edges)
 
-        self._recompute_window_horizon()
+        self._release_window(canonical.join.window)
         if not self._registered:
             self._processor().clear_state()
             self.documents.clear()
@@ -234,16 +243,31 @@ class _BaseEngine:
     def _deregister_with_processor(self, qid: str) -> None:
         raise NotImplementedError
 
-    def _recompute_window_horizon(self) -> None:
-        """Re-derive the auto-prune horizon from the surviving queries."""
-        self._max_finite_window = 0.0
-        self._has_infinite_window = False
-        for query in self._registered.values():
-            window = query.join.window
-            if window == INFINITE_WINDOW:
-                self._has_infinite_window = True
-            else:
-                self._max_finite_window = max(self._max_finite_window, window)
+    def _track_window(self, window: float) -> None:
+        """Fold one registered query's window into the auto-prune horizon."""
+        if window == INFINITE_WINDOW:
+            self._infinite_windows += 1
+            self._has_infinite_window = True
+        else:
+            self._finite_window_counts[window] = (
+                self._finite_window_counts.get(window, 0) + 1
+            )
+            if window > self._max_finite_window:
+                self._max_finite_window = window
+
+    def _release_window(self, window: float) -> None:
+        """Withdraw one query's window from the auto-prune horizon (O(1) amortized)."""
+        if window == INFINITE_WINDOW:
+            self._infinite_windows -= 1
+            self._has_infinite_window = self._infinite_windows > 0
+            return
+        left = self._finite_window_counts[window] - 1
+        if left:
+            self._finite_window_counts[window] = left
+        else:
+            del self._finite_window_counts[window]
+            if window == self._max_finite_window:
+                self._max_finite_window = max(self._finite_window_counts, default=0.0)
 
     # ------------------------------------------------------------------ #
     # document processing
@@ -267,8 +291,14 @@ class _BaseEngine:
         """Run both stages on an already-prepared document."""
         if self.store is not None:
             return self._process_prepared_durable(document)
-        witnesses = self.evaluator.evaluate(document)
-        relations = WitnessRelations.from_witnesses(witnesses)
+        metrics = self.metrics
+        if metrics is None:
+            witnesses = self.evaluator.evaluate(document)
+            relations = WitnessRelations.from_witnesses(witnesses)
+        else:
+            with metrics.timer("stage:stage1"):
+                witnesses = self.evaluator.evaluate(document)
+                relations = WitnessRelations.from_witnesses(witnesses)
         raw_matches = self._processor().process(relations)
         self._processor().maintain_state(relations)
         self._after_state_maintenance(document)
@@ -293,8 +323,14 @@ class _BaseEngine:
         resolves by rebuilding from the store alone.
         """
         store = self.store
-        witnesses = self.evaluator.evaluate(document)
-        relations = WitnessRelations.from_witnesses(witnesses)
+        metrics = self.metrics
+        if metrics is None:
+            witnesses = self.evaluator.evaluate(document)
+            relations = WitnessRelations.from_witnesses(witnesses)
+        else:
+            with metrics.timer("stage:stage1"):
+                witnesses = self.evaluator.evaluate(document)
+                relations = WitnessRelations.from_witnesses(witnesses)
         raw_matches = self._processor().process(relations)
         docid = document.docid
         store.begin_epoch(docid)
@@ -328,7 +364,11 @@ class _BaseEngine:
                     "clock": self._clock_value,
                 },
             )
-            store.commit_epoch()
+            if metrics is None:
+                store.commit_epoch()
+            else:
+                with metrics.timer("stage:storage_commit"):
+                    store.commit_epoch()
         except BaseException:
             store.abort_epoch()
             raise
@@ -576,6 +616,15 @@ class _BaseEngine:
         """The processor's delta-reduction counters (all zero when off)."""
         return dict(self._processor().delta_stats)
 
+    def metrics_snapshot(self) -> Optional[dict]:
+        """Snapshot of this engine's metrics registry (``None`` when disabled).
+
+        The brokers merge these with their own registries (and, in the
+        process runtime, with snapshots fetched from the workers) into
+        ``broker.stats()["metrics"]``.
+        """
+        return self.metrics.snapshot() if self.metrics is not None else None
+
     def stats(self) -> EngineStats:
         """Summary statistics for dashboards, examples and tests."""
         return EngineStats(
@@ -649,6 +698,8 @@ class MMQJPEngine(_BaseEngine):
             view_cache=view_cache,
             config=config,
         )
+        if self.metrics is not None:
+            self.processor.costs.attach_metrics(self.metrics)
 
     def _processor(self) -> MMQJPJoinProcessor:
         return self.processor
@@ -680,6 +731,8 @@ class SequentialEngine(_BaseEngine):
             state=JoinState(indexing=config.indexing),
             config=config,
         )
+        if self.metrics is not None:
+            self.processor.costs.attach_metrics(self.metrics)
 
     def _processor(self) -> SequentialJoinProcessor:
         return self.processor

@@ -473,7 +473,7 @@ class MMQJPJoinProcessor(_DeltaBatchMixin):
         self.registry.remove_query(qid)
         if self.relevance is not None:
             self.relevance.remove(qid)
-        if not self.registry.queries_of(template):
+        if not self.registry.has_queries(template):
             self._match_positions.pop(template.template_id, None)
             if self.plan_cache is not None:
                 self.plan_cache.invalidate(self.registry.cqt(template))

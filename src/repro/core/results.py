@@ -35,6 +35,13 @@ class Match:
         query's template.
     window:
         The query's window length.
+    publish_stamp:
+        Observability metadata (``RuntimeConfig(metrics=True)`` only): the
+        ``time.perf_counter()`` reading taken when the triggering document
+        entered the broker, carried through the processing pipeline — and
+        across the process-runtime wire format — so delivery lag can be
+        measured at the sink.  Excluded from equality, hashing and
+        :meth:`key`, so match sets are identical with metrics on or off.
     """
 
     qid: str
@@ -45,6 +52,9 @@ class Match:
     lhs_bindings: dict[str, int] = field(default_factory=dict, hash=False, compare=False)
     rhs_bindings: dict[str, int] = field(default_factory=dict, hash=False, compare=False)
     window: float = float("inf")
+    publish_stamp: Optional[float] = field(
+        default=None, hash=False, compare=False, repr=False
+    )
 
     def key(self) -> tuple:
         """A hashable identity used for de-duplicating matches."""

@@ -21,10 +21,12 @@ directly still works (and still reroutes on ``shards=N``, with a
 from __future__ import annotations
 
 import warnings
+from time import perf_counter
 from typing import Iterable, Optional, Union
 
-from repro.config import RuntimeConfig, coerce_config
+from repro.config import RuntimeConfig, coerce_config, metrics_enabled
 from repro.core.engine import ENGINES, make_engine
+from repro.metrics import MetricsRegistry, merge_snapshots
 from repro.pubsub.filters import FilterFrontEnd, deliver_filter_matches
 from repro.pubsub.stream import StreamRegistry
 from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
@@ -136,6 +138,10 @@ class Broker:
         self._sub_counter = 1
         self._reg_seq = 0
         self._closed = False
+        # Observability (RuntimeConfig.metrics / REPRO_METRICS): the broker
+        # registry holds publish latency and delivery lag; the engine keeps
+        # its own per-stage registry and both merge in stats()["metrics"].
+        self.metrics = MetricsRegistry() if metrics_enabled(config) else None
         if self._store is not None:
             self._store.set_meta("config", config_snapshot(config))
 
@@ -288,6 +294,8 @@ class Broker:
         """Parse one incoming document and record it on its stream."""
         if isinstance(document, str):
             document = parse_document(document)
+        if self.metrics is not None:
+            document.publish_stamp = perf_counter()
         if stream is not None:
             document.stream = stream
         if timestamp is not None:
@@ -300,6 +308,7 @@ class Broker:
         matches,
         deliveries: list[SubscriptionResult],
         subscription_of: dict,
+        publish_stamp: Optional[float] = None,
     ) -> None:
         """Deliver one document's join matches to their subscriptions.
 
@@ -307,7 +316,11 @@ class Broker:
         across a batch, so repeated matches of the same query resolve
         without re-consulting the registry.  Activity is still checked per
         match — a delivery callback may pause or cancel mid-batch.
+        ``publish_stamp`` (metrics mode) is the triggering document's
+        publish timestamp; delivery lag is recorded against it after each
+        sink delivery.
         """
+        metrics = self.metrics
         for match in matches:
             qid = match.qid
             subscription = subscription_of.get(qid)
@@ -328,6 +341,18 @@ class Broker:
             )
             subscription.deliver(result)
             deliveries.append(result)
+            if metrics is not None:
+                stamp = match.publish_stamp or publish_stamp
+                if stamp is not None:
+                    metrics.record_delivery_lag(qid, perf_counter() - stamp)
+
+    def _record_filter_lag(self, results: list[SubscriptionResult], stamp) -> None:
+        """Record delivery lag for one document's filter-path deliveries."""
+        if stamp is None or not results:
+            return
+        now = perf_counter()
+        for result in results:
+            self.metrics.record_delivery_lag(result.subscription_id, now - stamp)
 
     def publish(
         self,
@@ -342,9 +367,19 @@ class Broker:
         """
         document = self._prepare(document, timestamp, stream)
         deliveries: list[SubscriptionResult] = []
-        deliveries.extend(self._filters.deliver(document))
+        filter_results = self._filters.deliver(document)
+        deliveries.extend(filter_results)
         matches = self.engine.process_document(document)
-        self._deliver_matches(matches, deliveries, {})
+        metrics = self.metrics
+        if metrics is None:
+            self._deliver_matches(matches, deliveries, {})
+        else:
+            stamp = document.publish_stamp
+            self._record_filter_lag(filter_results, stamp)
+            self._deliver_matches(matches, deliveries, {}, stamp)
+            metrics.histogram("publish_latency").record(perf_counter() - stamp)
+            metrics.counter("documents_published").inc()
+            metrics.counter("results_delivered").inc(len(deliveries))
         return deliveries
 
     def publish_stream(
@@ -390,9 +425,23 @@ class Broker:
         per_document = self.engine.process_batch(batch)
         deliveries: list[SubscriptionResult] = []
         subscription_of: dict = {}
+        metrics = self.metrics
         for document, matches in zip(batch, per_document):
-            deliveries.extend(self._filters.deliver(document))
-            self._deliver_matches(matches, deliveries, subscription_of)
+            filter_results = self._filters.deliver(document)
+            deliveries.extend(filter_results)
+            if metrics is None:
+                self._deliver_matches(matches, deliveries, subscription_of)
+            else:
+                self._record_filter_lag(filter_results, document.publish_stamp)
+                self._deliver_matches(
+                    matches, deliveries, subscription_of, document.publish_stamp
+                )
+        if metrics is not None:
+            metrics.histogram("publish_batch_latency").record(
+                perf_counter() - batch[0].publish_stamp
+            )
+            metrics.counter("documents_published").inc(len(batch))
+            metrics.counter("results_delivered").inc(len(deliveries))
         return deliveries
 
     # ------------------------------------------------------------------ #
@@ -417,21 +466,51 @@ class Broker:
             ),
             "num_documents_published": sum(stream_counts.values()),
             "engine_stats": self.engine.stats().__dict__,
+            "metrics": self.metrics_snapshot(),
         }
+
+    def metrics_snapshot(self) -> Optional[dict]:
+        """Merged metrics snapshot (broker + engine), or ``None`` when disabled.
+
+        Broker-side series: ``publish_latency`` / ``publish_batch_latency``
+        histograms (publish-call wall time), the ``delivery_lag`` histogram
+        plus per-subscription lag tracking, and the ``documents_published``
+        / ``results_delivered`` counters.  Engine-side series: ``stage:*``
+        histograms (one per measured pipeline stage).
+        """
+        if self.metrics is None:
+            return None
+        return merge_snapshots(
+            [self.metrics.snapshot(), self.engine.metrics_snapshot()]
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """End the session (idempotent): close sinks, flush and close the stores."""
+        """End the session (idempotent): close sinks, flush and close the stores.
+
+        Every subscription's sinks are flushed and closed — a
+        :class:`~repro.pubsub.sinks.BatchingSink` holding a partial batch
+        delivers it here.  One sink raising does not prevent the remaining
+        subscriptions, the engine or the stores from closing; the first
+        error is re-raised once cleanup completes.
+        """
         if self._closed:
             return
         self._closed = True
+        first_error: Optional[BaseException] = None
         for subscription in self._subscriptions.values():
-            subscription.close_sinks()
+            try:
+                subscription.close_sinks()
+            except BaseException as exc:  # noqa: BLE001 - must keep closing
+                if first_error is None:
+                    first_error = exc
         self.engine.close()
         if self._store is not None:
             self._store.close()
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "Broker":
         return self

@@ -91,6 +91,7 @@ class Subscription:
             self.sinks.append(CallbackSink(callback))
         if sink is not None:
             self.sinks.append(sink)
+        self._sinks_closed = False
         # Bound by the owning broker; performs the engine-side retraction.
         self._retract: Optional[Callable[[str], bool]] = None
 
@@ -181,9 +182,27 @@ class Subscription:
             sink.flush()
 
     def close_sinks(self) -> None:
-        """Flush and close every attached sink."""
+        """Flush and close every attached sink.
+
+        Every sink gets its ``close()`` call even if an earlier one raises
+        (a :class:`~repro.pubsub.sinks.BatchingSink` later in the list must
+        still flush its pending batch); the first error is re-raised after
+        the loop.  Idempotent: once every sink has had its ``close()``
+        attempt, later calls (cancel followed by broker close) are no-ops —
+        a sink that raised is not retried.
+        """
+        if self._sinks_closed:
+            return
+        self._sinks_closed = True
+        first_error: Optional[BaseException] = None
         for sink in self.sinks:
-            sink.close()
+            try:
+                sink.close()
+            except BaseException as exc:  # noqa: BLE001 - close all sinks
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("active" if self.active else "paused")

@@ -202,6 +202,58 @@ class Relation:
                     index.version = self._version
         return len(gone)
 
+    def delete_row(self, row: Sequence) -> bool:
+        """Delete one row by exact value; returns whether a row was removed.
+
+        The point-deletion fast path for callers that can reconstruct the
+        tuple they inserted (e.g. the template registry retracting one
+        query's ``RT`` tuple): ``list.remove`` runs the equality scan in C
+        and stops at the first hit, where :meth:`delete_rows` evaluates a
+        Python predicate on every row.  Only the first occurrence of a
+        duplicated row is removed.  Bookkeeping matches :meth:`delete_rows`.
+        """
+        t = tuple(row)
+        try:
+            self.rows.remove(t)
+        except ValueError:
+            return False
+        self._ndv_cache.clear()
+        previous = self._version
+        self._version += 1
+        self._deletes += 1
+        if self._indexes and self.index_maintenance == "eager":
+            for index in self._indexes.values():
+                if index.version == previous:
+                    index.remove_rows([t])
+                    index.version = self._version
+        return True
+
+    def swap_delete_at(self, position: int) -> tuple:
+        """Delete the row at ``position`` by swapping the last row into it.
+
+        O(1) point deletion for callers that track row positions (the
+        template registry keeps a qid → position map over each ``RT``).
+        Returns the removed row; afterwards the previously-last row — if
+        any remains — occupies ``position``, so the caller must update its
+        position map for that row.  Row *order* is not preserved.
+        Bookkeeping matches :meth:`delete_rows`.
+        """
+        rows = self.rows
+        t = rows[position]
+        last = rows.pop()
+        if position < len(rows):
+            rows[position] = last
+        self._ndv_cache.clear()
+        previous = self._version
+        self._version += 1
+        self._deletes += 1
+        if self._indexes and self.index_maintenance == "eager":
+            for index in self._indexes.values():
+                if index.version == previous:
+                    index.remove_row(t)
+                    index.version = self._version
+        return t
+
     def _row_added(self, t: tuple) -> None:
         previous = self._version
         self._version += 1
@@ -548,6 +600,50 @@ class PartitionedRelation(Relation):
                     index.remove_rows(gone)
                     index.version = self._version
         return removed
+
+    def swap_delete_at(self, position: int) -> tuple:
+        """Unsupported: flat-view positions are unstable under partitioning."""
+        raise TypeError(
+            "PartitionedRelation does not support positional deletion; "
+            "use delete_row or drop_partitions"
+        )
+
+    def delete_row(self, row: Sequence) -> bool:
+        """Delete one row by exact value (partition-local scan).
+
+        Mirrors :meth:`Relation.delete_row`: only the row's own partition is
+        scanned (``list.remove`` in C), bookkeeping matches
+        :meth:`delete_rows`.
+        """
+        t = tuple(row)
+        key = t[self._pcol]
+        part = self._partitions.get(key)
+        if part is None:
+            return False
+        try:
+            part.remove(t)
+        except ValueError:
+            return False
+        if not part:
+            del self._partitions[key]
+        self._size -= 1
+        self._flat_dirty = True
+        previous = self._version
+        self._version += 1
+        self._deletes += 1
+        for col, counter in self._ndv_counters.items():
+            v = t[col]
+            left = counter[v] - 1
+            if left:
+                counter[v] = left
+            else:
+                del counter[v]
+        if self._indexes and self.index_maintenance == "eager":
+            for index in self._indexes.values():
+                if index.version == previous:
+                    index.remove_rows([t])
+                    index.version = self._version
+        return True
 
     def drop_partitions(self, keys: Iterable[object]) -> int:
         """Drop every row of the given partitions; returns rows removed.

@@ -105,7 +105,10 @@ def _intern(value, table: list, index: dict) -> int:
     return slot
 
 
-def encode_match_batch(match_lists: Sequence[Sequence[Match]]) -> tuple:
+def encode_match_batch(
+    match_lists: Sequence[Sequence[Match]],
+    publish_stamps: Optional[Sequence[Optional[float]]] = None,
+) -> tuple:
     """Columnar wire form of one batch response (one inner list per document).
 
     Instead of pickling each match as a self-contained tuple of values
@@ -115,6 +118,12 @@ def encode_match_batch(match_lists: Sequence[Sequence[Match]]) -> tuple:
     ids (timestamps stay raw floats).  Because the same qids, docids,
     and binding keys recur across the matches of a batch, the pickled
     payload shrinks and the parent re-materializes shared strings once.
+
+    ``publish_stamps`` (metrics mode) carries one broker-side publish
+    timestamp per document; :func:`decode_match_batch` re-attaches each
+    document's stamp to its re-materialized matches, so delivery lag
+    measured at the parent's sinks includes the full worker round-trip.
+    A batch processed with metrics off ships ``None`` — zero extra bytes.
     """
     table: list = []
     index: dict = {}
@@ -145,15 +154,18 @@ def encode_match_batch(match_lists: Sequence[Sequence[Match]]) -> tuple:
                     _intern(m.window, table, index),
                 )
             )
-    return (table, tuple(counts), rows)
+    if publish_stamps is not None:
+        publish_stamps = tuple(publish_stamps)
+    return (table, tuple(counts), rows, publish_stamps)
 
 
 def decode_match_batch(payload: tuple) -> list[list[Match]]:
     """Re-materialize one batch response from its columnar wire form."""
-    table, counts, rows = payload
+    table, counts, rows, publish_stamps = payload
     out: list[list[Match]] = []
     cursor = 0
-    for count in counts:
+    for doc_index, count in enumerate(counts):
+        stamp = publish_stamps[doc_index] if publish_stamps is not None else None
         matches = []
         for wire in rows[cursor : cursor + count]:
             lhs_ids = wire[5]
@@ -174,6 +186,7 @@ def decode_match_batch(payload: tuple) -> list[list[Match]]:
                         for i in range(0, len(rhs_ids), 2)
                     },
                     window=table[wire[7]],
+                    publish_stamp=stamp,
                 )
             )
         cursor += count
@@ -184,14 +197,24 @@ def decode_match_batch(payload: tuple) -> list[list[Match]]:
 # --------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------- #
+def _stamps_of(documents) -> Optional[list[Optional[float]]]:
+    """The batch's publish stamps, or ``None`` when the broker set none."""
+    stamps = [document.publish_stamp for document in documents]
+    return stamps if any(s is not None for s in stamps) else None
+
+
 def _dispatch(engine, method: str, args: tuple):
     """Apply one command to one in-worker engine."""
     if method == "process_batch":
         (documents,) = args
-        return encode_match_batch(engine.process_batch(documents))
+        return encode_match_batch(
+            engine.process_batch(documents), _stamps_of(documents)
+        )
     if method == "process_one":
         (document,) = args
-        return encode_match_batch([engine.process_document(document)])
+        return encode_match_batch(
+            [engine.process_document(document)], _stamps_of([document])
+        )
     if method == "register":
         qid, query = args
         engine.register_query(query, qid=qid)
@@ -205,6 +228,8 @@ def _dispatch(engine, method: str, args: tuple):
         return engine.prune(min_timestamp)
     if method == "stats":
         return engine.stats()
+    if method == "metrics":
+        return engine.metrics_snapshot()
     if method == "output_document":
         (wire,) = args
         return engine.output_document(decode_match(wire))
@@ -398,6 +423,10 @@ class ProcessShardHandle:
 
     def stats(self):
         return self.channel.call(self.shard_id, "stats")
+
+    def metrics_snapshot(self):
+        """The worker engine's metrics snapshot (``None`` when disabled)."""
+        return self.channel.call(self.shard_id, "metrics")
 
     def output_document(self, match: Match):
         return self.channel.call(self.shard_id, "output_document", encode_match(match))

@@ -91,6 +91,10 @@ class EngineShard:
         """This shard's engine statistics."""
         return self.engine.stats()
 
+    def metrics_snapshot(self):
+        """This shard's engine metrics snapshot (``None`` when disabled)."""
+        return self.engine.metrics_snapshot()
+
     def close(self) -> None:
         """Close this shard's engine (flushes an attached state store)."""
         self.engine.close()

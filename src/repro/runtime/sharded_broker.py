@@ -44,11 +44,13 @@ historical per-knob keyword arguments still work but warn.
 from __future__ import annotations
 
 import pickle
+from time import perf_counter
 from typing import Iterable, Optional, Sequence, Union
 
-from repro.config import RuntimeConfig, coerce_config
+from repro.config import RuntimeConfig, coerce_config, metrics_enabled
 from repro.core.engine import EngineStats, make_engine, merge_engine_stats
 from repro.core.results import Match
+from repro.metrics import MetricsRegistry, merge_snapshots
 from repro.pubsub.filters import FilterFrontEnd
 from repro.pubsub.stream import StreamRegistry
 from repro.pubsub.subscription import Callback, Subscription, SubscriptionResult
@@ -145,6 +147,11 @@ class ShardedBroker:
         self._clock_value = 0
         self._num_published = 0
         self._closed = False
+        # Observability (RuntimeConfig.metrics / REPRO_METRICS): the broker
+        # registry holds publish latency and delivery lag; each shard engine
+        # keeps its own per-stage registry (in its worker process, for the
+        # "processes" runtime) and all of them merge in stats()["metrics"].
+        self.metrics = MetricsRegistry() if metrics_enabled(config) else None
         if self._store is not None:
             self._store.set_meta("config", config_snapshot(config))
 
@@ -383,9 +390,17 @@ class ShardedBroker:
         per_shard = self._executor.invoke(
             [(shard, "process_one", (document,)) for shard in targets]
         )
-        deliveries: list[SubscriptionResult] = list(self._filters.deliver(document))
+        filter_results = list(self._filters.deliver(document))
+        deliveries: list[SubscriptionResult] = list(filter_results)
+        metrics = self.metrics
+        stamp = document.publish_stamp if metrics is not None else None
+        self._record_filter_lag(filter_results, stamp)
         for matches in per_shard:
-            deliveries.extend(self._deliver_matches(matches))
+            deliveries.extend(self._deliver_matches(matches, stamp))
+        if metrics is not None:
+            metrics.histogram("publish_latency").record(perf_counter() - stamp)
+            metrics.counter("documents_published").inc()
+            metrics.counter("results_delivered").inc(len(deliveries))
         return deliveries
 
     def publish_many(
@@ -447,9 +462,24 @@ class ShardedBroker:
         # order as the unsharded broker: filters for document i, then its
         # join matches, then document i+1.
         deliveries: list[SubscriptionResult] = []
+        metrics = self.metrics
         for index, document in enumerate(batch):
-            deliveries.extend(self._filters.deliver(document))
-            deliveries.extend(self._deliver_matches(matches_by_doc[index]))
+            filter_results = self._filters.deliver(document)
+            deliveries.extend(filter_results)
+            if metrics is None:
+                deliveries.extend(self._deliver_matches(matches_by_doc[index]))
+            else:
+                stamp = document.publish_stamp
+                self._record_filter_lag(filter_results, stamp)
+                deliveries.extend(
+                    self._deliver_matches(matches_by_doc[index], stamp)
+                )
+        if metrics is not None:
+            metrics.histogram("publish_batch_latency").record(
+                perf_counter() - batch[0].publish_stamp
+            )
+            metrics.counter("documents_published").inc(len(batch))
+            metrics.counter("results_delivered").inc(len(deliveries))
         return deliveries
 
     def publish_stream(
@@ -466,6 +496,8 @@ class ShardedBroker:
     ) -> XmlDocument:
         if isinstance(document, str):
             document = parse_document(document)
+        if self.metrics is not None:
+            document.publish_stamp = perf_counter()
         if stream is not None:
             document.stream = stream
         if timestamp is not None:
@@ -488,7 +520,10 @@ class ShardedBroker:
             self._store.set_meta("clock", self._clock_value)
             self._store.set_meta("num_published", self._num_published)
 
-    def _deliver_matches(self, matches: Sequence[Match]) -> list[SubscriptionResult]:
+    def _deliver_matches(
+        self, matches: Sequence[Match], publish_stamp: Optional[float] = None
+    ) -> list[SubscriptionResult]:
+        metrics = self.metrics
         deliveries: list[SubscriptionResult] = []
         for match in matches:
             subscription = self._subscriptions.get(match.qid)
@@ -500,7 +535,22 @@ class ShardedBroker:
             )
             subscription.deliver(result)
             deliveries.append(result)
+            if metrics is not None:
+                # Matches decoded from a worker process carry the stamp the
+                # parent put on the outbound document; locally-processed
+                # matches fall back to the per-call stamp.
+                stamp = match.publish_stamp or publish_stamp
+                if stamp is not None:
+                    metrics.record_delivery_lag(match.qid, perf_counter() - stamp)
         return deliveries
+
+    def _record_filter_lag(self, results, stamp) -> None:
+        """Record delivery lag for one document's filter-path deliveries."""
+        if stamp is None or not results:
+            return
+        now = perf_counter()
+        for result in results:
+            self.metrics.record_delivery_lag(result.subscription_id, now - stamp)
 
     def output_document(self, match: Match) -> XmlDocument:
         """Construct the output XML document of a match (on its owning shard)."""
@@ -547,18 +597,44 @@ class ShardedBroker:
                 for shard in self.shards
             ],
             "partition": self._partitioner.stats(),
+            "metrics": self.metrics_snapshot(),
         }
+
+    def metrics_snapshot(self) -> Optional[dict]:
+        """Merged metrics snapshot (broker + every shard), or ``None`` when off.
+
+        In the ``"processes"`` runtime each shard's snapshot is fetched from
+        its worker over the control pipe; all snapshots merge into one view
+        with the broker's own publish-latency and delivery-lag series.
+        """
+        if self.metrics is None:
+            return None
+        snapshots = [self.metrics.snapshot()]
+        snapshots.extend(shard.metrics_snapshot() for shard in self.shards)
+        return merge_snapshots(snapshots)
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """End the session (idempotent): sinks, shards, workers, registry, executor."""
+        """End the session (idempotent): sinks, shards, workers, registry, executor.
+
+        Every subscription's sinks are flushed and closed (a
+        :class:`~repro.pubsub.sinks.BatchingSink` holding a partial batch
+        delivers it here); one sink raising does not prevent the remaining
+        subscriptions, shards, workers or stores from closing — the first
+        error is re-raised once cleanup completes.
+        """
         if self._closed:
             return
         self._closed = True
+        first_error: Optional[BaseException] = None
         for subscription in self._subscriptions.values():
-            subscription.close_sinks()
+            try:
+                subscription.close_sinks()
+            except BaseException as exc:  # noqa: BLE001 - must keep closing
+                if first_error is None:
+                    first_error = exc
         for shard in self.shards:
             shard.close()
         for group in self._worker_groups:
@@ -566,6 +642,8 @@ class ShardedBroker:
         if self._store is not None:
             self._store.close()
         self._executor.close()
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "ShardedBroker":
         return self

@@ -32,6 +32,30 @@ def _full_graph_as_reduced(join_graph: JoinGraph) -> ReducedJoinGraph:
     return reduced
 
 
+def _graph_key(reduced: ReducedJoinGraph) -> tuple:
+    """Hashable identity of a reduced graph (exact nodes and edge sets).
+
+    Two reduced graphs with the same key are the same graph (edge *lists*
+    are normalized by sorting — they are semantically sets), so a template
+    assignment computed for one is valid for the other verbatim.
+    """
+    return (
+        tuple(sorted((side.value, name) for side, name in reduced.nodes)),
+        tuple(
+            sorted(
+                ((ps.value, pn), (cs.value, cn))
+                for (ps, pn), (cs, cn) in reduced.structural_edges
+            )
+        ),
+        tuple(
+            sorted(
+                ((ls.value, ln), (rs.value, rn))
+                for (ls, ln), (rs, rn) in reduced.value_edges
+            )
+        ),
+    )
+
+
 @dataclass
 class RegisteredQuery:
     """Bookkeeping for one registered query.
@@ -60,7 +84,13 @@ class _TemplateEntry:
     rt: Relation
     cqt: ConjunctiveQuery
     cqt_materialized: ConjunctiveQuery
-    query_ids: list[str] = field(default_factory=list)
+    # Insertion-ordered membership set: O(1) add and remove where a list
+    # would make every retraction a linear scan of the template's members.
+    query_ids: dict[str, None] = field(default_factory=dict)
+    # qid -> row position in ``rt``, maintained under swap-deletion, so a
+    # retraction removes the query's RT tuple in O(1) instead of scanning
+    # the (potentially hundred-thousand-row) relation for it.
+    rt_pos: dict[str, int] = field(default_factory=dict)
 
 
 class TemplateRegistry:
@@ -82,6 +112,12 @@ class TemplateRegistry:
         self._queries: dict[str, RegisteredQuery] = {}
         self._ordered: list[RegisteredQuery] = []
         self._seq = itertools.count()
+        # Exact reduced-graph -> assignment memo: re-registering a shape the
+        # registry has seen (common under churn, where the same queries
+        # cancel and resubscribe) skips the isomorphism test entirely.
+        # Entries are never invalidated — templates are retired in place,
+        # not deleted, so a cached assignment stays correct forever.
+        self._assignment_memo: dict[tuple, TemplateAssignment] = {}
 
     # ------------------------------------------------------------------ #
     # registration
@@ -99,8 +135,9 @@ class TemplateRegistry:
         assignment = self._match_or_create(reduced)
         entry = self._entry_of(assignment.template)
         window = query.join.window
+        entry.rt_pos[qid] = len(entry.rt.rows)
         entry.rt.insert(assignment.rt_values(qid, window))
-        entry.query_ids.append(qid)
+        entry.query_ids[qid] = None
 
         record = RegisteredQuery(
             qid=qid,
@@ -125,10 +162,19 @@ class TemplateRegistry:
         Raises :class:`KeyError` for unknown query ids.
         """
         record = self._queries.pop(qid)
-        self._ordered.remove(record)
+        # _ordered is sorted by seq, so the record's position is a binary
+        # search away; list.remove would compare whole dataclasses linearly.
+        index = bisect.bisect_left(self._ordered, record.seq, key=lambda r: r.seq)
+        del self._ordered[index]
         entry = self._entries[record.template.template_id]
-        entry.query_ids.remove(qid)
-        entry.rt.delete_rows(lambda row: row[0] == qid)
+        del entry.query_ids[qid]
+        # O(1) RT removal: swap-delete at the tracked position, then repoint
+        # the position map at whichever row was swapped into the hole.
+        position = entry.rt_pos.pop(qid)
+        entry.rt.swap_delete_at(position)
+        if position < len(entry.rt.rows):
+            moved_qid = entry.rt.rows[position][0]
+            entry.rt_pos[moved_qid] = position
         return record
 
     def __contains__(self, qid: str) -> bool:
@@ -137,10 +183,16 @@ class TemplateRegistry:
     def _match_or_create(self, reduced: ReducedJoinGraph) -> TemplateAssignment:
         from repro.templates.template import _reduced_to_nx, _signature
 
+        key = _graph_key(reduced)
+        cached = self._assignment_memo.get(key)
+        if cached is not None:
+            return cached
+
         signature = _signature(_reduced_to_nx(reduced))
         for entry in self._by_signature.get(signature, ()):
             assignment = entry.template.match(reduced)
             if assignment is not None:
+                self._assignment_memo[key] = assignment
                 return assignment
 
         template, assignment = QueryTemplate.from_reduced(len(self._entries), reduced)
@@ -152,6 +204,7 @@ class TemplateRegistry:
         )
         self._entries.append(entry)
         self._by_signature.setdefault(template.signature, []).append(entry)
+        self._assignment_memo[key] = assignment
         return assignment
 
     def _entry_of(self, template: QueryTemplate) -> _TemplateEntry:
@@ -221,6 +274,10 @@ class TemplateRegistry:
     def queries_of(self, template: QueryTemplate) -> list[str]:
         """Query ids belonging to ``template``."""
         return list(self._entry_of(template).query_ids)
+
+    def has_queries(self, template: QueryTemplate) -> bool:
+        """Whether ``template`` has any member query (O(1); no list copy)."""
+        return bool(self._entry_of(template).query_ids)
 
     def template_sizes(self) -> dict[int, int]:
         """Mapping template id -> number of member queries."""

@@ -9,6 +9,9 @@
   Figure 17.
 * :mod:`~repro.workloads.rss` — a simulated RSS/Atom feed stream standing in
   for the proprietary crawl used in Section 6.3.
+* :mod:`~repro.workloads.dblp` — a DBLP-style bibliography stream (venues as
+  streams, Zipf entity reuse) driving the million-user stress harness
+  (:mod:`repro.stress`).
 """
 
 from repro.workloads.zipf import ZipfSampler
@@ -30,6 +33,11 @@ from repro.workloads.querygen import (
     generate_topic_queries,
 )
 from repro.workloads.rss import RssStreamConfig, generate_rss_stream, generate_rss_queries
+from repro.workloads.dblp import (
+    DblpWorkloadConfig,
+    generate_dblp_stream,
+    generate_dblp_subscriptions,
+)
 
 __all__ = [
     "ZipfSampler",
@@ -49,4 +57,7 @@ __all__ = [
     "RssStreamConfig",
     "generate_rss_stream",
     "generate_rss_queries",
+    "DblpWorkloadConfig",
+    "generate_dblp_stream",
+    "generate_dblp_subscriptions",
 ]

@@ -37,6 +37,10 @@ REPRO_ALL = {
     "MemoryStore",
     "SQLiteStore",
     "RecoveryError",
+    # observability and stress
+    "MetricsRegistry",
+    "StressConfig",
+    "run_stress",
     # engines and matches
     "MMQJPEngine",
     "SequentialEngine",

@@ -77,9 +77,10 @@ def test_shared_values_are_interned_once():
         _match(0, rhs_docid=f"r{i}", lhs_bindings={"a": 7}, rhs_bindings={})
         for i in range(20)
     ]
-    table, counts, rows = encode_match_batch([matches])
+    table, counts, rows, stamps = encode_match_batch([matches])
     assert counts == (20,)
     assert len(rows) == 20
+    assert stamps is None  # no publish stamps -> no per-document column
     assert table.count("q0") == 1
     assert table.count("d0") == 1
     assert table.count(7) == 1
@@ -104,6 +105,19 @@ def test_unhashable_values_survive_without_dedup():
     m = _match(0, lhs_bindings={"nodes": [1, 2, 3]})
     (got,) = decode_match_batch(encode_match_batch([[m]]))[0]
     assert got.lhs_bindings["nodes"] == [1, 2, 3]
+
+
+def test_publish_stamps_ride_the_wire():
+    # Metrics mode: per-document publish stamps cross the pipe alongside the
+    # match rows and reattach to every decoded match of that document.
+    batches = [[_match(0), _match(1)], [], [_match(2)]]
+    decoded = decode_match_batch(
+        encode_match_batch(batches, publish_stamps=[10.0, 11.0, 12.0])
+    )
+    assert [m.publish_stamp for m in decoded[0]] == [10.0, 10.0]
+    assert [m.publish_stamp for m in decoded[2]] == [12.0]
+    # Stamps are excluded from match identity/equality.
+    assert decoded[0][0].key() == _match(0).key()
 
 
 def test_single_match_codec_still_round_trips():

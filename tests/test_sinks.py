@@ -159,3 +159,78 @@ def test_broker_close_flushes_batching_sinks():
     assert len(batches) == 1
     broker.close()  # idempotent
     assert len(batches) == 1
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_close_flushes_batching_sinks_on_both_brokers(shards):
+    batches: list = []
+    broker = open_broker(RuntimeConfig(construct_outputs=False, shards=shards))
+    broker.subscribe(CROSS, sink=BatchingSink(batches.append, batch_size=100))
+    broker.publish(make_book_announcement(docid="bk", timestamp=1.0))
+    broker.publish(make_blog_article(docid="bl", timestamp=2.0))
+    assert batches == []
+    broker.close()
+    assert len(batches) == 1 and len(batches[0]) == 1
+    broker.close()  # idempotent
+
+
+class _ExplodingSink:
+    """A sink whose flush/close always raises."""
+
+    def __init__(self):
+        self.delivered = 0
+
+    def deliver(self, result):
+        self.delivered += 1
+
+    def flush(self):
+        raise RuntimeError("flush failed")
+
+    def close(self):
+        raise RuntimeError("close failed")
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_close_survives_a_raising_sink_and_reraises_first_error(shards):
+    """A bad sink must not leak the other subscriptions' buffered results."""
+    batches: list = []
+    broker = open_broker(RuntimeConfig(construct_outputs=False, shards=shards))
+    # Subscribe the exploding sink FIRST so its failure would previously
+    # have aborted the close loop before the batching sink flushed.
+    broker.subscribe(
+        "S//blog->b[.//author->a]", subscription_id="bad", sink=_ExplodingSink()
+    )
+    broker.subscribe(
+        CROSS, subscription_id="good", sink=BatchingSink(batches.append, batch_size=100)
+    )
+    broker.publish(make_book_announcement(docid="bk", timestamp=1.0))
+    broker.publish(make_blog_article(docid="bl", timestamp=2.0))
+    assert batches == []
+    with pytest.raises(RuntimeError, match="close failed"):
+        broker.close()
+    # The healthy sink still flushed, and the broker is fully closed.
+    assert len(batches) == 1 and len(batches[0]) == 1
+    broker.close()  # idempotent: the failed sink is not retried
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_cancel_survives_a_raising_sink(shards):
+    broker = open_broker(RuntimeConfig(construct_outputs=False, shards=shards))
+    try:
+        collecting = CollectingSink()
+        broker.subscribe(
+            "S//blog->b[.//author->a]",
+            subscription_id="bad",
+            sink=_ExplodingSink(),
+        )
+        broker.publish(make_blog_article(docid="bl", timestamp=1.0))
+        with pytest.raises(RuntimeError, match="close failed"):
+            broker.cancel("bad")
+        # The broker stays usable after the failed cancel.
+        broker.subscribe(
+            "S//blog->b[.//author->a]", subscription_id="ok", sink=collecting
+        )
+        broker.publish(make_blog_article(docid="bl2", timestamp=2.0))
+        assert len(collecting.results) == 1
+    finally:
+        broker.close()

@@ -1,0 +1,77 @@
+"""The stress harness: phases, per-phase tails, and population bookkeeping."""
+
+from __future__ import annotations
+
+from repro import RuntimeConfig, StressConfig, run_stress
+from repro.workloads.dblp import DblpWorkloadConfig
+
+#: Small but dense: joins must actually fire so every phase reports tails.
+TINY_STRESS = StressConfig(
+    subscriptions=300,
+    workload=DblpWorkloadConfig(num_venues=5, num_authors=40, title_pool_size=20),
+    ramp_chunk=100,
+    ramp_probe_documents=3,
+    steady_documents=15,
+    burst_count=2,
+    burst_size=10,
+    churn_cycles=20,
+    churn_publish_every=5,
+)
+
+
+def test_run_stress_reports_every_phase():
+    report = run_stress(TINY_STRESS)
+
+    assert report["live_subscriptions"] == 300
+    assert set(report["phases"]) == {"ramp", "steady", "burst", "churn"}
+    # Template sharing must hold at scale: 3 shapes, a handful of templates.
+    assert 1 <= report["num_templates"] <= 3
+
+    ramp = report["phases"]["ramp"]
+    assert ramp["subscriptions"] == 300
+    assert len(ramp["chunk_seconds"]) == 3
+    assert ramp["documents_published"] == 3 * 3  # probes between chunks
+
+    steady = report["phases"]["steady"]
+    assert steady["documents_published"] == 15
+    tails = steady["publish_latency"]
+    assert tails["count"] == 15
+    assert 0.0 < tails["p50_ms"] <= tails["p95_ms"] <= tails["p99_ms"] <= tails["max_ms"]
+    assert steady["delivery_lag"]["count"] == steady["results_delivered"] > 0
+
+    burst = report["phases"]["burst"]
+    assert burst["documents_published"] == 2 * 10
+    assert burst["publish_batch_latency"]["count"] == 2
+
+    churn = report["phases"]["churn"]
+    assert churn["cycles"] == 20
+    assert churn["documents_published"] == 4  # every 5th of 20 cycles
+
+    final = report["final_metrics"]
+    assert final["counters"]["documents_published"] == report["documents_published"]
+    assert final["histograms"]["delivery_lag"]["count"] > 0
+    assert final["subscription_lag"]["tracked"] > 0
+
+
+def test_run_stress_forces_metrics_on():
+    config = StressConfig(runtime=RuntimeConfig(construct_outputs=False))
+    assert config.resolve_runtime().metrics is True
+    assert StressConfig().resolve_runtime().metrics is True
+
+
+def test_run_stress_respects_a_custom_runtime():
+    stress = StressConfig(
+        subscriptions=60,
+        workload=TINY_STRESS.workload,
+        runtime=RuntimeConfig(construct_outputs=False, shards=2),
+        ramp_chunk=30,
+        ramp_probe_documents=2,
+        steady_documents=5,
+        burst_count=1,
+        burst_size=5,
+        churn_cycles=5,
+        churn_publish_every=2,
+    )
+    report = run_stress(stress)
+    assert report["live_subscriptions"] == 60
+    assert report["phases"]["churn"]["documents_published"] == 3

@@ -4,12 +4,16 @@ import random
 
 import pytest
 
+from repro import RuntimeConfig, open_broker
 from repro.workloads import (
+    DblpWorkloadConfig,
     QueryWorkloadConfig,
     RssStreamConfig,
     ZipfSampler,
     build_document,
     build_technical_benchmark_data,
+    generate_dblp_stream,
+    generate_dblp_subscriptions,
     generate_queries,
     generate_rss_queries,
     generate_rss_stream,
@@ -19,6 +23,7 @@ from repro.workloads import (
 from repro.workloads.synthetic import group_variable, leaf_value, node_ids
 from repro.workloads.querygen import generate_query
 from repro.xmlmodel.schema import three_level_schema, two_level_schema
+from repro.xscl.parser import parse_query
 
 
 # --------------------------------------------------------------------------- #
@@ -220,3 +225,52 @@ def test_rss_queries_over_item_schema():
     for query in queries:
         assert query.join.window == float("inf")
         assert query.left.root_variable == "v_item"
+
+
+# --------------------------------------------------------------------------- #
+# DBLP-style bibliography stream
+# --------------------------------------------------------------------------- #
+def test_dblp_stream_shape_and_venue_streams():
+    config = DblpWorkloadConfig(num_venues=4, num_authors=30, seed=11)
+    articles = list(generate_dblp_stream(config, 25))
+    assert len(articles) == 25
+    for article in articles:
+        assert article.stream.startswith("venue")
+        assert article.root.tag == "article"
+        tags = [c.tag for c in article.root.children]
+        assert tags[0] == "key" and "title" in tags and "venue" in tags
+    streams = {article.stream for article in articles}
+    assert streams <= {f"venue{i}" for i in range(4)}
+    timestamps = [a.timestamp for a in articles]
+    assert timestamps == sorted(timestamps)
+
+
+def test_dblp_stream_reproducible_and_zipf_skewed():
+    config = DblpWorkloadConfig(num_venues=10, num_authors=50, seed=12)
+    a = [d.stream for d in generate_dblp_stream(config, 40)]
+    b = [d.stream for d in generate_dblp_stream(config, 40)]
+    assert a == b
+    # Zipf reuse: the most popular venue sees a disproportionate share.
+    assert max(a.count(s) for s in set(a)) >= 8
+
+
+def test_dblp_subscriptions_cycle_shapes_and_parse():
+    config = DblpWorkloadConfig(num_venues=5, seed=13)
+    queries = list(generate_dblp_subscriptions(9, config))
+    assert len(queries) == 9
+    for text in queries:
+        query = parse_query(text)
+        assert query.is_join_query
+    # Shape 2 (author+title tracker) carries two value joins.
+    assert any("AND" in text for text in queries)
+
+
+def test_dblp_subscriptions_share_few_templates():
+    config = DblpWorkloadConfig(num_venues=6, seed=14)
+    with open_broker(RuntimeConfig(construct_outputs=False)) as broker:
+        for i, text in enumerate(generate_dblp_subscriptions(60, config)):
+            broker.subscribe(text, subscription_id=f"q{i}")
+        num_templates = broker.stats()["engine_stats"]["num_templates"]
+    # Template matching is structural: 3 query shapes over any number of
+    # venues collapse to at most 3 templates.
+    assert 1 <= num_templates <= 3
