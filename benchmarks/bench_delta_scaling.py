@@ -59,6 +59,7 @@ KNOB_MATRIX = tuple(
 
 _ROWS: list[dict] = []
 _ON_MS_PER_DOC: dict[int, float] = {}
+_METRICS: dict[str, float] = {}
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -81,6 +82,7 @@ def _emit_json():
             "num_alive_docs": NUM_ALIVE,
             "num_probe_docs": NUM_PROBES,
             "value_pool": VALUE_POOL,
+            "regression_metrics": dict(_METRICS),
         },
     )
 
@@ -137,6 +139,9 @@ def bench_delta_scaling(benchmark, delta_join, num_state_docs):
     speedup = baseline_ms / result.extra["ms_per_doc"] if result.extra["ms_per_doc"] else 0.0
     if delta_join:
         _ON_MS_PER_DOC[num_state_docs] = result.extra["ms_per_doc"]
+        if num_state_docs >= max(STATE_SIZES):
+            # Machine-portable ratio for check_bench_regression.py.
+            _METRICS["delta_speedup"] = round(speedup, 3)
         if not TINY and num_state_docs >= max(STATE_SIZES):
             # The acceptance bar: ≥ 5× over the full-state join at the
             # largest measured state.

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare fresh benchmark JSON against committed baselines.
+
+Each ``BENCH_<name>.json`` file carries ``meta.regression_metrics`` — a
+small dict of machine-portable ratios (speedups), not absolute
+throughputs, so a fresh CI run on unknown hardware can be compared
+against baselines committed from another machine.  A metric regresses
+when::
+
+    fresh < baseline * (1 - threshold)
+
+Usage::
+
+    python benchmarks/check_bench_regression.py --fresh /tmp/fresh
+    python benchmarks/check_bench_regression.py --fresh /tmp/fresh \
+        --baseline-dir benchmarks/baselines --threshold 0.30 ingest
+
+Bench names default to every ``BENCH_*.json`` present in the baseline
+directory.  A missing fresh file, a missing baseline, or a ``meta.tiny``
+mismatch (tiny results are only comparable to tiny baselines) is a
+warning and a skip, not a failure; a regressed metric exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_metrics(path: str) -> tuple[dict, bool] | None:
+    """Return (regression_metrics, tiny) from a bench JSON, or None."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"warning: cannot read {path}: {exc}")
+        return None
+    meta = document.get("meta", {})
+    metrics = meta.get("regression_metrics") or {}
+    return metrics, bool(meta.get("tiny"))
+
+
+def check_bench(name: str, fresh_dir: str, baseline_dir: str, threshold: float) -> int:
+    """Check one bench; returns the number of regressed metrics."""
+    filename = f"BENCH_{name}.json"
+    baseline = load_metrics(os.path.join(baseline_dir, filename))
+    if baseline is None:
+        print(f"warning: no baseline for {name} — skipped")
+        return 0
+    fresh = load_metrics(os.path.join(fresh_dir, filename))
+    if fresh is None:
+        print(f"warning: no fresh results for {name} — skipped")
+        return 0
+    baseline_metrics, baseline_tiny = baseline
+    fresh_metrics, fresh_tiny = fresh
+    if baseline_tiny != fresh_tiny:
+        print(
+            f"warning: {name}: tiny={fresh_tiny} results vs tiny={baseline_tiny} "
+            "baseline are not comparable — skipped"
+        )
+        return 0
+    if not baseline_metrics:
+        print(f"warning: {name}: baseline has no regression_metrics — skipped")
+        return 0
+    regressed = 0
+    for metric, reference in sorted(baseline_metrics.items()):
+        value = fresh_metrics.get(metric)
+        if value is None:
+            print(f"warning: {name}: metric {metric!r} missing from fresh run")
+            continue
+        floor = reference * (1.0 - threshold)
+        verdict = "REGRESSED" if value < floor else "ok"
+        print(
+            f"{name}.{metric}: fresh={value:.3f} baseline={reference:.3f} "
+            f"floor={floor:.3f} [{verdict}]"
+        )
+        if value < floor:
+            regressed += 1
+    return regressed
+
+
+def main(argv: list[str] | None = None) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", required=True, help="directory holding fresh BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(here, "baselines"),
+        help="directory holding committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below the baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "benches",
+        nargs="*",
+        help="bench names (e.g. 'ingest'); default: every baseline present",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.benches
+    if not names:
+        try:
+            names = sorted(
+                entry[len("BENCH_") : -len(".json")]
+                for entry in os.listdir(args.baseline_dir)
+                if entry.startswith("BENCH_") and entry.endswith(".json")
+            )
+        except OSError as exc:
+            print(f"error: cannot list baselines: {exc}")
+            return 2
+    if not names:
+        print(f"warning: no baselines under {args.baseline_dir} — nothing checked")
+        return 0
+
+    regressed = sum(
+        check_bench(name, args.fresh, args.baseline_dir, args.threshold)
+        for name in names
+    )
+    if regressed:
+        print(f"{regressed} metric(s) regressed more than {args.threshold:.0%}")
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

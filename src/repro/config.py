@@ -40,9 +40,11 @@ __all__ = [
     "EXECUTORS",
     "STORAGE_BACKENDS",
     "DURABILITY_MODES",
+    "INGEST_MODES",
     "RuntimeConfig",
     "coerce_config",
     "metrics_enabled",
+    "resolve_ingest",
 ]
 
 #: Engine selection keywords (canonical definition; re-exported by
@@ -63,6 +65,14 @@ PARTITIONERS = ("hash", "least-loaded")
 #: the pure-Python engines); the shard engines are then constructed
 #: in-worker from the pickled config, so the config must be picklable.
 EXECUTORS = ("serial", "threads", "processes")
+
+#: Document-ingest modes. ``"stream"`` (default) parses published XML text
+#: in a single event-driven pass and — when the engine keeps no document
+#: state — feeds Stage 1 directly from the scan without building a node
+#: tree.  ``"tree"`` always materializes the full :class:`XmlNode` tree
+#: first (the pre-fast-path behavior, kept for ablation).  Match sets are
+#: identical either way.
+INGEST_MODES = ("stream", "tree")
 
 #: State-storage backends (canonical definition; re-exported by
 #: :mod:`repro.storage`).  ``"memory"`` keeps all state in process —
@@ -150,6 +160,14 @@ class RuntimeConfig:
         dispatches a document to shards hosting templates it can bind.
         ``False`` replicates every document to every shard (the pre-routing
         behavior, kept for ablation and equivalence testing).
+    ingest:
+        Document-ingest mode for text publishes: ``"stream"`` (default)
+        scans the XML text in one event-driven pass — assigning node ids
+        while building, and skipping tree construction entirely when the
+        engine keeps no document state — while ``"tree"`` always builds the
+        node tree first (the pre-fast-path behavior, kept for ablation).
+        Match sets are identical either way; the ``REPRO_INGEST`` environment
+        variable overrides both directions (see :func:`resolve_ingest`).
     result_limit:
         Bound on each subscription's legacy ``results`` collection
         (``None`` keeps it unbounded — the pre-sink behavior).
@@ -196,6 +214,7 @@ class RuntimeConfig:
     executor: Union[str, Any] = "serial"
     max_workers: Optional[int] = None
     route_dispatch: bool = True
+    ingest: str = "stream"
     result_limit: Optional[int] = 1024
     storage: str = "memory"
     durability: str = "epoch"
@@ -233,6 +252,10 @@ class RuntimeConfig:
         if isinstance(self.executor, str) and self.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; choose one of {EXECUTORS}"
+            )
+        if self.ingest not in INGEST_MODES:
+            raise ValueError(
+                f"unknown ingest mode {self.ingest!r}; choose one of {INGEST_MODES}"
             )
         if not isinstance(self.route_dispatch, bool):
             raise ValueError(
@@ -330,6 +353,7 @@ class RuntimeConfig:
             delta_join=False,
             columnar=False,
             route_dispatch=False,
+            ingest="tree",
         )
         base.update(overrides)
         return cls(**base)
@@ -347,6 +371,26 @@ def metrics_enabled(config: "RuntimeConfig") -> bool:
     if config.metrics:
         return True
     return os.environ.get("REPRO_METRICS", "").strip().lower() in ("1", "true", "on")
+
+
+def resolve_ingest(config: "RuntimeConfig") -> str:
+    """The effective ingest mode, honoring the ``REPRO_INGEST`` override.
+
+    Mirrors :func:`metrics_enabled`: setting ``REPRO_INGEST=stream`` (or
+    ``tree``) in the environment overrides every config — including the
+    ablation preset — so existing suites replay under either ingest path
+    without touching call sites.  Ingest never changes match sets, so
+    overriding in both directions is safe.
+    """
+    override = os.environ.get("REPRO_INGEST", "").strip().lower()
+    if override:
+        if override not in INGEST_MODES:
+            raise ValueError(
+                f"REPRO_INGEST={override!r} is not a valid ingest mode; "
+                f"choose one of {INGEST_MODES}"
+            )
+        return override
+    return config.ingest
 
 
 #: All field names of :class:`RuntimeConfig` (the legal legacy kwargs).

@@ -16,7 +16,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
-from repro.config import ENGINES, RuntimeConfig, coerce_config, metrics_enabled
+from repro.config import ENGINES, RuntimeConfig, coerce_config, metrics_enabled, resolve_ingest
 from repro.core.costs import CostBreakdown
 from repro.core.materialize import ViewCache
 from repro.metrics import MetricsRegistry
@@ -25,7 +25,7 @@ from repro.core.results import Match, build_output_document
 from repro.core.state import JoinState
 from repro.core.witnesses import WitnessRelations
 from repro.templates.registry import TemplateRegistry
-from repro.xmlmodel.document import XmlDocument
+from repro.xmlmodel.document import XmlDocument, _next_docid
 from repro.xmlmodel.parser import parse_document
 from repro.xmlmodel.serialize import to_xml
 from repro.xpath.evaluator import Stage1Registrations, XPathEvaluator
@@ -89,6 +89,7 @@ class _BaseEngine:
         self.evaluator = XPathEvaluator()
         self.catalog = VariableCatalog()
         self.store_documents = config.resolve_store_documents()
+        self.ingest = resolve_ingest(config)
         self.auto_timestamp = config.auto_timestamp
         self.auto_prune = config.auto_prune
         self.documents: dict[str, XmlDocument] = {}
@@ -301,7 +302,7 @@ class _BaseEngine:
                 relations = WitnessRelations.from_witnesses(witnesses)
         raw_matches = self._processor().process(relations)
         self._processor().maintain_state(relations)
-        self._after_state_maintenance(document)
+        self._after_state_maintenance(document.timestamp)
 
         if self.store_documents:
             self.documents[document.docid] = document
@@ -346,7 +347,7 @@ class _BaseEngine:
                 "Rvar", docid, [(docid,) + row for row in relations.rvarw.rows]
             )
             store.upsert_rows("RdocTS", docid, list(relations.rdoctsw.rows))
-            self._after_state_maintenance(document)
+            self._after_state_maintenance(document.timestamp)
             if self.store_documents:
                 self.documents[docid] = document
                 store.put_document(
@@ -374,6 +375,66 @@ class _BaseEngine:
             raise
         return matches
 
+    def _stream_eligible(self) -> bool:
+        """Whether text input can skip tree construction entirely.
+
+        The streaming path produces witnesses, never a node tree — it is
+        only equivalent when nothing downstream needs the document object:
+        no stored documents (output construction) and no durable store
+        (which persists the serialized source inside the epoch).
+        """
+        return self.ingest == "stream" and self.store is None and not self.store_documents
+
+    def _stamp_timestamp(self, timestamp: Optional[float]) -> float:
+        """Timestamp for a freshly-parsed text document (no carried stamp)."""
+        if timestamp is not None:
+            return float(timestamp)
+        if self.auto_timestamp:
+            self._clock_value += 1
+            return float(self._clock_value)
+        return 0.0
+
+    def _process_streamed(
+        self, text: str, docid: str, timestamp: float, stream: str
+    ) -> list[Match]:
+        """Run both stages on raw text via the single-pass witness scan."""
+        metrics = self.metrics
+        if metrics is None:
+            witnesses = self.evaluator.evaluate_text(text, docid, timestamp, stream)
+            relations = WitnessRelations.from_witnesses(witnesses)
+        else:
+            with metrics.timer("stage:stage1"):
+                witnesses = self.evaluator.evaluate_text(text, docid, timestamp, stream)
+                relations = WitnessRelations.from_witnesses(witnesses)
+        raw_matches = self._processor().process(relations)
+        self._processor().maintain_state(relations)
+        self._after_state_maintenance(timestamp)
+        matches = self._normalize_matches(raw_matches)
+        self.num_documents_processed += 1
+        self.num_matches += len(matches)
+        return matches
+
+    def process_text(
+        self,
+        text: str,
+        timestamp: Optional[float] = None,
+        stream: str = "S",
+    ) -> list[Match]:
+        """Process one document given as raw XML text.
+
+        With ``ingest="stream"`` (and no document state to keep — see
+        :meth:`_stream_eligible`) Stage 1 witnesses are produced in a single
+        pass over the text without building a node tree; otherwise this is
+        exactly ``process_document(parse_document(text, stream=...))``.
+        Matches are identical either way.
+        """
+        if not self._stream_eligible():
+            document = parse_document(text, stream=stream)
+            return self._process_prepared(self._prepare_document(document, timestamp))
+        return self._process_streamed(
+            text, _next_docid(), self._stamp_timestamp(timestamp), stream
+        )
+
     def process_document(
         self,
         document: Union[str, XmlDocument],
@@ -398,8 +459,17 @@ class _BaseEngine:
         arrival order, so the matches are exactly those of a
         :meth:`process_document` loop.
         """
-        prepared: list[XmlDocument] = []
+        streaming = self._stream_eligible()
+        # Text entries on the streaming path stay unparsed until processing;
+        # stamping docids and timestamps up front keeps assignment order (and
+        # hence auto-timestamps) identical to the all-tree batch.
+        prepared: list[Union[XmlDocument, tuple[str, str, float]]] = []
         for document in documents:
+            if streaming and isinstance(document, str):
+                prepared.append(
+                    (document, sys.intern(_next_docid()), self._stamp_timestamp(timestamp))
+                )
+                continue
             document = self._prepare_document(document, timestamp)
             if isinstance(document.docid, str):
                 # Docids recur in every witness row, state partition key
@@ -412,7 +482,12 @@ class _BaseEngine:
         processor = self._processor()
         processor.begin_batch()
         try:
-            return [self._process_prepared(document) for document in prepared]
+            return [
+                self._process_streamed(item[0], item[1], item[2], "S")
+                if type(item) is tuple
+                else self._process_prepared(item)
+                for item in prepared
+            ]
         finally:
             processor.end_batch()
 
@@ -432,13 +507,13 @@ class _BaseEngine:
     def _processor(self):
         raise NotImplementedError
 
-    def _after_state_maintenance(self, document: XmlDocument) -> None:
+    def _after_state_maintenance(self, timestamp: float) -> None:
         """Window-based pruning of state (only when every window is finite)."""
         if not self.auto_prune:
             return
         if self._has_infinite_window or self._max_finite_window <= 0:
             return
-        self.prune(document.timestamp - self._max_finite_window)
+        self.prune(timestamp - self._max_finite_window)
 
     def prune(self, min_timestamp: float) -> int:
         """Drop state (and stored documents) older than ``min_timestamp``.

@@ -24,7 +24,7 @@ import warnings
 from time import perf_counter
 from typing import Iterable, Optional, Union
 
-from repro.config import RuntimeConfig, coerce_config, metrics_enabled
+from repro.config import RuntimeConfig, coerce_config, metrics_enabled, resolve_ingest
 from repro.core.engine import ENGINES, make_engine
 from repro.metrics import MetricsRegistry, merge_snapshots
 from repro.pubsub.filters import FilterFrontEnd, deliver_filter_matches
@@ -127,6 +127,7 @@ class Broker:
             ),
         )
         self.construct_outputs = config.construct_outputs
+        self._ingest = resolve_ingest(config)
         self.streams = StreamRegistry(history_size=config.stream_history)
         self._subscriptions: dict[str, Subscription] = {}
         # Lazy match materialization: a join match whose subscription is
@@ -354,6 +355,52 @@ class Broker:
         for result in results:
             self.metrics.record_delivery_lag(result.subscription_id, now - stamp)
 
+    def _text_fast_path(self) -> bool:
+        """Whether a text publish can skip tree construction end to end.
+
+        Beyond the engine-side conditions (``ingest="stream"``, no stored
+        documents, no durable store) the broker itself must not need the
+        document object: no single-block filter subscriptions to match
+        against the tree, and no stream history to append it to.
+        """
+        return (
+            self._ingest == "stream"
+            and self._filters.num_subscriptions == 0
+            and self.config.stream_history == 0
+            and self.engine.store is None
+            and not self.engine.store_documents
+        )
+
+    def _publish_text(
+        self,
+        text: str,
+        timestamp: Optional[float],
+        stream: Optional[str],
+    ) -> list[SubscriptionResult]:
+        """The streaming twin of :meth:`publish` for raw-text documents.
+
+        Stream stats are recorded with the pre-engine timestamp (0.0 when
+        none was given, exactly what :meth:`_prepare` leaves on a fresh
+        parse), and the engine applies its usual auto-timestamping.
+        """
+        name = stream if stream is not None else "S"
+        metrics = self.metrics
+        stamp = perf_counter() if metrics is not None else None
+        pre_ts = float(timestamp) if timestamp is not None else 0.0
+        self.streams.get_or_create(name).record_stamp(pre_ts)
+        matches = self.engine.process_text(
+            text, timestamp=(pre_ts if pre_ts != 0.0 else None), stream=name
+        )
+        deliveries: list[SubscriptionResult] = []
+        if metrics is None:
+            self._deliver_matches(matches, deliveries, {})
+        else:
+            self._deliver_matches(matches, deliveries, {}, stamp)
+            metrics.histogram("publish_latency").record(perf_counter() - stamp)
+            metrics.counter("documents_published").inc()
+            metrics.counter("results_delivered").inc(len(deliveries))
+        return deliveries
+
     def publish(
         self,
         document: Union[str, XmlDocument],
@@ -365,6 +412,8 @@ class Broker:
         Returns the deliveries made for this document (also pushed to the
         subscriber sinks).
         """
+        if isinstance(document, str) and self._text_fast_path():
+            return self._publish_text(document, timestamp, stream)
         document = self._prepare(document, timestamp, stream)
         deliveries: list[SubscriptionResult] = []
         filter_results = self._filters.deliver(document)

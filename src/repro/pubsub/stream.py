@@ -36,6 +36,16 @@ class Stream:
             while len(self._history) > self.history_size:
                 self._history.popleft()
 
+    def record_stamp(self, timestamp: float) -> None:
+        """Record one published document by timestamp alone.
+
+        The streaming-ingest fast path never materializes a document
+        object; it only engages when ``history_size == 0``, so stats are
+        the whole record.
+        """
+        self.num_documents += 1
+        self.last_timestamp = timestamp
+
     def history(self) -> list[XmlDocument]:
         """The most recent documents (up to ``history_size``)."""
         return list(self._history)

@@ -37,9 +37,11 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+from time import perf_counter
 from typing import Any, Optional, Sequence
 
 from repro.core.results import Match
+from repro.runtime.wire import decode_document_batch
 
 __all__ = [
     "ShardWorkerError",
@@ -249,6 +251,29 @@ def _dispatch(engine, method: str, args: tuple):
     raise ValueError(f"unknown shard-worker command {method!r}")
 
 
+def _wire_documents(payload: bytes, cache: list, transport: dict) -> list:
+    """Decode one wire payload, reusing the last decode when bytes repeat.
+
+    A worker hosting several shards receives the *same* payload once per
+    co-hosted shard (the broker encodes once and fans the bytes out per
+    shard, not per worker); the one-slot cache collapses those to a single
+    decode.  Sharing the decoded documents across co-hosted engines is
+    safe: the engines treat inbound documents as read-only (the only
+    mutation, batch docid interning, is idempotent).
+    """
+    transport["payload_loads"] += 1
+    transport["payload_bytes"] += len(payload)
+    if cache[0] == payload:
+        return cache[1]
+    start = perf_counter()
+    documents = decode_document_batch(pickle.loads(payload))
+    transport["decodes"] += 1
+    transport["decode_ms"] += (perf_counter() - start) * 1000.0
+    cache[0] = payload
+    cache[1] = documents
+    return documents
+
+
 def _portable(exc: BaseException) -> BaseException:
     """An exception safe to send back over the pipe (degrade if unpicklable)."""
     try:
@@ -283,6 +308,8 @@ def _shard_worker_main(
         conn.close()
         return
     conn.send((True, "ready"))
+    transport = {"decodes": 0, "decode_ms": 0.0, "payload_loads": 0, "payload_bytes": 0}
+    wire_cache: list = [None, None]  # [payload bytes, decoded documents]
     while True:
         try:
             message = conn.recv()
@@ -290,11 +317,36 @@ def _shard_worker_main(
             break
         if message is None:
             break
-        shard_id, method, args = message
-        try:
-            response = (True, _dispatch(engines[shard_id], method, args))
-        except BaseException as exc:
-            response = (False, _portable(exc))
+        if message[0] == "__wire__":
+            # Two-frame data plane: this control frame names the shard,
+            # method and document selection; the payload bytes follow in
+            # their own frame (see ShardWorkerGroup.send_wire).
+            _sentinel, shard_id, method, indices = message
+            try:
+                payload = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                documents = _wire_documents(payload, wire_cache, transport)
+                if indices is not None:
+                    documents = [documents[i] for i in indices]
+                engine = engines[shard_id]
+                if method == "wire_one":
+                    match_lists = [engine.process_document(documents[0])]
+                else:
+                    match_lists = engine.process_batch(documents)
+                response = (True, encode_match_batch(match_lists, _stamps_of(documents)))
+            except BaseException as exc:
+                response = (False, _portable(exc))
+        else:
+            shard_id, method, args = message
+            if method == "transport":
+                response = (True, dict(transport))
+            else:
+                try:
+                    response = (True, _dispatch(engines[shard_id], method, args))
+                except BaseException as exc:
+                    response = (False, _portable(exc))
         try:
             conn.send(response)
         except (BrokenPipeError, OSError):
@@ -347,6 +399,23 @@ class ShardWorkerGroup:
         try:
             self._conn.send((shard_id, method, args))
         except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerError(
+                f"shard worker {self.process.name!r} is gone "
+                f"(exit code {self.process.exitcode}); {method!r} was not sent"
+            ) from exc
+
+    def send_wire(self, shard_id: int, method: str, indices, payload) -> None:
+        """Send one two-frame data-plane request (control frame + raw bytes).
+
+        ``payload`` is a bytes-like view of the already-encoded document
+        batch; sending it with ``send_bytes`` writes the same buffer to the
+        pipe without pickling it again, so a fan-out to N shards costs one
+        encode and N buffer writes.
+        """
+        try:
+            self._conn.send(("__wire__", shard_id, method, indices))
+            self._conn.send_bytes(payload)
+        except (BrokenPipeError, OSError, ValueError) as exc:
             raise ShardWorkerError(
                 f"shard worker {self.process.name!r} is gone "
                 f"(exit code {self.process.exitcode}); {method!r} was not sent"
@@ -443,15 +512,19 @@ class ProcessShardHandle:
 
     # -- data plane ------------------------------------------------------ #
     def submit(self, method: str, args: tuple) -> None:
-        self.channel.send(self.shard_id, method, args)
+        if method == "wire_one" or method == "wire_batch":
+            indices, payload = args
+            self.channel.send_wire(self.shard_id, method, indices, payload)
+        else:
+            self.channel.send(self.shard_id, method, args)
         self._pending.append(method)
 
     def collect(self):
         method = self._pending.pop(0)
         payload = self.channel.recv()
-        if method == "process_one":
+        if method == "process_one" or method == "wire_one":
             return decode_match_batch(payload)[0]
-        if method == "process_batch":
+        if method == "process_batch" or method == "wire_batch":
             return decode_match_batch(payload)
         return payload
 

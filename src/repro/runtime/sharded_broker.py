@@ -58,6 +58,7 @@ from repro.runtime.executor import executor_env_override, make_executor
 from repro.runtime.partition import make_partitioner
 from repro.runtime.process import ProcessShardHandle, ShardWorkerGroup
 from repro.runtime.router import ShardRouter
+from repro.runtime.wire import WireBuffer, encode_document_batch
 from repro.runtime.shard import EngineShard
 from repro.storage import SubscriptionRecord, open_member_store, resolve_storage
 from repro.storage.recovery import config_snapshot
@@ -136,6 +137,20 @@ class ShardedBroker:
                 )
                 for shard_id in range(config.shards)
             ]
+        # Encode-once transport (process runtime only): each published
+        # document/batch is serialized exactly once into the reusable wire
+        # buffer and the same bytes go to every routed shard, so transport
+        # cost is O(bytes), not O(shards x pickle).
+        self._wire_enabled = self._executor.name == "processes"
+        self._wire_buffer = WireBuffer()
+        self._transport = {
+            "encodes": 0,
+            "documents_encoded": 0,
+            "encode_ms": 0.0,
+            "wire_bytes": 0,
+            "shard_sends": 0,
+            "shipped_bytes": 0,
+        }
         self._partitioner = make_partitioner(config.partitioner, config.shards)
         self._router = ShardRouter() if config.route_dispatch else None
         self.streams = StreamRegistry(history_size=config.stream_history)
@@ -387,9 +402,14 @@ class ShardedBroker:
         self._persist_clock()
         candidates = [shard for shard in self.shards if shard.qids]
         targets = self._dispatch_targets(document, candidates)
-        per_shard = self._executor.invoke(
-            [(shard, "process_one", (document,)) for shard in targets]
-        )
+        if self._wire_enabled and targets:
+            per_shard = self._invoke_wire(
+                [(shard, None) for shard in targets], [document], "wire_one"
+            )
+        else:
+            per_shard = self._executor.invoke(
+                [(shard, "process_one", (document,)) for shard in targets]
+            )
         filter_results = list(self._filters.deliver(document))
         deliveries: list[SubscriptionResult] = list(filter_results)
         metrics = self.metrics
@@ -439,15 +459,32 @@ class ShardedBroker:
                 for shard in candidates
                 if indices[shard.shard_id]
             ]
-        calls = []
-        for shard, doc_indices in assignments:
-            sub_batch = (
-                batch
-                if len(doc_indices) == len(batch)
-                else [batch[i] for i in doc_indices]
+        if self._wire_enabled and assignments:
+            # One encode for the whole batch; each shard names its document
+            # selection as indices into the shared payload (None = all).
+            per_call = self._invoke_wire(
+                [
+                    (
+                        shard,
+                        None
+                        if len(doc_indices) == len(batch)
+                        else list(doc_indices),
+                    )
+                    for shard, doc_indices in assignments
+                ],
+                batch,
+                "wire_batch",
             )
-            calls.append((shard, "process_batch", (sub_batch,)))
-        per_call = self._executor.invoke(calls)
+        else:
+            calls = []
+            for shard, doc_indices in assignments:
+                sub_batch = (
+                    batch
+                    if len(doc_indices) == len(batch)
+                    else [batch[i] for i in doc_indices]
+                )
+                calls.append((shard, "process_batch", (sub_batch,)))
+            per_call = self._executor.invoke(calls)
 
         # Scatter the per-sub-batch results back to per-document, keeping
         # shard order within each document (``assignments`` iterates
@@ -487,6 +524,30 @@ class ShardedBroker:
     ) -> list[SubscriptionResult]:
         """Publish a sequence of documents (batched); returns all deliveries."""
         return self.publish_many(documents)
+
+    def _invoke_wire(self, assignments, batch: Sequence[XmlDocument], method: str):
+        """Encode ``batch`` once and fan the same bytes out to every shard.
+
+        ``assignments`` pairs each target shard with its document selection
+        (indices into the batch, or ``None`` for all).  The payload is a
+        view into the reusable wire buffer, released once every send has
+        been written.
+        """
+        transport = self._transport
+        start = perf_counter()
+        payload = self._wire_buffer.pack(encode_document_batch(batch))
+        transport["encodes"] += 1
+        transport["documents_encoded"] += len(batch)
+        transport["encode_ms"] += (perf_counter() - start) * 1000.0
+        transport["wire_bytes"] += len(payload)
+        transport["shard_sends"] += len(assignments)
+        transport["shipped_bytes"] += len(payload) * len(assignments)
+        try:
+            return self._executor.invoke(
+                [(shard, method, (indices, payload)) for shard, indices in assignments]
+            )
+        finally:
+            payload.release()
 
     def _prepare(
         self,
@@ -574,6 +635,31 @@ class ShardedBroker:
         """All shards' engine statistics merged into one."""
         return merge_engine_stats([shard.stats() for shard in self.shards])
 
+    def transport_stats(self) -> dict:
+        """Encode-once transport counters (broker side + merged workers).
+
+        Broker side: ``encodes`` / ``documents_encoded`` / ``encode_ms``
+        count each batch's single serialization, ``wire_bytes`` the encoded
+        payload bytes, and ``shard_sends`` / ``shipped_bytes`` the fan-out
+        (same bytes written once per routed shard).  Worker side (summed
+        across workers, like ``stats()["routing"]``): ``payload_loads`` /
+        ``payload_bytes`` count received frames and ``decodes`` /
+        ``decode_ms`` the actual decodes — fewer than the loads whenever
+        co-hosted shards shared one payload.  All zero outside the process
+        runtime.
+        """
+        merged = dict(self._transport)
+        merged.update(
+            {"decodes": 0, "decode_ms": 0.0, "payload_loads": 0, "payload_bytes": 0}
+        )
+        for group in self._worker_groups:
+            worker = group.call(group.shard_ids[0], "transport")
+            for key, value in worker.items():
+                merged[key] += value
+        merged["encode_ms"] = round(merged["encode_ms"], 3)
+        merged["decode_ms"] = round(merged["decode_ms"], 3)
+        return merged
+
     def stats(self) -> dict:
         """Broker statistics: streams, subscriptions, routing, merged + per-shard engines."""
         return {
@@ -591,6 +677,7 @@ class ShardedBroker:
             ),
             "num_documents_published": self._num_published,
             "routing": self._router.stats() if self._router is not None else None,
+            "transport": self.transport_stats(),
             "engine_stats": self.merged_engine_stats().__dict__,
             "per_shard": [
                 {"shard": shard.shard_id, **shard.stats().__dict__}

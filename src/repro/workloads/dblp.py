@@ -46,6 +46,11 @@ class DblpWorkloadConfig:
     num_authors: int = 5000
     title_pool_size: int = 2000
     max_authors_per_article: int = 4
+    #: Number of ``<cite>`` reference elements per article (the real DBLP
+    #: corpus carries citation lists; they make documents element-dense
+    #: without adding join values, which is what parse-bound ingest
+    #: benchmarks need).  The default keeps articles citation-free.
+    citations_per_article: int = 0
     venue_theta: float = 0.7
     author_theta: float = 0.8
     window: float = 200.0
@@ -78,6 +83,17 @@ def generate_article(
     num_authors = rng.randint(1, config.max_authors_per_article)
     authors = {author_sampler.sample() - 1 for _ in range(num_authors)}
     timestamp = config.start_timestamp + sequence * config.timestamp_step
+    extra = []
+    if config.citations_per_article:
+        extra.append(
+            element(
+                "citations",
+                *[
+                    element("cite", text=f"dblp/article{rng.randrange(10**6)}")
+                    for _ in range(config.citations_per_article)
+                ],
+            )
+        )
     root = element(
         "article",
         element("key", text=f"dblp/article{sequence}"),
@@ -88,6 +104,7 @@ def generate_article(
         element("title", text=_title(rng.randrange(config.title_pool_size))),
         element("venue", text=config.venue_stream(venue)),
         element("year", text=str(2000 + sequence % 26)),
+        *extra,
     )
     return XmlDocument(
         root,

@@ -5,32 +5,36 @@ paper's workloads use: elements, attributes, character data, comments,
 processing instructions/prolog, and entity references for the five
 predefined entities.  It does not support namespaces, DTDs or CDATA mixed
 content subtleties beyond simple concatenation.
+
+:func:`parse_node` and :func:`parse_document` run on the single-pass
+event scanner of :mod:`repro.xmlmodel.stream` (one text walk, ids assigned
+while building).  The original recursive-descent :class:`_Parser` is kept
+as the reference implementation: the property tests parse every generated
+document through both and assert identical trees — and identical
+:class:`XmlParseError` messages and positions on malformed input.
 """
 
 from __future__ import annotations
 
-import re
 from typing import Optional
 
 from repro.xmlmodel.document import XmlDocument
 from repro.xmlmodel.node import XmlNode
+from repro.xmlmodel.stream import (
+    _ATTR_RE,
+    _TAG_RE,
+    _unescape,
+    XmlParseError,
+    parse_document_streaming,
+    parse_node_streaming,
+)
 
-_TAG_RE = re.compile(r"[A-Za-z_][\w.\-:]*")
-_ATTR_RE = re.compile(r"\s*([A-Za-z_][\w.\-:]*)\s*=\s*(\"[^\"]*\"|'[^']*')")
-_ENTITIES = {"&lt;": "<", "&gt;": ">", "&amp;": "&", "&quot;": '"', "&apos;": "'"}
-
-
-class XmlParseError(ValueError):
-    """Raised when the input text is not well-formed (for the supported subset)."""
-
-
-def _unescape(text: str) -> str:
-    for entity, char in _ENTITIES.items():
-        text = text.replace(entity, char)
-    return text
+__all__ = ["XmlParseError", "parse_document", "parse_node"]
 
 
 class _Parser:
+    """Reference recursive-descent parser (differential-test oracle only)."""
+
     def __init__(self, text: str):
         self.text = text
         self.pos = 0
@@ -129,8 +133,8 @@ class _Parser:
         return node
 
 
-def parse_node(text: str) -> XmlNode:
-    """Parse XML text and return the root :class:`XmlNode` (no document wrapper)."""
+def _parse_node_reference(text: str) -> XmlNode:
+    """Reference single-element parse (tests compare against the scanner)."""
     parser = _Parser(text)
     parser.skip_misc()
     node = parser.parse_element()
@@ -140,6 +144,11 @@ def parse_node(text: str) -> XmlNode:
     return node
 
 
+def parse_node(text: str) -> XmlNode:
+    """Parse XML text and return the root :class:`XmlNode` (no document wrapper)."""
+    return parse_node_streaming(text)
+
+
 def parse_document(
     text: str,
     docid: Optional[str] = None,
@@ -147,4 +156,4 @@ def parse_document(
     stream: str = "S",
 ) -> XmlDocument:
     """Parse XML text into an :class:`~repro.xmlmodel.document.XmlDocument`."""
-    return XmlDocument(parse_node(text), docid=docid, timestamp=timestamp, stream=stream)
+    return parse_document_streaming(text, docid=docid, timestamp=timestamp, stream=stream)

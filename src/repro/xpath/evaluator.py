@@ -23,6 +23,7 @@ from repro.xmlmodel.document import XmlDocument
 from repro.xpath.ast import LocationPath, evaluate_relative
 from repro.xpath.nfa import PathNFA
 from repro.xpath.pattern import VariableTreePattern
+from repro.xpath.streaming import StreamMatcher, scan_witness_sets
 
 
 @dataclass
@@ -131,6 +132,9 @@ class XPathEvaluator:
         self._variables: dict[str, tuple[str, LocationPath]] = {}
         # (ancestor var, descendant var) -> relative path between them
         self._edges: dict[tuple[str, str], LocationPath] = {}
+        # stream -> compiled streaming matcher (None = no registrations);
+        # invalidated whenever variables or edges change
+        self._stream_matchers: dict[str, Optional[StreamMatcher]] = {}
 
     # ------------------------------------------------------------------ #
     # registration
@@ -139,6 +143,7 @@ class XPathEvaluator:
         """Register a variable with its defining absolute path on ``stream``."""
         if not absolute_path.absolute:
             raise ValueError(f"variable {variable!r} needs an absolute defining path")
+        self._stream_matchers.clear()
         existing = self._variables.get(variable)
         if existing is not None:
             if existing[0] != stream or str(existing[1]) != str(absolute_path):
@@ -157,6 +162,7 @@ class XPathEvaluator:
         """Request (ancestor, descendant) edge witnesses for a variable pair."""
         if relative_path.absolute:
             raise ValueError("edge paths must be relative (from the ancestor's node)")
+        self._stream_matchers.clear()
         key = (ancestor_var, descendant_var)
         existing = self._edges.get(key)
         if existing is not None and str(existing) != str(relative_path):
@@ -206,6 +212,7 @@ class XPathEvaluator:
         remaining variables drops its NFA entirely, so future documents on
         it short-circuit in :meth:`evaluate`.
         """
+        self._stream_matchers.clear()
         for key in edges:
             self._edges.pop(tuple(key), None)
         streams: set[str] = set()
@@ -300,4 +307,37 @@ class XPathEvaluator:
                 bound_nodes.add(b)
         for node_id in bound_nodes:
             witnesses.node_values[node_id] = document.string_value(node_id)
+        return witnesses
+
+    def evaluate_text(
+        self, text: str, docid: str, timestamp: float, stream: str = "S"
+    ) -> DocumentWitnesses:
+        """Produce the witnesses of a document given as raw XML text.
+
+        The streaming counterpart of :meth:`evaluate`: one single pass over
+        the text drives the shared NFA, edge matching and string-value
+        capture directly (:mod:`repro.xpath.streaming`), without building a
+        node tree.  Witness sets are identical to parsing the text and
+        calling :meth:`evaluate`; malformed input raises the same
+        :class:`~repro.xmlmodel.parser.XmlParseError`.
+        """
+        try:
+            matcher = self._stream_matchers[stream]
+        except KeyError:
+            nfa = self._nfas.get(stream)
+            if nfa is None:
+                matcher = None
+            else:
+                stream_variables = {
+                    variable
+                    for variable, (var_stream, _path) in self._variables.items()
+                    if var_stream == stream
+                }
+                matcher = StreamMatcher(nfa, self._edges, stream_variables)
+            self._stream_matchers[stream] = matcher
+        var_nodes, edge_pairs, node_values = scan_witness_sets(text, matcher)
+        witnesses = DocumentWitnesses(docid=docid, timestamp=timestamp)
+        witnesses.var_nodes = var_nodes
+        witnesses.edge_pairs = edge_pairs
+        witnesses.node_values = node_values
         return witnesses

@@ -12,7 +12,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.xpath.pattern import VariableTreePattern
+from repro.xpath.pattern import PatternNode, VariableTreePattern
 
 #: Window constant meaning "no time constraint" (the RSS experiment of
 #: Section 6.3 assigns a window of infinity to every query).
@@ -175,18 +175,31 @@ class XsclQuery:
         """Return a copy of the query with variables renamed per ``mapping``.
 
         Variables not present in ``mapping`` keep their names.  Used by the
-        canonicalization step (:mod:`repro.xscl.normalize`).
+        canonicalization step (:mod:`repro.xscl.normalize`) on every
+        subscribe, so the pattern copy is structural: fresh
+        :class:`~repro.xpath.pattern.PatternNode` objects (the mutable
+        layer) sharing the frozen :class:`~repro.xpath.ast.LocationPath`
+        objects, instead of a ``copy.deepcopy`` that clones every step and
+        node test of every path.
         """
-        import copy
+
+        def copy_node(node: PatternNode) -> PatternNode:
+            variable = node.variable
+            if variable is not None:
+                variable = mapping.get(variable, variable)
+            return PatternNode(
+                variable, node.path, [copy_node(child) for child in node.children]
+            )
 
         def rename_block(block: Optional[QueryBlock]) -> Optional[QueryBlock]:
             if block is None:
                 return None
-            pattern = copy.deepcopy(block.pattern)
-            for node in pattern.iter_nodes():
-                if node.variable is not None:
-                    node.variable = mapping.get(node.variable, node.variable)
-            return QueryBlock(pattern=pattern)
+            pattern = block.pattern
+            return QueryBlock(
+                pattern=VariableTreePattern(
+                    root=copy_node(pattern.root), stream=pattern.stream
+                )
+            )
 
         new_join = None
         if self.join is not None:
@@ -216,3 +229,41 @@ class XsclQuery:
             f"{self.join.operator.value} {self.right!r} "
             f"({len(self.join.predicates)} value joins, window={self.join.window})>"
         )
+
+
+def rename_variables_deepcopy(query: XsclQuery, mapping: dict[str, str]) -> XsclQuery:
+    """The historical deepcopy-based rename, kept as the benchmark baseline.
+
+    Identical result to :meth:`XsclQuery.rename_variables`; it clones the
+    frozen path layer too, which dominated subscribe latency.
+    """
+    import copy
+
+    def rename_block(block: Optional[QueryBlock]) -> Optional[QueryBlock]:
+        if block is None:
+            return None
+        pattern = copy.deepcopy(block.pattern)
+        for node in pattern.iter_nodes():
+            if node.variable is not None:
+                node.variable = mapping.get(node.variable, node.variable)
+        return QueryBlock(pattern=pattern)
+
+    new_join = None
+    if query.join is not None:
+        new_join = JoinSpec(
+            operator=query.join.operator,
+            predicates=tuple(
+                ValueJoinPredicate(
+                    mapping.get(p.left_var, p.left_var),
+                    mapping.get(p.right_var, p.right_var),
+                )
+                for p in query.join.predicates
+            ),
+            window=query.join.window,
+        )
+    return replace(
+        query,
+        left=rename_block(query.left),
+        right=rename_block(query.right),
+        join=new_join,
+    )

@@ -105,3 +105,37 @@ def test_serializer_escapes_attributes():
     text = to_xml(doc, pretty=False)
     assert "&quot;hi&quot;" in text
     assert "&lt;bye&gt;" in text
+
+
+def test_parse_all_five_entities():
+    node = parse_node("<t>&lt;&gt;&amp;&quot;&apos;</t>")
+    assert node.text == "<>&\"'"
+
+
+def test_parse_entities_single_pass():
+    # A literal "&amp;quot;" denotes the five characters "&quot;": the
+    # decoded "&" must not combine with the following text and decode
+    # again (the historical sequential str.replace bug).
+    node = parse_node("<t>&amp;quot;</t>")
+    assert node.text == "&quot;"
+    node = parse_node("<t>&amp;amp;lt;</t>")
+    assert node.text == "&amp;lt;"
+
+
+def test_parse_entities_in_attributes():
+    node = parse_node('<t a="&quot;x&quot; &amp; &apos;y&apos;">z</t>')
+    assert node.attributes["a"] == "\"x\" & 'y'"
+    node = parse_node('<t a="&amp;lt;"/>')
+    assert node.attributes["a"] == "&lt;"
+
+
+def test_parse_unknown_entity_left_verbatim():
+    node = parse_node("<t>&copy; &amp; &nosuch;</t>")
+    assert node.text == "&copy; & &nosuch;"
+
+
+def test_entity_roundtrip_through_serializer():
+    doc = parse_document("<t>&amp;quot; &lt;tag&gt;</t>")
+    assert doc.root.text == "&quot; <tag>"
+    again = parse_document(to_xml(doc, pretty=False))
+    assert again.root.text == doc.root.text

@@ -61,3 +61,33 @@ def test_repr_mentions_operator_and_blocks(q1):
     text = repr(q1)
     assert "FOLLOWED BY" in text
     assert "2 value joins" in text
+
+
+def test_rename_variables_matches_deepcopy_baseline(q1):
+    from repro.xmlmodel.schema import two_level_schema
+    from repro.workloads.querygen import generate_query
+    from repro.xscl.ast import rename_variables_deepcopy
+    from repro.xscl.render import render_query
+    import random
+
+    mapping = {"x2": "a", "x5": "b", "x6": "x6"}
+    queries = [q1] + [
+        generate_query(two_level_schema(4), k, random.Random(seed), window=9.0)
+        for k, seed in [(1, 0), (2, 1), (4, 7)]
+    ]
+    for query in queries:
+        fast = query.rename_variables(mapping)
+        slow = rename_variables_deepcopy(query, mapping)
+        assert render_query(fast) == render_query(slow)
+
+
+def test_rename_variables_shares_frozen_paths(q1):
+    # The structural copy rebuilds only the mutable PatternNode layer; the
+    # frozen LocationPath objects must be shared, not cloned (this is what
+    # makes subscribe-time canonicalization cheap).
+    renamed = q1.rename_variables({"x2": "a"})
+    for fresh, original in zip(
+        renamed.left.pattern.iter_nodes(), q1.left.pattern.iter_nodes()
+    ):
+        assert fresh is not original
+        assert fresh.path is original.path
